@@ -1,0 +1,61 @@
+// Command durabench regenerates the paper's device-level microbenchmarks:
+// Table 1 (fsync frequency vs 4 KB random-write IOPS across four devices)
+// and Table 2 (page-size effect on IOPS for DuraSSD and the disk).
+//
+// Usage:
+//
+//	durabench [-table 1|2|0] [-scale N] [-ops N] [-seed N]
+//
+// -table 0 (default) runs both. Larger -scale shrinks device capacity and
+// speeds the run; -ops sets operations per table cell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"durassd/internal/repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	table := flag.Int("table", 0, "which table to run: 1, 2, or 0 for both")
+	scale := flag.Int("scale", 16, "device capacity divisor (1 = full ~4GiB sim flash)")
+	ops := flag.Int("ops", 0, "operations per table cell (0 = default)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	endurance := flag.Bool("endurance", false, "also measure NAND bytes per transaction (paper's >50% reduction claim)")
+	tail := flag.Bool("tail", false, "also measure read-latency percentiles under mixed load with and without barriers")
+	flag.Parse()
+
+	if *table == 0 || *table == 1 {
+		res, err := repro.Table1(repro.Table1Config{Scale: *scale, OpsPerCell: *ops, Seed: *seed})
+		if err != nil {
+			log.Fatalf("table 1: %v", err)
+		}
+		fmt.Fprintln(os.Stdout, res.Table)
+	}
+	if *table == 0 || *table == 2 {
+		res, err := repro.Table2(repro.Table2Config{Scale: *scale, OpsPerCell: *ops, Seed: *seed})
+		if err != nil {
+			log.Fatalf("table 2: %v", err)
+		}
+		fmt.Fprintln(os.Stdout, res.DuraSSD)
+		fmt.Fprintln(os.Stdout, res.HDD)
+	}
+	if *endurance {
+		res, err := repro.Endurance(repro.LinkBenchConfig{Scale: 512, Seed: *seed})
+		if err != nil {
+			log.Fatalf("endurance: %v", err)
+		}
+		fmt.Fprintln(os.Stdout, res.Table)
+	}
+	if *tail {
+		res, err := repro.TailLatency(repro.TailLatencyConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			log.Fatalf("tail latency: %v", err)
+		}
+		fmt.Fprintln(os.Stdout, res.Table)
+	}
+}

@@ -1,0 +1,55 @@
+// Command linkbench regenerates the paper's MySQL/LinkBench experiments:
+// Figure 5 (TPS under barrier × double-write configurations), Figure 6
+// (buffer miss ratio and TPS vs pool size) and Table 3 (per-operation
+// latency distributions).
+//
+// Usage:
+//
+//	linkbench [-figure 5|6] [-table 3] [-all] [-scale N] [-requests N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"durassd/internal/repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	figure := flag.Int("figure", 0, "figure to reproduce: 5 or 6")
+	table := flag.Int("table", 0, "table to reproduce: 3")
+	all := flag.Bool("all", false, "run everything")
+	scale := flag.Int("scale", 256, "divide paper-scale DB and buffer sizes")
+	requests := flag.Int("requests", 0, "measured requests per run (0 = default)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	cfg := repro.LinkBenchConfig{Scale: *scale, Requests: *requests, Seed: *seed}
+	if *all || *figure == 5 {
+		res, err := repro.Fig5(cfg)
+		if err != nil {
+			log.Fatalf("figure 5: %v", err)
+		}
+		fmt.Println(res.Table)
+	}
+	if *all || *figure == 6 {
+		res, err := repro.Fig6(cfg)
+		if err != nil {
+			log.Fatalf("figure 6: %v", err)
+		}
+		fmt.Println(res.MissTable)
+		fmt.Println(res.TPSTable)
+	}
+	if *all || *table == 3 {
+		res, err := repro.Table3(cfg)
+		if err != nil {
+			log.Fatalf("table 3: %v", err)
+		}
+		fmt.Println(res.Table)
+	}
+	if !*all && *figure == 0 && *table == 0 {
+		log.Fatal("nothing to do: pass -figure 5, -figure 6, -table 3 or -all")
+	}
+}

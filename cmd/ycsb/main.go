@@ -1,0 +1,32 @@
+// Command ycsb regenerates the paper's Table 5: throughput of a
+// Couchbase-style append-only document store under YCSB workload-A (and a
+// 100%-update variant) on DuraSSD, sweeping the fsync batch size with
+// write barriers on and off.
+//
+// Usage:
+//
+//	ycsb [-ops N] [-docs N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"durassd/internal/repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	ops := flag.Int("ops", 0, "operations per cell (0 = default 100k; paper used 200k)")
+	docs := flag.Int64("docs", 0, "documents in the bucket (0 = default 2M)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	res, err := repro.Table5(repro.YCSBConfig{Operations: *ops, Docs: *docs, Seed: *seed})
+	if err != nil {
+		log.Fatalf("table 5: %v", err)
+	}
+	fmt.Println(res.On)
+	fmt.Println(res.Off)
+}

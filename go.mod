@@ -1,0 +1,3 @@
+module durassd
+
+go 1.22

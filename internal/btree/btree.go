@@ -1,0 +1,638 @@
+// Package btree implements a byte-exact, page-level B+-tree over a host
+// file: checksummed fixed-size pages, uint64 keys, small byte-slice values,
+// leaf splits, range scans and a persistent superblock.
+//
+// The tree issues one device write per modified page and never journals:
+// on a device with atomic page writes (DuraSSD) that is crash-safe by
+// construction, which is exactly the "leaner and more robust design"
+// opportunity the paper's introduction claims. On a device that can tear
+// pages, the checksums expose the corruption — the crash harnesses and the
+// examples use both sides of that coin.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// File is the storage surface the tree needs: host.File satisfies it, and
+// wrappers (e.g. the sqlite package's rollback-journaled file) can
+// interpose on the write path.
+type File interface {
+	ReadPages(p *sim.Proc, off int64, n int, buf []byte) error
+	WritePages(p *sim.Proc, off int64, n int, data []byte) error
+	PageSize() int
+	Pages() int64
+}
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("btree: key not found")
+	ErrCorrupt   = errors.New("btree: page checksum mismatch (torn write?)")
+	ErrValueSize = errors.New("btree: value too large for page")
+	ErrFull      = errors.New("btree: file out of pages")
+)
+
+const (
+	magic         = 0xD17A55D0
+	pageTypeLeaf  = 1
+	pageTypeInner = 2
+
+	hdrChecksum = 0  // uint32
+	hdrType     = 4  // byte
+	hdrCount    = 5  // uint16
+	hdrSelf     = 7  // uint64
+	hdrRight    = 15 // uint64 (leaf sibling)
+	hdrEnd      = 23
+
+	innerEntry = 16 // key + child
+)
+
+// Tree is a B+-tree rooted in a file. One Tree must be used from one
+// simulated process at a time.
+type Tree struct {
+	file      File
+	pageBytes int
+	perPage   int // device pages per tree page
+
+	root   uint64
+	next   uint64 // next unallocated page
+	height int
+}
+
+// Create formats a new tree on the file with the given page size (a
+// multiple of the device page).
+func Create(p *sim.Proc, file File, pageBytes int) (*Tree, error) {
+	devPage := file.PageSize()
+	if pageBytes <= hdrEnd || pageBytes%devPage != 0 {
+		return nil, fmt.Errorf("btree: bad page size %d", pageBytes)
+	}
+	t := &Tree{file: file, pageBytes: pageBytes, perPage: pageBytes / devPage}
+	t.root = 1
+	t.next = 2
+	t.height = 1
+	// Empty leaf root.
+	leaf := t.newPage(pageTypeLeaf, t.root)
+	if err := t.writePage(p, t.root, leaf); err != nil {
+		return nil, err
+	}
+	if err := t.writeSuper(p); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads an existing tree from the file.
+func Open(p *sim.Proc, file File, pageBytes int) (*Tree, error) {
+	devPage := file.PageSize()
+	if pageBytes <= hdrEnd || pageBytes%devPage != 0 {
+		return nil, fmt.Errorf("btree: bad page size %d", pageBytes)
+	}
+	t := &Tree{file: file, pageBytes: pageBytes, perPage: pageBytes / devPage}
+	super := make([]byte, pageBytes)
+	if err := file.ReadPages(p, 0, t.perPage, super); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(super[0:4]) != storage.Checksum(super[4:]) {
+		return nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(super[4:8]) != magic {
+		return nil, fmt.Errorf("btree: bad magic")
+	}
+	t.root = binary.LittleEndian.Uint64(super[8:16])
+	t.next = binary.LittleEndian.Uint64(super[16:24])
+	t.height = int(binary.LittleEndian.Uint32(super[24:28]))
+	return t, nil
+}
+
+// Height returns the current tree height (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// PageBytes returns the tree page size.
+func (t *Tree) PageBytes() int { return t.pageBytes }
+
+func (t *Tree) writeSuper(p *sim.Proc) error {
+	super := make([]byte, t.pageBytes)
+	binary.LittleEndian.PutUint32(super[4:8], magic)
+	binary.LittleEndian.PutUint64(super[8:16], t.root)
+	binary.LittleEndian.PutUint64(super[16:24], t.next)
+	binary.LittleEndian.PutUint32(super[24:28], uint32(t.height))
+	binary.LittleEndian.PutUint32(super[0:4], storage.Checksum(super[4:]))
+	return t.file.WritePages(p, 0, t.perPage, super)
+}
+
+func (t *Tree) newPage(typ byte, id uint64) []byte {
+	pg := make([]byte, t.pageBytes)
+	pg[hdrType] = typ
+	binary.LittleEndian.PutUint64(pg[hdrSelf:], id)
+	return pg
+}
+
+func (t *Tree) alloc() (uint64, error) {
+	if int64(t.next+1)*int64(t.perPage) > t.file.Pages() {
+		return 0, ErrFull
+	}
+	id := t.next
+	t.next++
+	return id, nil
+}
+
+// allocPersist reserves n pages and persists the allocation pointer BEFORE
+// the pages are used, so a crash can never lead to re-allocating pages that
+// a committed split already references. A crash after this write merely
+// leaks the reservation.
+func (t *Tree) allocPersist(p *sim.Proc, n int) ([]uint64, error) {
+	ids := make([]uint64, n)
+	for i := range ids {
+		id, err := t.alloc()
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	if err := t.writeSuper(p); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+func (t *Tree) readPage(p *sim.Proc, id uint64) ([]byte, error) {
+	pg := make([]byte, t.pageBytes)
+	if err := t.file.ReadPages(p, int64(id)*int64(t.perPage), t.perPage, pg); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(pg[0:4]) != storage.Checksum(pg[4:]) {
+		return nil, fmt.Errorf("%w: page %d", ErrCorrupt, id)
+	}
+	if got := binary.LittleEndian.Uint64(pg[hdrSelf:]); got != id {
+		return nil, fmt.Errorf("%w: page %d claims id %d", ErrCorrupt, id, got)
+	}
+	return pg, nil
+}
+
+func (t *Tree) writePage(p *sim.Proc, id uint64, pg []byte) error {
+	binary.LittleEndian.PutUint32(pg[0:4], storage.Checksum(pg[4:]))
+	return t.file.WritePages(p, int64(id)*int64(t.perPage), t.perPage, pg)
+}
+
+// --- page accessors ---
+
+func count(pg []byte) int       { return int(binary.LittleEndian.Uint16(pg[hdrCount:])) }
+func setCount(pg []byte, n int) { binary.LittleEndian.PutUint16(pg[hdrCount:], uint16(n)) }
+
+// Inner pages store: keys[count] then children[count+1], fixed 8-byte each.
+func innerKey(pg []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(pg[hdrEnd+8*i:])
+}
+func innerChild(pg []byte, n, i int) uint64 {
+	return binary.LittleEndian.Uint64(pg[hdrEnd+8*n+8*i:])
+}
+func innerCapacity(pageBytes int) int {
+	return (pageBytes - hdrEnd - 8) / innerEntry
+}
+
+// Leaf pages store a sorted directory of (key, offset) pairs growing from
+// hdrEnd, and values growing down from the end.
+// Entry: key uint64, voff uint16, vlen uint16 — 12 bytes.
+const leafEntry = 12
+
+func leafKey(pg []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(pg[hdrEnd+leafEntry*i:])
+}
+func leafVal(pg []byte, i int) []byte {
+	off := binary.LittleEndian.Uint16(pg[hdrEnd+leafEntry*i+8:])
+	vlen := binary.LittleEndian.Uint16(pg[hdrEnd+leafEntry*i+10:])
+	return pg[off : off+vlen]
+}
+func leafRight(pg []byte) uint64       { return binary.LittleEndian.Uint64(pg[hdrRight:]) }
+func setLeafRight(pg []byte, r uint64) { binary.LittleEndian.PutUint64(pg[hdrRight:], r) }
+
+// leafSearch returns the index of key, or (insert position, false).
+func leafSearch(pg []byte, key uint64) (int, bool) {
+	lo, hi := 0, count(pg)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k := leafKey(pg, mid)
+		if k == key {
+			return mid, true
+		}
+		if k < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// innerDescend picks the child covering key.
+func innerDescend(pg []byte, key uint64) uint64 {
+	n := count(pg)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if innerKey(pg, mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return innerChild(pg, n, lo)
+}
+
+// Get returns the value stored at key.
+func (t *Tree) Get(p *sim.Proc, key uint64) ([]byte, error) {
+	pg, _, err := t.findLeaf(p, key)
+	if err != nil {
+		return nil, err
+	}
+	i, ok := leafSearch(pg, key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), leafVal(pg, i)...), nil
+}
+
+func (t *Tree) findLeaf(p *sim.Proc, key uint64) (pg []byte, path []uint64, err error) {
+	id := t.root
+	for level := 0; ; level++ {
+		pg, err = t.readPage(p, id)
+		if err != nil {
+			return nil, nil, err
+		}
+		path = append(path, id)
+		if pg[hdrType] == pageTypeLeaf {
+			return pg, path, nil
+		}
+		id = innerDescend(pg, key)
+	}
+}
+
+// Put inserts or replaces the value at key.
+func (t *Tree) Put(p *sim.Proc, key uint64, value []byte) error {
+	if len(value) > t.pageBytes/4 {
+		return ErrValueSize
+	}
+	leaf, path, err := t.findLeaf(p, key)
+	if err != nil {
+		return err
+	}
+	leafID := path[len(path)-1]
+	if t.leafFits(leaf, key, value) {
+		t.leafInsert(leaf, key, value)
+		return t.writePage(p, leafID, leaf)
+	}
+	// Copy-on-write split: both halves go to fresh pages and the old leaf
+	// is left untouched, so the single-page parent update below is the
+	// atomic commit point — a crash at any instant leaves either the old
+	// tree or the new one, never a mix.
+	ids, err := t.allocPersist(p, 2)
+	if err != nil {
+		return err
+	}
+	newLeftID, newRightID := ids[0], ids[1]
+	items := leafItems(leaf)
+	pos := 0
+	replaced := false
+	for pos < len(items) && items[pos].k < key {
+		pos++
+	}
+	if pos < len(items) && items[pos].k == key {
+		items[pos].v = value
+		replaced = true
+	}
+	if !replaced {
+		items = append(items, kvPair{})
+		copy(items[pos+1:], items[pos:])
+		items[pos] = kvPair{key, value}
+	}
+	mid := len(items) / 2
+	sepKey := items[mid].k
+	left := t.newPage(pageTypeLeaf, newLeftID)
+	t.leafRebuild(left, items[:mid])
+	right := t.newPage(pageTypeLeaf, newRightID)
+	t.leafRebuild(right, items[mid:])
+	if err := t.writePage(p, newRightID, right); err != nil {
+		return err
+	}
+	if err := t.writePage(p, newLeftID, left); err != nil {
+		return err
+	}
+	return t.replaceInParent(p, path[:len(path)-1], leafID, newLeftID, sepKey, newRightID)
+}
+
+// leafFits reports whether (key, value) can be placed in the leaf,
+// accounting for replacement of an existing value.
+func (t *Tree) leafFits(pg []byte, key uint64, value []byte) bool {
+	n := count(pg)
+	used := hdrEnd + leafEntry*n
+	var valBytes int
+	for i := 0; i < n; i++ {
+		valBytes += len(leafVal(pg, i))
+	}
+	if i, ok := leafSearch(pg, key); ok {
+		valBytes -= len(leafVal(pg, i))
+		return used+valBytes+len(value) <= t.pageBytes
+	}
+	return used+leafEntry+valBytes+len(value) <= t.pageBytes
+}
+
+// kvPair is one leaf entry during rebuilds.
+type kvPair struct {
+	k uint64
+	v []byte
+}
+
+// leafItems extracts a leaf's entries (values copied).
+func leafItems(pg []byte) []kvPair {
+	n := count(pg)
+	items := make([]kvPair, n)
+	for i := 0; i < n; i++ {
+		items[i] = kvPair{leafKey(pg, i), append([]byte(nil), leafVal(pg, i)...)}
+	}
+	return items
+}
+
+// leafInsert rewrites the leaf with (key, value) applied. Rebuilding
+// compacts the value heap, so deletes and replacements never fragment.
+func (t *Tree) leafInsert(pg []byte, key uint64, value []byte) {
+	items := leafItems(pg)
+	pos, ok := 0, false
+	for i, it := range items {
+		if it.k >= key {
+			pos, ok = i, it.k == key
+			break
+		}
+		pos = i + 1
+	}
+	if ok {
+		items[pos].v = value
+	} else {
+		items = append(items, kvPair{})
+		copy(items[pos+1:], items[pos:])
+		items[pos] = kvPair{key, value}
+	}
+	t.leafRebuild(pg, items)
+}
+
+// leafRebuild writes the sorted items into the page: directory from the
+// front, value heap from the back.
+func (t *Tree) leafRebuild(pg []byte, items []kvPair) {
+	self := binary.LittleEndian.Uint64(pg[hdrSelf:])
+	right := leafRight(pg)
+	for i := hdrEnd; i < len(pg); i++ {
+		pg[i] = 0
+	}
+	pg[hdrType] = pageTypeLeaf
+	binary.LittleEndian.PutUint64(pg[hdrSelf:], self)
+	setLeafRight(pg, right)
+	setCount(pg, len(items))
+	heap := t.pageBytes
+	for i, it := range items {
+		heap -= len(it.v)
+		copy(pg[heap:], it.v)
+		e := hdrEnd + leafEntry*i
+		binary.LittleEndian.PutUint64(pg[e:], it.k)
+		binary.LittleEndian.PutUint16(pg[e+8:], uint16(heap))
+		binary.LittleEndian.PutUint16(pg[e+10:], uint16(len(it.v)))
+	}
+}
+
+// replaceInParent atomically swings the parent pointer from oldChild to
+// newLeft and inserts (sepKey -> newRight). The parent update is a single
+// page write (atomic on DuraSSD); if the parent itself overflows it is
+// split copy-on-write and the commitment recurses upward, ending at a
+// superblock write for a root split.
+func (t *Tree) replaceInParent(p *sim.Proc, path []uint64, oldChild, newLeft uint64, sepKey uint64, newRight uint64) error {
+	if len(path) == 0 {
+		// oldChild was the root: commit by publishing a new root in the
+		// superblock.
+		ids, err := t.allocPersist(p, 1)
+		if err != nil {
+			return err
+		}
+		root := t.newPage(pageTypeInner, ids[0])
+		setCount(root, 1)
+		binary.LittleEndian.PutUint64(root[hdrEnd:], sepKey)
+		binary.LittleEndian.PutUint64(root[hdrEnd+8:], newLeft)
+		binary.LittleEndian.PutUint64(root[hdrEnd+16:], newRight)
+		if err := t.writePage(p, ids[0], root); err != nil {
+			return err
+		}
+		t.root = ids[0]
+		t.height++
+		return t.writeSuper(p)
+	}
+	parentID := path[len(path)-1]
+	parent, err := t.readPage(p, parentID)
+	if err != nil {
+		return err
+	}
+	keys, children := innerItems(parent)
+	pos := -1
+	for i, c := range children {
+		if c == oldChild {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("btree: parent %d does not reference child %d", parentID, oldChild)
+	}
+	children[pos] = newLeft
+	keys = append(keys, 0)
+	copy(keys[pos+1:], keys[pos:])
+	keys[pos] = sepKey
+	children = append(children, 0)
+	copy(children[pos+2:], children[pos+1:])
+	children[pos+1] = newRight
+
+	if len(keys) <= innerCapacity(t.pageBytes) {
+		innerRebuild(parent, keys, children)
+		return t.writePage(p, parentID, parent) // atomic commit point
+	}
+	// Inner overflow: copy-on-write split of the parent.
+	ids, err := t.allocPersist(p, 2)
+	if err != nil {
+		return err
+	}
+	mid := len(keys) / 2
+	upKey := keys[mid]
+	leftPg := t.newPage(pageTypeInner, ids[0])
+	innerRebuild(leftPg, keys[:mid], children[:mid+1])
+	rightPg := t.newPage(pageTypeInner, ids[1])
+	innerRebuild(rightPg, keys[mid+1:], children[mid+1:])
+	if err := t.writePage(p, ids[1], rightPg); err != nil {
+		return err
+	}
+	if err := t.writePage(p, ids[0], leftPg); err != nil {
+		return err
+	}
+	return t.replaceInParent(p, path[:len(path)-1], parentID, ids[0], upKey, ids[1])
+}
+
+func innerItems(pg []byte) (keys []uint64, children []uint64) {
+	n := count(pg)
+	keys = make([]uint64, n)
+	children = make([]uint64, n+1)
+	for i := 0; i < n; i++ {
+		keys[i] = innerKey(pg, i)
+	}
+	for i := 0; i <= n; i++ {
+		children[i] = innerChild(pg, n, i)
+	}
+	return keys, children
+}
+
+func innerRebuild(pg []byte, keys []uint64, children []uint64) {
+	self := binary.LittleEndian.Uint64(pg[hdrSelf:])
+	for i := hdrEnd; i < len(pg); i++ {
+		pg[i] = 0
+	}
+	pg[hdrType] = pageTypeInner
+	binary.LittleEndian.PutUint64(pg[hdrSelf:], self)
+	setCount(pg, len(keys))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(pg[hdrEnd+8*i:], k)
+	}
+	base := hdrEnd + 8*len(keys)
+	for i, c := range children {
+		binary.LittleEndian.PutUint64(pg[base+8*i:], c)
+	}
+}
+
+// Delete removes key, returning ErrNotFound if absent. Leaves are not
+// rebalanced (InnoDB-style lazy deletion).
+func (t *Tree) Delete(p *sim.Proc, key uint64) error {
+	leaf, path, err := t.findLeaf(p, key)
+	if err != nil {
+		return err
+	}
+	i, ok := leafSearch(leaf, key)
+	if !ok {
+		return ErrNotFound
+	}
+	items := leafItems(leaf)
+	items = append(items[:i], items[i+1:]...)
+	t.leafRebuild(leaf, items)
+	return t.writePage(p, path[len(path)-1], leaf)
+}
+
+// Scan visits up to limit key/value pairs with key >= start in order.
+// Because splits are copy-on-write (no maintained sibling chain), the scan
+// re-descends for each successor leaf, using the inner separators seen on
+// the way down to find the next leaf's key range. fn returning false stops
+// the scan.
+func (t *Tree) Scan(p *sim.Proc, start uint64, limit int, fn func(key uint64, value []byte) bool) error {
+	seen := 0
+	cursor := start
+	for seen < limit {
+		leaf, nextSep, haveNext, err := t.findLeafWithSuccessor(p, cursor)
+		if err != nil {
+			return err
+		}
+		n := count(leaf)
+		for i := 0; i < n && seen < limit; i++ {
+			k := leafKey(leaf, i)
+			if k < cursor {
+				continue
+			}
+			if !fn(k, append([]byte(nil), leafVal(leaf, i)...)) {
+				return nil
+			}
+			seen++
+		}
+		if seen >= limit || !haveNext {
+			return nil
+		}
+		cursor = nextSep
+	}
+	return nil
+}
+
+// findLeafWithSuccessor descends to the leaf covering key and also returns
+// the smallest inner separator greater than key (the start of the next
+// leaf's range), if one exists.
+func (t *Tree) findLeafWithSuccessor(p *sim.Proc, key uint64) (leaf []byte, nextSep uint64, haveNext bool, err error) {
+	id := t.root
+	for {
+		pg, err := t.readPage(p, id)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if pg[hdrType] == pageTypeLeaf {
+			return pg, nextSep, haveNext, nil
+		}
+		n := count(pg)
+		// Child to descend into, and the separator bounding it above.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if innerKey(pg, mid) <= key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < n {
+			sep := innerKey(pg, lo)
+			if !haveNext || sep < nextSep {
+				nextSep, haveNext = sep, true
+			}
+		}
+		id = innerChild(pg, n, lo)
+	}
+}
+
+// Check walks the whole tree verifying checksums, ordering and reachability.
+func (t *Tree) Check(p *sim.Proc) error {
+	return t.check(p, t.root, 0, ^uint64(0), 1)
+}
+
+func (t *Tree) check(p *sim.Proc, id uint64, lo, hi uint64, depth int) error {
+	if depth > t.height {
+		return fmt.Errorf("btree: page %d below recorded height", id)
+	}
+	pg, err := t.readPage(p, id)
+	if err != nil {
+		return err
+	}
+	n := count(pg)
+	if pg[hdrType] == pageTypeLeaf {
+		var prev uint64
+		for i := 0; i < n; i++ {
+			k := leafKey(pg, i)
+			if i > 0 && k <= prev {
+				return fmt.Errorf("btree: leaf %d keys out of order", id)
+			}
+			if k < lo || k > hi {
+				return fmt.Errorf("btree: leaf %d key %d outside [%d,%d]", id, k, lo, hi)
+			}
+			prev = k
+		}
+		return nil
+	}
+	keys, children := innerItems(pg)
+	for i, k := range keys {
+		if (i > 0 && k <= keys[i-1]) || k < lo || k > hi {
+			return fmt.Errorf("btree: inner %d key %d misplaced", id, k)
+		}
+	}
+	for i, c := range children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = keys[i-1]
+		}
+		if i < len(keys) {
+			chi = keys[i] - 1
+		}
+		if err := t.check(p, c, clo, chi, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

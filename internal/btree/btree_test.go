@@ -1,0 +1,267 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"durassd/internal/host"
+	"durassd/internal/sim"
+	"durassd/internal/ssd"
+	"durassd/internal/storage"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	dev  *ssd.Device
+	fs   *host.FS
+	file *host.File
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.New()
+	dev, err := ssd.New(eng, ssd.DuraSSD(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := host.NewFS(dev, false) // DuraSSD: barriers off, still durable
+	file, err := fs.Create("tree.db", dev.Pages()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{eng: eng, dev: dev, fs: fs, file: file}
+}
+
+// run executes fn as a simulated process and drains the engine.
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.eng.Go("test", fn)
+	r.eng.Run()
+}
+
+func TestCreateOpenEmpty(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		tr, err := Create(p, r.file, 4*storage.KB)
+		if err != nil {
+			t.Errorf("Create: %v", err)
+			return
+		}
+		if tr.Height() != 1 {
+			t.Errorf("height = %d, want 1", tr.Height())
+		}
+		if _, err := tr.Get(p, 42); err != ErrNotFound {
+			t.Errorf("Get on empty = %v, want ErrNotFound", err)
+		}
+		tr2, err := Open(p, r.file, 4*storage.KB)
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if tr2.Height() != 1 {
+			t.Errorf("reopened height = %d", tr2.Height())
+		}
+	})
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		tr, err := Create(p, r.file, 4*storage.KB)
+		if err != nil {
+			t.Errorf("Create: %v", err)
+			return
+		}
+		for i := uint64(0); i < 100; i++ {
+			if err := tr.Put(p, i, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+				t.Errorf("Put %d: %v", i, err)
+				return
+			}
+		}
+		for i := uint64(0); i < 100; i++ {
+			v, err := tr.Get(p, i)
+			if err != nil || string(v) != fmt.Sprintf("value-%d", i) {
+				t.Errorf("Get %d = %q, %v", i, v, err)
+				return
+			}
+		}
+	})
+}
+
+func TestOverwrite(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		tr, _ := Create(p, r.file, 4*storage.KB)
+		if err := tr.Put(p, 7, []byte("old")); err != nil {
+			t.Errorf("Put: %v", err)
+		}
+		if err := tr.Put(p, 7, []byte("new-and-longer")); err != nil {
+			t.Errorf("overwrite: %v", err)
+		}
+		v, err := tr.Get(p, 7)
+		if err != nil || string(v) != "new-and-longer" {
+			t.Errorf("Get = %q, %v", v, err)
+		}
+	})
+}
+
+func TestSplitsGrowHeight(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		tr, _ := Create(p, r.file, 4*storage.KB)
+		val := make([]byte, 100)
+		for i := uint64(0); i < 2000; i++ {
+			if err := tr.Put(p, i, val); err != nil {
+				t.Errorf("Put %d: %v", i, err)
+				return
+			}
+		}
+		if tr.Height() < 2 {
+			t.Errorf("height = %d after 2000 inserts, expected splits", tr.Height())
+		}
+		if err := tr.Check(p); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+		for _, k := range []uint64{0, 999, 1999} {
+			if _, err := tr.Get(p, k); err != nil {
+				t.Errorf("Get %d after splits: %v", k, err)
+			}
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		tr, _ := Create(p, r.file, 4*storage.KB)
+		for i := uint64(0); i < 50; i++ {
+			_ = tr.Put(p, i, []byte("x"))
+		}
+		if err := tr.Delete(p, 25); err != nil {
+			t.Errorf("Delete: %v", err)
+		}
+		if _, err := tr.Get(p, 25); err != ErrNotFound {
+			t.Errorf("Get deleted = %v", err)
+		}
+		if err := tr.Delete(p, 25); err != ErrNotFound {
+			t.Errorf("double delete = %v", err)
+		}
+		if _, err := tr.Get(p, 24); err != nil {
+			t.Errorf("neighbor gone: %v", err)
+		}
+	})
+}
+
+func TestScan(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		tr, _ := Create(p, r.file, 4*storage.KB)
+		for i := uint64(0); i < 500; i++ {
+			_ = tr.Put(p, i*2, []byte{byte(i)}) // even keys
+		}
+		var got []uint64
+		err := tr.Scan(p, 100, 10, func(k uint64, v []byte) bool {
+			got = append(got, k)
+			return true
+		})
+		if err != nil {
+			t.Errorf("Scan: %v", err)
+			return
+		}
+		if len(got) != 10 || got[0] != 100 || got[9] != 118 {
+			t.Errorf("scan result %v", got)
+		}
+	})
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		tr, _ := Create(p, r.file, 4*storage.KB)
+		for i := uint64(0); i < 1500; i++ {
+			_ = tr.Put(p, i, []byte("persist"))
+		}
+	})
+	r.run(t, func(p *sim.Proc) {
+		tr, err := Open(p, r.file, 4*storage.KB)
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if err := tr.Check(p); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+		if v, err := tr.Get(p, 1234); err != nil || string(v) != "persist" {
+			t.Errorf("Get after reopen = %q, %v", v, err)
+		}
+	})
+}
+
+func TestValueTooLarge(t *testing.T) {
+	r := newRig(t)
+	r.run(t, func(p *sim.Proc) {
+		tr, _ := Create(p, r.file, 4*storage.KB)
+		if err := tr.Put(p, 1, make([]byte, 4096)); err != ErrValueSize {
+			t.Errorf("oversized Put = %v", err)
+		}
+	})
+}
+
+// TestRandomOpsMatchModel is a property test: random Put/Delete/Get
+// sequences agree with a map model, and the tree stays structurally valid.
+func TestRandomOpsMatchModel(t *testing.T) {
+	check := func(seed int64) bool {
+		r := newRig(t)
+		ok := true
+		r.run(t, func(p *sim.Proc) {
+			tr, err := Create(p, r.file, 4*storage.KB)
+			if err != nil {
+				ok = false
+				return
+			}
+			rng := rand.New(rand.NewSource(seed))
+			model := make(map[uint64][]byte)
+			for i := 0; i < 800 && ok; i++ {
+				k := uint64(rng.Intn(300))
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4, 5:
+					v := make([]byte, 1+rng.Intn(64))
+					rng.Read(v)
+					if err := tr.Put(p, k, v); err != nil {
+						ok = false
+					}
+					model[k] = v
+				case 6, 7:
+					err := tr.Delete(p, k)
+					if _, in := model[k]; in {
+						if err != nil {
+							ok = false
+						}
+						delete(model, k)
+					} else if err != ErrNotFound {
+						ok = false
+					}
+				default:
+					v, err := tr.Get(p, k)
+					want, in := model[k]
+					if in {
+						if err != nil || string(v) != string(want) {
+							ok = false
+						}
+					} else if err != ErrNotFound {
+						ok = false
+					}
+				}
+			}
+			if err := tr.Check(p); err != nil {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

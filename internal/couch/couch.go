@@ -1,0 +1,211 @@
+// Package couch implements a Couchbase-style document store: an
+// append-only, copy-on-write B+-tree where every update rewrites the
+// root-to-leaf node path plus the document and appends them to storage as
+// one unit (paper §4.3.3). Durability is traded against throughput with the
+// batch-size knob: an fsync every k updates.
+//
+// With the paper's parameters — 1 KB documents, 4 KB tree nodes, a tree of
+// depth four — each update appends about 20 KB.
+package couch
+
+import (
+	"fmt"
+	"time"
+
+	"durassd/internal/dbsim/index"
+	"durassd/internal/host"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// Config describes the store.
+type Config struct {
+	Docs      int64 // number of documents
+	DocBytes  int   // document size (YCSB: ~1 KB)
+	NodeBytes int   // B+-tree node size (default 4 KB)
+	BatchSize int   // fsync every BatchSize updates (>=1)
+
+	// CacheDocs is the fraction (percent) of reads served from Couchbase's
+	// managed object cache without touching storage.
+	CacheDocsPct int
+
+	// OpCPU is the per-operation server CPU (single-threaded appends).
+	OpCPU time.Duration
+	// FsyncCPU is the host-side cost of an fsync call even without write
+	// barriers (journal bookkeeping).
+	FsyncCPU time.Duration
+}
+
+func (c *Config) defaults() error {
+	if c.Docs <= 0 {
+		return fmt.Errorf("couch: Docs must be positive")
+	}
+	if c.DocBytes <= 0 {
+		c.DocBytes = 1 * storage.KB
+	}
+	if c.NodeBytes <= 0 {
+		c.NodeBytes = 4 * storage.KB
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
+	}
+	if c.CacheDocsPct < 0 || c.CacheDocsPct > 100 {
+		return fmt.Errorf("couch: CacheDocsPct out of range")
+	}
+	if c.OpCPU == 0 {
+		c.OpCPU = 150 * time.Microsecond
+	}
+	if c.FsyncCPU == 0 {
+		c.FsyncCPU = 200 * time.Microsecond
+	}
+	return nil
+}
+
+// Store is one Couchbase bucket's storage engine.
+type Store struct {
+	cfg  Config
+	eng  *sim.Engine
+	file *host.File
+	tree *index.Tree
+
+	appendPos    int64 // next device page in the append log
+	filePages    int64
+	sinceFsync   int
+	pagesPerUpd  int
+	updatesTotal int64
+	fsyncsTotal  int64
+	wraps        int64 // compaction cycles (log wrap-arounds)
+}
+
+// Open creates the store's append log on fs, sized to most of the device,
+// and installs the initial documents instantly.
+func Open(eng *sim.Engine, fs *host.FS, cfg Config) (*Store, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	// 75% of the device: an append-only store at higher fill would thrash
+	// the FTL's garbage collector (thin over-provisioning + full logical
+	// space is the worst case for greedy GC).
+	filePages := fs.Device().Pages() * 3 / 4
+	file, err := fs.Create("couch.couch", filePages)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := index.New(index.Config{
+		PageBytes: cfg.NodeBytes,
+		RowBytes:  64, // key + file offset per entry
+		KeyBytes:  16,
+		MaxRows:   cfg.Docs * 2,
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	tree.SetRows(cfg.Docs)
+
+	st := &Store{cfg: cfg, eng: eng, file: file, tree: tree, filePages: filePages}
+	// Update unit: root-to-leaf node path + the document, rounded to
+	// device pages ("the size of each update was about 20KB").
+	devPage := fs.Device().PageSize()
+	updBytes := tree.Depth()*cfg.NodeBytes + cfg.DocBytes
+	st.pagesPerUpd = (updBytes + devPage - 1) / devPage
+
+	// Preload the initial documents (timing-free bulk load).
+	initPages := cfg.Docs * int64((cfg.DocBytes+devPage-1)/devPage)
+	if initPages > filePages/2 {
+		initPages = filePages / 2
+	}
+	if err := file.Preload(0, initPages, nil); err != nil {
+		return nil, err
+	}
+	st.appendPos = initPages
+	return st, nil
+}
+
+// UpdateBytes returns the bytes appended per update.
+func (s *Store) UpdateBytes() int { return s.pagesPerUpd * s.file.PageSize() }
+
+// Depth returns the B+-tree depth.
+func (s *Store) Depth() int { return s.tree.Depth() }
+
+// Fsyncs returns the number of fsync calls issued.
+func (s *Store) Fsyncs() int64 { return s.fsyncsTotal }
+
+// Update rewrites one document: the new document and its rewritten tree
+// path are appended as a single unit, and every BatchSize-th update fsyncs
+// the log.
+func (s *Store) Update(p *sim.Proc, key int64) error {
+	if key < 0 || key >= s.cfg.Docs {
+		return fmt.Errorf("couch: key %d out of range", key)
+	}
+	p.Sleep(s.cfg.OpCPU)
+	if s.appendPos+int64(s.pagesPerUpd) > s.filePages {
+		// The append log wrapped: compaction reclaimed the head (modeled
+		// as a free wrap; compaction I/O runs in Compact).
+		s.appendPos = 0
+		s.wraps++
+	}
+	if err := s.file.WritePages(p, s.appendPos, s.pagesPerUpd, nil); err != nil {
+		return err
+	}
+	s.appendPos += int64(s.pagesPerUpd)
+	s.updatesTotal++
+	s.sinceFsync++
+	if s.sinceFsync >= s.cfg.BatchSize {
+		s.sinceFsync = 0
+		if err := s.fsync(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) fsync(p *sim.Proc) error {
+	p.Sleep(s.cfg.FsyncCPU)
+	s.fsyncsTotal++
+	return s.file.Fdatasync(p)
+}
+
+// Read fetches one document. A CacheDocsPct fraction is served from the
+// managed cache; the rest reads the document from the log.
+func (s *Store) Read(p *sim.Proc, key int64, cached bool) error {
+	if key < 0 || key >= s.cfg.Docs {
+		return fmt.Errorf("couch: key %d out of range", key)
+	}
+	p.Sleep(s.cfg.OpCPU)
+	if cached {
+		return nil
+	}
+	devPage := s.file.PageSize()
+	n := (s.cfg.DocBytes + devPage - 1) / devPage
+	off := (key * int64(n)) % (s.filePages - int64(n))
+	return s.file.ReadPages(p, off, n, nil)
+}
+
+// Compact rewrites the live data sequentially (a full compaction pass),
+// returning the bytes rewritten. Offered as an extension; the paper's runs
+// don't trigger it.
+func (s *Store) Compact(p *sim.Proc) (int64, error) {
+	devPage := s.file.PageSize()
+	docPages := int64((s.cfg.DocBytes + devPage - 1) / devPage)
+	live := s.cfg.Docs * docPages
+	if live > s.filePages {
+		live = s.filePages
+	}
+	const chunk = 256
+	for off := int64(0); off < live; off += chunk {
+		n := int64(chunk)
+		if off+n > live {
+			n = live - off
+		}
+		if err := s.file.ReadPages(p, off, int(n), nil); err != nil {
+			return 0, err
+		}
+		if err := s.file.WritePages(p, off, int(n), nil); err != nil {
+			return 0, err
+		}
+	}
+	if err := s.fsync(p); err != nil {
+		return 0, err
+	}
+	return live * int64(devPage), nil
+}

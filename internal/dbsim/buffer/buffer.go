@@ -1,0 +1,404 @@
+// Package buffer implements a database buffer pool with the structure of
+// the paper's Figure 1: a main LRU list, a free list, a dirty-page set, a
+// background page cleaner, and — critically for the paper's latency
+// argument — reads that block on writing back a dirty victim when the free
+// list is empty.
+//
+// The pool is engine-agnostic: dirty pages are persisted through a
+// PageWriter, which lets InnoDB interpose its double-write buffer and
+// write-ahead-log ordering without the pool knowing.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"durassd/internal/sim"
+)
+
+// PageID identifies a database page within the engine's page space.
+type PageID int64
+
+// PageWrite is one dirty page image handed to the PageWriter.
+type PageWrite struct {
+	ID   PageID
+	LSN  uint64 // newest log record touching the page (WAL ordering)
+	Data []byte // nil in timing-only mode
+}
+
+// PageWriter persists a batch of dirty pages. Implementations decide the
+// atomic-write strategy: plain in-place writes, or InnoDB's double-write
+// buffer (write the batch to the DWB area, fsync, write in place, fsync).
+type PageWriter interface {
+	WritePages(p *sim.Proc, pages []PageWrite) error
+}
+
+// PageReader fills a page image from storage.
+type PageReader interface {
+	ReadPage(p *sim.Proc, id PageID, buf []byte) error
+}
+
+// Config tunes the pool.
+type Config struct {
+	Frames    int // pool size in pages
+	PageBytes int // database page size
+	RealBytes bool
+
+	// CleanerInterval is the background page-cleaner period; 0 disables
+	// the cleaner (every write-back then happens on the eviction path).
+	CleanerInterval time.Duration
+	// CleanerBatch is the number of dirty pages flushed per cleaner round.
+	CleanerBatch int
+	// CleanerDirtyPct triggers cleaning when dirty pages exceed this
+	// fraction of the pool (percent).
+	CleanerDirtyPct int
+}
+
+func (c *Config) defaults() {
+	if c.CleanerBatch <= 0 {
+		c.CleanerBatch = 64
+	}
+	if c.CleanerDirtyPct <= 0 {
+		c.CleanerDirtyPct = 50
+	}
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Gets            int64
+	Hits            int64
+	Misses          int64
+	Evictions       int64
+	DirtyEvictions  int64 // reads that had to write back a victim first
+	CleanerFlushes  int64
+	ReadsBlockedByW int64 // alias of DirtyEvictions seen from the read side
+}
+
+// MissRatio returns misses / gets (Figure 6a's metric).
+func (s *Stats) MissRatio() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Gets)
+}
+
+// Frame is a buffer frame. Access it only while pinned.
+type Frame struct {
+	id     PageID
+	data   []byte
+	lsn    uint64
+	dirty  bool
+	pins   int
+	busy   bool // I/O in progress
+	inPool bool
+	elem   *list.Element
+	latch  *sim.Resource // exclusive page latch (created on first use)
+}
+
+// ID returns the page held by the frame.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the page image (nil in timing-only pools).
+func (f *Frame) Data() []byte { return f.data }
+
+// LSN returns the frame's recovery LSN.
+func (f *Frame) LSN() uint64 { return f.lsn }
+
+// Dirty reports whether the frame has unflushed changes.
+func (f *Frame) Dirty() bool { return f.dirty }
+
+// Pool is the buffer pool.
+type Pool struct {
+	eng    *sim.Engine
+	cfg    Config
+	reader PageReader
+	writer PageWriter
+
+	frames map[PageID]*Frame
+	lru    *list.List // front = MRU, back = LRU victim side
+	free   []*Frame
+	dirty  int
+
+	inIO     map[PageID]*sim.Signal // page reads in progress
+	flushers *sim.Queue             // procs waiting for a frame being written
+	cleanerQ *sim.Queue             // wakes the cleaner when dirty crosses the threshold
+
+	closed bool
+	stats  Stats
+}
+
+// New builds a pool of cfg.Frames frames over the given reader/writer and
+// starts the background cleaner (if configured).
+func New(eng *sim.Engine, cfg Config, reader PageReader, writer PageWriter) (*Pool, error) {
+	cfg.defaults()
+	if cfg.Frames <= 0 {
+		return nil, fmt.Errorf("buffer: pool needs at least one frame")
+	}
+	bp := &Pool{
+		eng:      eng,
+		cfg:      cfg,
+		reader:   reader,
+		writer:   writer,
+		frames:   make(map[PageID]*Frame, cfg.Frames),
+		lru:      list.New(),
+		inIO:     make(map[PageID]*sim.Signal),
+		flushers: sim.NewQueue(eng),
+		cleanerQ: sim.NewQueue(eng),
+	}
+	bp.free = make([]*Frame, 0, cfg.Frames)
+	for i := 0; i < cfg.Frames; i++ {
+		fr := &Frame{}
+		if cfg.RealBytes {
+			fr.data = make([]byte, cfg.PageBytes)
+		}
+		bp.free = append(bp.free, fr)
+	}
+	if cfg.CleanerInterval > 0 {
+		eng.Go("page-cleaner", bp.cleaner)
+	}
+	return bp, nil
+}
+
+// Stats returns the live counters.
+func (bp *Pool) Stats() *Stats { return &bp.stats }
+
+// Frames returns the configured pool size.
+func (bp *Pool) Frames() int { return bp.cfg.Frames }
+
+// DirtyPages returns the current number of dirty frames.
+func (bp *Pool) DirtyPages() int { return bp.dirty }
+
+// Get pins the page, reading it from storage on a miss. The returned frame
+// stays pinned until Unpin.
+func (bp *Pool) Get(p *sim.Proc, id PageID) (*Frame, error) {
+	bp.stats.Gets++
+	for {
+		if fr, ok := bp.frames[id]; ok {
+			if fr.busy {
+				// Someone is reading or writing this exact page; wait.
+				sig := bp.inIO[id]
+				if sig == nil {
+					// Being written back; retry after the writer finishes.
+					bp.flushers.Wait(p)
+					continue
+				}
+				sig.Wait(p)
+				continue
+			}
+			bp.stats.Hits++
+			fr.pins++
+			bp.lru.MoveToFront(fr.elem)
+			return fr, nil
+		}
+		// Miss. Serialize concurrent faults on the same page.
+		if sig, ok := bp.inIO[id]; ok {
+			sig.Wait(p)
+			continue
+		}
+		bp.stats.Misses++
+		sig := sim.NewSignal(bp.eng)
+		bp.inIO[id] = sig
+		fr, err := bp.takeFreeFrame(p)
+		if err == nil {
+			fr.id = id
+			fr.busy = true
+			fr.dirty = false
+			fr.lsn = 0
+			fr.inPool = true
+			bp.frames[id] = fr
+			fr.elem = bp.lru.PushFront(fr)
+			err = bp.reader.ReadPage(p, id, fr.data)
+			fr.busy = false
+		}
+		delete(bp.inIO, id)
+		sig.Fire()
+		if err != nil {
+			if fr != nil && fr.inPool {
+				bp.removeFrame(fr)
+				bp.free = append(bp.free, fr)
+			}
+			return nil, err
+		}
+		fr.pins++
+		return fr, nil
+	}
+}
+
+// takeFreeFrame returns a frame from the free list, evicting (and if dirty,
+// writing back — the "read blocked by write" of Figure 1) when empty.
+func (bp *Pool) takeFreeFrame(p *sim.Proc) (*Frame, error) {
+	for {
+		if n := len(bp.free); n > 0 {
+			fr := bp.free[n-1]
+			bp.free = bp.free[:n-1]
+			return fr, nil
+		}
+		fr, err := bp.evictOne(p)
+		if err != nil {
+			return nil, err
+		}
+		if fr != nil {
+			return fr, nil
+		}
+		// Everything pinned or busy: wait for a write-back to finish.
+		bp.flushers.Wait(p)
+	}
+}
+
+// evictOne scans the LRU list from the tail for an unpinned victim.
+// A dirty victim is written back synchronously before reuse.
+func (bp *Pool) evictOne(p *sim.Proc) (*Frame, error) {
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		fr := e.Value.(*Frame)
+		if fr.pins > 0 || fr.busy {
+			continue
+		}
+		if fr.dirty {
+			bp.stats.DirtyEvictions++
+			bp.stats.ReadsBlockedByW++
+			if err := bp.writeBack(p, []*Frame{fr}); err != nil {
+				return nil, err
+			}
+			// State may have changed while writing; restart the scan.
+			if fr.dirty || fr.pins > 0 || !fr.inPool {
+				return nil, nil
+			}
+		}
+		bp.removeFrame(fr)
+		bp.stats.Evictions++
+		return fr, nil
+	}
+	return nil, nil
+}
+
+func (bp *Pool) removeFrame(fr *Frame) {
+	delete(bp.frames, fr.id)
+	if fr.elem != nil {
+		bp.lru.Remove(fr.elem)
+		fr.elem = nil
+	}
+	fr.inPool = false
+	fr.dirty = false
+}
+
+// writeBack persists the given dirty frames as one batch via the writer.
+func (bp *Pool) writeBack(p *sim.Proc, victims []*Frame) error {
+	writes := make([]PageWrite, len(victims))
+	for i, fr := range victims {
+		fr.busy = true
+		writes[i] = PageWrite{ID: fr.id, LSN: fr.lsn, Data: fr.data}
+	}
+	err := bp.writer.WritePages(p, writes)
+	for _, fr := range victims {
+		fr.busy = false
+		if err == nil && fr.dirty {
+			fr.dirty = false
+			bp.dirty--
+		}
+	}
+	bp.flushers.WakeAll()
+	return err
+}
+
+// LockX acquires the frame's exclusive page latch. Modifying operations
+// hold it for their page-CPU time, so a hot 16 KB leaf serializes four
+// times the key range of a 4 KB one — the concurrency-granularity effect
+// behind the paper's small-page argument (§2.4).
+func (bp *Pool) LockX(p *sim.Proc, fr *Frame) {
+	if fr.latch == nil {
+		fr.latch = sim.NewResource(bp.eng, 1)
+	}
+	fr.latch.Acquire(p, 1)
+}
+
+// UnlockX releases the exclusive page latch.
+func (bp *Pool) UnlockX(fr *Frame) { fr.latch.Release(1) }
+
+// MarkDirty records a modification to a pinned frame at the given LSN.
+func (bp *Pool) MarkDirty(fr *Frame, lsn uint64) {
+	if fr.pins <= 0 {
+		panic("buffer: MarkDirty on unpinned frame")
+	}
+	if !fr.dirty {
+		fr.dirty = true
+		bp.dirty++
+		if bp.overThreshold() {
+			bp.cleanerQ.WakeOne()
+		}
+	}
+	if lsn > fr.lsn {
+		fr.lsn = lsn
+	}
+}
+
+// Unpin releases a pinned frame.
+func (bp *Pool) Unpin(fr *Frame) {
+	if fr.pins <= 0 {
+		panic("buffer: Unpin of unpinned frame")
+	}
+	fr.pins--
+}
+
+// cleaner is the background flusher: it keeps the dirty fraction below the
+// configured threshold by writing LRU-tail pages in batches. It is
+// condition-driven (woken by MarkDirty when the threshold is crossed) so an
+// idle pool schedules no events.
+func (bp *Pool) cleaner(p *sim.Proc) {
+	for !bp.closed {
+		if !bp.overThreshold() {
+			bp.cleanerQ.Wait(p)
+			continue
+		}
+		p.Sleep(bp.cfg.CleanerInterval) // batching delay
+		if bp.closed {
+			return
+		}
+		victims := bp.collectDirtyTail(bp.cfg.CleanerBatch)
+		if len(victims) == 0 {
+			// Dirty pages are all pinned or busy; yield until state changes.
+			bp.cleanerQ.Wait(p)
+			continue
+		}
+		if err := bp.writeBack(p, victims); err != nil {
+			return
+		}
+		bp.stats.CleanerFlushes += int64(len(victims))
+	}
+}
+
+func (bp *Pool) overThreshold() bool {
+	return bp.dirty*100 >= bp.cfg.Frames*bp.cfg.CleanerDirtyPct
+}
+
+func (bp *Pool) collectDirtyTail(max int) []*Frame {
+	var victims []*Frame
+	for e := bp.lru.Back(); e != nil && len(victims) < max; e = e.Prev() {
+		fr := e.Value.(*Frame)
+		if fr.dirty && !fr.busy && fr.pins == 0 {
+			victims = append(victims, fr)
+		}
+	}
+	return victims
+}
+
+// FlushAll writes every dirty page (checkpoint / clean shutdown).
+func (bp *Pool) FlushAll(p *sim.Proc) error {
+	for {
+		victims := bp.collectDirtyTail(bp.cfg.CleanerBatch)
+		if len(victims) == 0 {
+			if bp.dirty == 0 {
+				return nil
+			}
+			// Dirty pages are pinned or busy; let their holders progress.
+			bp.flushers.Wait(p)
+			continue
+		}
+		if err := bp.writeBack(p, victims); err != nil {
+			return err
+		}
+	}
+}
+
+// Close stops the cleaner.
+func (bp *Pool) Close() { bp.closed = true }

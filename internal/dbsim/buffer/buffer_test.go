@@ -1,0 +1,240 @@
+package buffer
+
+import (
+	"testing"
+	"time"
+
+	"durassd/internal/sim"
+)
+
+// fakeIO counts reads/writes and charges a fixed latency.
+type fakeIO struct {
+	eng      *sim.Engine
+	readLat  time.Duration
+	writeLat time.Duration
+	reads    int
+	writes   int
+	written  map[PageID]int
+}
+
+func newFakeIO(eng *sim.Engine) *fakeIO {
+	return &fakeIO{eng: eng, readLat: 100 * time.Microsecond, writeLat: 200 * time.Microsecond,
+		written: make(map[PageID]int)}
+}
+
+func (f *fakeIO) ReadPage(p *sim.Proc, id PageID, buf []byte) error {
+	f.reads++
+	p.Sleep(f.readLat)
+	return nil
+}
+
+func (f *fakeIO) WritePages(p *sim.Proc, pages []PageWrite) error {
+	f.writes++
+	for _, pg := range pages {
+		f.written[pg.ID]++
+	}
+	p.Sleep(f.writeLat)
+	return nil
+}
+
+func newPool(t *testing.T, eng *sim.Engine, frames int, io *fakeIO) *Pool {
+	t.Helper()
+	bp, err := New(eng, Config{Frames: frames, PageBytes: 4096, CleanerInterval: time.Millisecond}, io, io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestHitAndMissAccounting(t *testing.T) {
+	eng := sim.New()
+	io := newFakeIO(eng)
+	bp := newPool(t, eng, 8, io)
+	eng.Go("t", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			fr, err := bp.Get(p, 7)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			bp.Unpin(fr)
+		}
+	})
+	eng.Run()
+	st := bp.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("hits/misses = %d/%d", st.Hits, st.Misses)
+	}
+	if io.reads != 1 {
+		t.Fatalf("device reads = %d", io.reads)
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	eng := sim.New()
+	io := newFakeIO(eng)
+	bp := newPool(t, eng, 3, io)
+	eng.Go("t", func(p *sim.Proc) {
+		for _, id := range []PageID{1, 2, 3} {
+			fr, _ := bp.Get(p, id)
+			bp.Unpin(fr)
+		}
+		// Touch 1 so it becomes MRU; adding 4 must evict 2.
+		fr, _ := bp.Get(p, 1)
+		bp.Unpin(fr)
+		fr, _ = bp.Get(p, 4)
+		bp.Unpin(fr)
+		// 2 should now miss, 1 and 3... 3 was evicted? order: LRU=2.
+		before := bp.Stats().Misses
+		fr, _ = bp.Get(p, 1)
+		bp.Unpin(fr)
+		if bp.Stats().Misses != before {
+			t.Error("page 1 was evicted despite being MRU")
+		}
+		fr, _ = bp.Get(p, 2)
+		bp.Unpin(fr)
+		if bp.Stats().Misses != before+1 {
+			t.Error("page 2 (LRU) was not evicted")
+		}
+	})
+	eng.Run()
+}
+
+func TestDirtyEvictionBlocksReader(t *testing.T) {
+	// Figure 1: a read that needs a frame must first write back the dirty
+	// victim, paying the write latency before the read latency.
+	eng := sim.New()
+	io := newFakeIO(eng)
+	bp := newPool(t, eng, 1, io)
+	var elapsed time.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		fr, _ := bp.Get(p, 1)
+		bp.MarkDirty(fr, 1)
+		bp.Unpin(fr)
+		start := p.Now()
+		fr2, err := bp.Get(p, 2)
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		bp.Unpin(fr2)
+		elapsed = p.Now() - start
+	})
+	eng.Run()
+	if elapsed < io.writeLat+io.readLat {
+		t.Fatalf("read of page 2 took %v; must include victim write-back", elapsed)
+	}
+	if bp.Stats().DirtyEvictions != 1 {
+		t.Fatalf("dirty evictions = %d", bp.Stats().DirtyEvictions)
+	}
+}
+
+func TestConcurrentMissesShareOneRead(t *testing.T) {
+	eng := sim.New()
+	io := newFakeIO(eng)
+	bp := newPool(t, eng, 8, io)
+	for i := 0; i < 5; i++ {
+		eng.Go("r", func(p *sim.Proc) {
+			fr, err := bp.Get(p, 9)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			bp.Unpin(fr)
+		})
+	}
+	eng.Run()
+	if io.reads != 1 {
+		t.Fatalf("concurrent faults issued %d reads, want 1", io.reads)
+	}
+}
+
+func TestCleanerFlushesAboveThreshold(t *testing.T) {
+	eng := sim.New()
+	io := newFakeIO(eng)
+	bp, err := New(eng, Config{
+		Frames: 10, PageBytes: 4096,
+		CleanerInterval: 100 * time.Microsecond, CleanerBatch: 4, CleanerDirtyPct: 40,
+	}, io, io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Go("t", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			fr, _ := bp.Get(p, PageID(i))
+			bp.MarkDirty(fr, uint64(i+1))
+			bp.Unpin(fr)
+		}
+		p.Sleep(5 * time.Millisecond) // let the cleaner run
+	})
+	eng.Run()
+	if bp.Stats().CleanerFlushes == 0 {
+		t.Fatal("cleaner never flushed above threshold")
+	}
+}
+
+func TestFlushAllDrains(t *testing.T) {
+	eng := sim.New()
+	io := newFakeIO(eng)
+	bp := newPool(t, eng, 16, io)
+	eng.Go("t", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			fr, _ := bp.Get(p, PageID(i))
+			bp.MarkDirty(fr, uint64(i+1))
+			bp.Unpin(fr)
+		}
+		if err := bp.FlushAll(p); err != nil {
+			t.Errorf("FlushAll: %v", err)
+		}
+		if bp.DirtyPages() != 0 {
+			t.Errorf("dirty pages = %d after FlushAll", bp.DirtyPages())
+		}
+	})
+	eng.Run()
+}
+
+func TestPinnedPagesNotEvicted(t *testing.T) {
+	eng := sim.New()
+	io := newFakeIO(eng)
+	bp := newPool(t, eng, 2, io)
+	eng.Go("t", func(p *sim.Proc) {
+		pinned, _ := bp.Get(p, 1)
+		fr, _ := bp.Get(p, 2)
+		bp.Unpin(fr)
+		// Getting page 3 must evict 2, never pinned 1.
+		fr3, err := bp.Get(p, 3)
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		bp.Unpin(fr3)
+		before := bp.Stats().Misses
+		same, _ := bp.Get(p, 1)
+		if bp.Stats().Misses != before {
+			t.Error("pinned page was evicted")
+		}
+		bp.Unpin(same)
+		bp.Unpin(pinned)
+	})
+	eng.Run()
+}
+
+func TestMissRatio(t *testing.T) {
+	eng := sim.New()
+	io := newFakeIO(eng)
+	bp := newPool(t, eng, 4, io)
+	eng.Go("t", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			fr, _ := bp.Get(p, PageID(i))
+			bp.Unpin(fr)
+		}
+		for i := 0; i < 12; i++ {
+			fr, _ := bp.Get(p, PageID(i%4))
+			bp.Unpin(fr)
+		}
+	})
+	eng.Run()
+	if got := bp.Stats().MissRatio(); got != 0.25 {
+		t.Fatalf("miss ratio = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,194 @@
+// Package index models the page-access topology of a B+-tree without
+// materializing its bytes: given a page size, record size and key count it
+// computes which database pages a lookup, scan or insert touches, including
+// the deeper trees that small pages produce — the source of the paper's
+// Figure 5 anomaly, where 4 KB pages underperform 8 KB ones when frequent
+// flush-caches hide the IOPS advantage of small pages.
+//
+// Keys are dense 64-bit ranks (0..N-1); the engines map their natural keys
+// onto ranks arithmetically. Page IDs are stable: each level owns a fixed
+// region sized for MaxRows, so the tree can grow without remapping.
+//
+// A byte-exact page-level B+-tree lives in internal/btree for the
+// correctness work; this package is the scalable twin used by the
+// benchmark-scale engines.
+package index
+
+import (
+	"fmt"
+
+	"durassd/internal/dbsim/buffer"
+)
+
+// Config describes one tree.
+type Config struct {
+	PageBytes  int     // database page size
+	RowBytes   int     // leaf record size (including row overhead)
+	KeyBytes   int     // internal node entry size (key + child pointer)
+	FillFactor float64 // steady-state page fill (default 0.70)
+	MaxRows    int64   // capacity to reserve page IDs for
+}
+
+func (c *Config) defaults() error {
+	if c.FillFactor <= 0 || c.FillFactor > 1 {
+		c.FillFactor = 0.70
+	}
+	if c.KeyBytes <= 0 {
+		c.KeyBytes = 16
+	}
+	switch {
+	case c.PageBytes <= 0:
+		return fmt.Errorf("index: PageBytes must be positive")
+	case c.RowBytes <= 0 || c.RowBytes > c.PageBytes:
+		return fmt.Errorf("index: RowBytes %d invalid for page %d", c.RowBytes, c.PageBytes)
+	case c.MaxRows <= 0:
+		return fmt.Errorf("index: MaxRows must be positive")
+	}
+	return nil
+}
+
+// Tree is one arithmetic B+-tree.
+type Tree struct {
+	cfg         Config
+	rowsPerLeaf int64
+	fanout      int64
+	levels      int     // number of levels including the leaf level
+	levelBase   []int64 // page-ID offset of each level, leaf level first
+	pages       int64   // total page IDs reserved
+	base        buffer.PageID
+	rows        int64
+	inserts     int64
+}
+
+// New sizes a tree for cfg and assigns it the page-ID range
+// [base, base+Pages()).
+func New(cfg Config, base buffer.PageID) (*Tree, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	t := &Tree{cfg: cfg, base: base}
+	t.rowsPerLeaf = int64(float64(cfg.PageBytes) / float64(cfg.RowBytes) * cfg.FillFactor)
+	if t.rowsPerLeaf < 1 {
+		t.rowsPerLeaf = 1
+	}
+	t.fanout = int64(float64(cfg.PageBytes) / float64(cfg.KeyBytes) * cfg.FillFactor)
+	if t.fanout < 2 {
+		t.fanout = 2
+	}
+	// Level widths at MaxRows determine the reserved regions.
+	width := (cfg.MaxRows + t.rowsPerLeaf - 1) / t.rowsPerLeaf
+	if width < 1 {
+		width = 1
+	}
+	for {
+		t.levelBase = append(t.levelBase, t.pages)
+		t.pages += width
+		t.levels++
+		if width == 1 {
+			break
+		}
+		width = (width + t.fanout - 1) / t.fanout
+	}
+	return t, nil
+}
+
+// Pages returns the number of page IDs reserved for the tree.
+func (t *Tree) Pages() int64 { return t.pages }
+
+// Rows returns the current row count.
+func (t *Tree) Rows() int64 { return t.rows }
+
+// SetRows installs the row count after a bulk load.
+func (t *Tree) SetRows(n int64) { t.rows = n }
+
+// RowsPerLeaf returns the steady-state records per leaf page.
+func (t *Tree) RowsPerLeaf() int64 { return t.rowsPerLeaf }
+
+// Fanout returns the internal-node fanout.
+func (t *Tree) Fanout() int64 { return t.fanout }
+
+// Depth returns the number of pages on a root-to-leaf path for the current
+// row count: deeper for smaller pages, shallower for larger ones.
+func (t *Tree) Depth() int {
+	leaves := t.rows / t.rowsPerLeaf
+	if leaves < 1 {
+		leaves = 1
+	}
+	d := 1
+	for w := leaves; w > 1; w = (w + t.fanout - 1) / t.fanout {
+		d++
+	}
+	if d > t.levels {
+		d = t.levels
+	}
+	return d
+}
+
+func (t *Tree) pageAt(level int, idx int64) buffer.PageID {
+	return t.base + buffer.PageID(t.levelBase[level]+idx)
+}
+
+// SearchPath returns the root-to-leaf page IDs visited when looking up the
+// rank (leaf last).
+func (t *Tree) SearchPath(rank int64) []buffer.PageID {
+	if rank < 0 {
+		rank = 0
+	}
+	depth := t.Depth()
+	path := make([]buffer.PageID, depth)
+	idx := rank / t.rowsPerLeaf
+	for level := 0; level < depth; level++ {
+		path[depth-1-level] = t.pageAt(level, idx)
+		idx /= t.fanout
+	}
+	return path
+}
+
+// LeafOf returns the leaf page holding the rank.
+func (t *Tree) LeafOf(rank int64) buffer.PageID {
+	return t.pageAt(0, rank/t.rowsPerLeaf)
+}
+
+// ScanLeaves returns the leaf pages covering [startRank, startRank+n).
+func (t *Tree) ScanLeaves(startRank, n int64) []buffer.PageID {
+	if n <= 0 {
+		return nil
+	}
+	first := startRank / t.rowsPerLeaf
+	last := (startRank + n - 1) / t.rowsPerLeaf
+	pages := make([]buffer.PageID, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		pages = append(pages, t.pageAt(0, i))
+	}
+	return pages
+}
+
+// Insert records an insert of the given rank and returns the pages the
+// insert dirties: always the leaf; on a (deterministic, amortized) split,
+// the parent as well, one extra level per fanout power.
+func (t *Tree) Insert(rank int64) []buffer.PageID {
+	t.rows++
+	t.inserts++
+	dirty := []buffer.PageID{t.LeafOf(rank)}
+	depth := t.Depth()
+	stride := t.rowsPerLeaf
+	idx := rank / t.rowsPerLeaf
+	for level := 1; level < depth; level++ {
+		if t.inserts%stride != 0 {
+			break
+		}
+		idx /= t.fanout
+		dirty = append(dirty, t.pageAt(level, idx))
+		stride *= t.fanout
+	}
+	return dirty
+}
+
+// Delete records a delete; it dirties the leaf only (no rebalancing, like
+// InnoDB's purge in practice).
+func (t *Tree) Delete(rank int64) []buffer.PageID {
+	if t.rows > 0 {
+		t.rows--
+	}
+	return []buffer.PageID{t.LeafOf(rank)}
+}

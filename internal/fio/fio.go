@@ -1,0 +1,135 @@
+// Package fio is a flexible I/O benchmark harness in the spirit of the fio
+// tool the paper uses for Tables 1 and 2: multi-threaded random reads and
+// writes of a configurable block size against a file, with an fsync every N
+// writes per thread.
+package fio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"durassd/internal/host"
+	"durassd/internal/sim"
+	"durassd/internal/stats"
+)
+
+// Job describes one benchmark run.
+type Job struct {
+	Name       string
+	Threads    int   // concurrent client threads
+	BlockBytes int   // I/O size per operation (must be a multiple of the device page)
+	ReadPct    int   // 0 = write-only, 100 = read-only
+	FsyncEvery int   // fsync after every N writes per thread; 0 = never
+	Ops        int   // total operations across all threads
+	FilePages  int64 // file size in device pages (0 = most of the device)
+	Seed       int64
+	Preload    bool // instant-fill the file before the run (for reads / GC realism)
+}
+
+// Result summarizes a run.
+type Result struct {
+	Job     Job
+	Ops     int64
+	Elapsed time.Duration
+	Lat     stats.Hist
+	// ReadLat and WriteLat split the distribution by direction (tail-
+	// latency analysis: reads suffering behind writes, paper §1-2).
+	ReadLat  stats.Hist
+	WriteLat stats.Hist
+}
+
+// IOPS returns operations per second of virtual time.
+func (r Result) IOPS() float64 { return stats.Throughput(r.Ops, r.Elapsed) }
+
+// Run creates a working file on fs (90% of the device unless FilePages is
+// set), optionally preloads it, and executes the job.
+func Run(eng *sim.Engine, fs *host.FS, job Job) (Result, error) {
+	filePages := job.FilePages
+	if filePages == 0 {
+		filePages = fs.Device().Pages() * 9 / 10
+	}
+	name := fmt.Sprintf("fio-%s-%d", job.Name, eng.Now())
+	file, err := fs.Create(name, filePages)
+	if err != nil {
+		return Result{}, err
+	}
+	if job.Preload {
+		if err := file.Preload(0, filePages, nil); err != nil {
+			return Result{}, err
+		}
+	}
+	return RunFile(eng, file, job)
+}
+
+// RunFile executes the job against an existing file, so a sweep can reuse
+// one device and working set across cells. It drives the engine, so the
+// caller must not be inside a simulation process.
+func RunFile(eng *sim.Engine, file *host.File, job Job) (Result, error) {
+	if job.Threads <= 0 {
+		job.Threads = 1
+	}
+	devPage := file.PageSize()
+	if job.BlockBytes == 0 {
+		job.BlockBytes = devPage
+	}
+	if job.BlockBytes%devPage != 0 {
+		return Result{}, fmt.Errorf("fio: block %d not a multiple of device page %d", job.BlockBytes, devPage)
+	}
+	pagesPerOp := job.BlockBytes / devPage
+	blocks := file.Pages() / int64(pagesPerOp)
+	if blocks <= 0 {
+		return Result{}, fmt.Errorf("fio: file too small for block size")
+	}
+
+	res := Result{Job: job}
+	start := eng.Now()
+	perThread := job.Ops / job.Threads
+	if perThread == 0 {
+		perThread = 1
+	}
+	var firstErr error
+	for t := 0; t < job.Threads; t++ {
+		rng := rand.New(rand.NewSource(job.Seed + int64(t)*7919))
+		eng.Go(fmt.Sprintf("fio-%d", t), func(p *sim.Proc) {
+			writes := 0
+			for i := 0; i < perThread; i++ {
+				off := rng.Int63n(blocks) * int64(pagesPerOp)
+				opStart := p.Now()
+				var err error
+				isRead := rng.Intn(100) < job.ReadPct
+				if isRead {
+					err = file.ReadPages(p, off, pagesPerOp, nil)
+				} else {
+					err = file.WritePages(p, off, pagesPerOp, nil)
+					if err == nil {
+						writes++
+						if job.FsyncEvery > 0 && writes%job.FsyncEvery == 0 {
+							err = file.Fsync(p)
+						}
+					}
+				}
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				took := p.Now() - opStart
+				res.Lat.Record(took)
+				if isRead {
+					res.ReadLat.Record(took)
+				} else {
+					res.WriteLat.Record(took)
+				}
+				res.Ops++
+			}
+		})
+	}
+	eng.Run()
+	res.Elapsed = eng.Now() - start
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package fio
+
+import (
+	"testing"
+
+	"durassd/internal/host"
+	"durassd/internal/sim"
+	"durassd/internal/ssd"
+	"durassd/internal/storage"
+)
+
+func newFS(t *testing.T) (*sim.Engine, *host.FS) {
+	t.Helper()
+	eng := sim.New()
+	dev, err := ssd.New(eng, ssd.DuraSSD(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, host.NewFS(dev, true)
+}
+
+func TestWriteJob(t *testing.T) {
+	eng, fs := newFS(t)
+	res, err := Run(eng, fs, Job{
+		Name: "w", Threads: 4, BlockBytes: 4 * storage.KB, Ops: 1000,
+		FilePages: 10_000, Preload: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1000 || res.IOPS() <= 0 {
+		t.Fatalf("ops=%d iops=%v", res.Ops, res.IOPS())
+	}
+	if res.Lat.Count() != 1000 {
+		t.Fatalf("latency samples = %d", res.Lat.Count())
+	}
+}
+
+func TestReadJobNeedsPreload(t *testing.T) {
+	eng, fs := newFS(t)
+	res, err := Run(eng, fs, Job{
+		Name: "r", Threads: 8, BlockBytes: 4 * storage.KB, ReadPct: 100,
+		Ops: 500, FilePages: 10_000, Preload: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Device().Stats().NANDReads == 0 {
+		t.Fatal("read-only job issued no NAND reads")
+	}
+	_ = res
+}
+
+func TestFsyncFrequencyHurtsThroughput(t *testing.T) {
+	run := func(every int) float64 {
+		eng, fs := newFS(t)
+		res, err := Run(eng, fs, Job{
+			Name: "f", BlockBytes: 4 * storage.KB, Ops: 400,
+			FsyncEvery: every, FilePages: 10_000, Preload: true, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IOPS()
+	}
+	everyWrite, rarely := run(1), run(128)
+	if rarely < 5*everyWrite {
+		t.Fatalf("fsync-per-write IOPS %v vs fsync/128 %v; Table 1's effect missing", everyWrite, rarely)
+	}
+}
+
+func TestBadBlockSizeRejected(t *testing.T) {
+	eng, fs := newFS(t)
+	if _, err := Run(eng, fs, Job{Name: "bad", BlockBytes: 5000, Ops: 1, FilePages: 100}); err == nil {
+		t.Fatal("non-multiple block size accepted")
+	}
+}
+
+func TestRunFileReusesWorkingSet(t *testing.T) {
+	eng, fs := newFS(t)
+	file, err := fs.Create("shared", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := RunFile(eng, file, Job{Name: "re", BlockBytes: 4 * storage.KB, Ops: 200, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 200 {
+			t.Fatalf("run %d ops = %d", i, res.Ops)
+		}
+	}
+}

@@ -1,0 +1,700 @@
+// Package ftl implements a page-mapping flash translation layer over a
+// nand.Array.
+//
+// Following the paper (§3.1.2), the FTL maps logical pages at a 4 KB
+// granularity onto 8 KB physical NAND pages: each physical page holds
+// SlotsPerPage logical slots, and the device cache tries to pair two 4 KB
+// writes into one program. The FTL also provides greedy garbage collection
+// with plane-local relocation, a mapping-table journal whose flush cost is
+// charged on flush-cache (volatile devices) and never (durable cache), and
+// a reserved, always-erased dump area for the DuraSSD power-failure dump.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"durassd/internal/nand"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// SPN is a slot page number: physical page number × SlotsPerPage + slot
+// index. It is the value stored in the mapping table.
+type SPN uint64
+
+const invalidSPN = SPN(1<<64 - 1)
+
+// ErrNoSpace reports that garbage collection could not reclaim a block.
+var ErrNoSpace = errors.New("ftl: out of space")
+
+// Config tunes the translation layer.
+type Config struct {
+	// SlotsPerPage is physical page size / mapping unit (2 in the paper:
+	// 4 KB mapping over 8 KB NAND pages). Must divide the page size.
+	SlotsPerPage int
+	// OverProvisionPct is the percentage of slots hidden from the logical
+	// space to keep GC effective (enterprise drives use ~7–28%).
+	OverProvisionPct int
+	// GCThresholdBlocks is the per-plane free-block low watermark that
+	// triggers foreground garbage collection. Must be >= 2 so relocation
+	// always has a destination.
+	GCThresholdBlocks int
+	// DumpBlocks reserves this many erased blocks (spread across planes)
+	// for the DuraSSD power-failure dump area. Zero for volatile devices.
+	DumpBlocks int
+	// MapEntryBytes is the size of one mapping entry in the on-flash
+	// journal (4 bytes in the paper for a 480 GB drive).
+	MapEntryBytes int
+	// WearAware makes block allocation pick the least-erased free block of
+	// a plane instead of FIFO, spreading erases (the wear-leveling the
+	// paper's §3.1.1 buffer pool scheduler considers).
+	WearAware bool
+	// BackgroundGCBlocks, when > GCThresholdBlocks, enables an idle-time
+	// collector that tops planes up to this free-block watermark before
+	// foreground writes ever stall on the hard threshold. Zero disables.
+	BackgroundGCBlocks int
+	// EagerMapping updates the mapping table before the cell program
+	// completes, the behaviour of the commercial volatile-cache SSDs in the
+	// FAST'13 power-fault study the paper cites: a power cut mid-program
+	// leaves the mapping pointing at a shorn (torn) page, exposing the
+	// corruption to the host. DuraSSD uses lazy mapping (false): a torn
+	// page is never referenced, and the durable cache replays the write.
+	EagerMapping bool
+}
+
+// DefaultConfig returns the paper's configuration: 4 KB mapping units over
+// the array's physical page size.
+func DefaultConfig(physPageSize int) Config {
+	return Config{
+		SlotsPerPage:      physPageSize / (4 * storage.KB),
+		OverProvisionPct:  12,
+		GCThresholdBlocks: 2,
+		DumpBlocks:        0,
+		MapEntryBytes:     4,
+	}
+}
+
+// SlotWrite is one logical slot to program.
+type SlotWrite struct {
+	LPN  storage.LPN
+	Data []byte // SlotSize bytes, or nil for timing-only
+}
+
+// FTL is a page-mapping flash translation layer.
+type FTL struct {
+	a   *nand.Array
+	cfg Config
+
+	mapTab     []SPN   // LPN -> SPN
+	validCount []int   // live slots per global block
+	planeFree  [][]int // erased block ids per plane
+	active     []int   // active (partially written) block per plane, -1 if none
+	writePtr   []int   // next page index within the active block
+	nextPlane  int     // round-robin program cursor
+
+	dumpBlocks      []int
+	dumpSet         map[int]bool
+	dirtyMapEntries int64
+	logicalSlots    int64
+	liveSlots       int64
+
+	gcLocks []*sim.Resource // per-plane GC locks (concurrent GC across planes)
+	bgWake  *sim.Queue      // background collector wakeup (nil when disabled)
+
+	stats *storage.Stats
+}
+
+// New builds an FTL over the array. All blocks start erased.
+func New(a *nand.Array, cfg Config, stats *storage.Stats) (*FTL, error) {
+	ncfg := a.Config()
+	if cfg.SlotsPerPage <= 0 || ncfg.PageSize%cfg.SlotsPerPage != 0 {
+		return nil, fmt.Errorf("ftl: invalid SlotsPerPage %d for page size %d", cfg.SlotsPerPage, ncfg.PageSize)
+	}
+	if cfg.GCThresholdBlocks < 2 {
+		return nil, fmt.Errorf("ftl: GCThresholdBlocks must be >= 2, got %d", cfg.GCThresholdBlocks)
+	}
+	if cfg.MapEntryBytes <= 0 {
+		cfg.MapEntryBytes = 4
+	}
+	planes := ncfg.Planes()
+	if cfg.DumpBlocks >= planes*(ncfg.BlocksPerPlane-cfg.GCThresholdBlocks-1) {
+		return nil, fmt.Errorf("ftl: DumpBlocks %d leaves no usable space", cfg.DumpBlocks)
+	}
+	if stats == nil {
+		stats = &storage.Stats{}
+	}
+	f := &FTL{
+		a:          a,
+		cfg:        cfg,
+		validCount: make([]int, ncfg.Blocks()),
+		planeFree:  make([][]int, planes),
+		active:     make([]int, planes),
+		writePtr:   make([]int, planes),
+		dumpSet:    make(map[int]bool),
+		stats:      stats,
+	}
+	f.gcLocks = make([]*sim.Resource, planes)
+	for i := range f.gcLocks {
+		f.gcLocks[i] = sim.NewResource(a.Engine(), 1)
+	}
+	for pl := 0; pl < planes; pl++ {
+		f.active[pl] = -1
+		for b := 0; b < ncfg.BlocksPerPlane; b++ {
+			f.planeFree[pl] = append(f.planeFree[pl], a.BlockOfPlane(pl, b))
+		}
+	}
+	// Reserve dump blocks round-robin across planes so the power-failure
+	// dump itself enjoys full parallelism.
+	for i := 0; i < cfg.DumpBlocks; i++ {
+		pl := i % planes
+		free := f.planeFree[pl]
+		blk := free[len(free)-1]
+		f.planeFree[pl] = free[:len(free)-1]
+		f.dumpBlocks = append(f.dumpBlocks, blk)
+		f.dumpSet[blk] = true
+	}
+	totalSlots := (int64(ncfg.Blocks()) - int64(cfg.DumpBlocks)) *
+		int64(ncfg.PagesPerBlock) * int64(cfg.SlotsPerPage)
+	f.logicalSlots = totalSlots * int64(100-cfg.OverProvisionPct) / 100
+	f.mapTab = make([]SPN, f.logicalSlots)
+	for i := range f.mapTab {
+		f.mapTab[i] = invalidSPN
+	}
+	return f, nil
+}
+
+// SlotSize returns the mapping unit in bytes.
+func (f *FTL) SlotSize() int { return f.a.Config().PageSize / f.cfg.SlotsPerPage }
+
+// SlotsPerPage returns the number of logical slots per physical page.
+func (f *FTL) SlotsPerPage() int { return f.cfg.SlotsPerPage }
+
+// LogicalSlots returns the exported capacity in mapping units.
+func (f *FTL) LogicalSlots() int64 { return f.logicalSlots }
+
+// LiveSlots returns the number of currently mapped logical slots.
+func (f *FTL) LiveSlots() int64 { return f.liveSlots }
+
+// DirtyMapEntries returns mapping entries modified since the last journal
+// flush.
+func (f *FTL) DirtyMapEntries() int64 { return f.dirtyMapEntries }
+
+// MapJournalPages returns how many physical pages the dirty mapping entries
+// occupy when journaled or dumped.
+func (f *FTL) MapJournalPages() int {
+	bytes := f.dirtyMapEntries * int64(f.cfg.MapEntryBytes)
+	return int((bytes + int64(f.a.Config().PageSize) - 1) / int64(f.a.Config().PageSize))
+}
+
+// DumpBlockIDs returns the reserved dump-area block ids.
+func (f *FTL) DumpBlockIDs() []int { return append([]int(nil), f.dumpBlocks...) }
+
+// Array returns the underlying NAND array.
+func (f *FTL) Array() *nand.Array { return f.a }
+
+func (f *FTL) spnOf(lpn storage.LPN) (SPN, bool) {
+	if int64(lpn) >= f.logicalSlots {
+		return 0, false
+	}
+	spn := f.mapTab[lpn]
+	return spn, spn != invalidSPN
+}
+
+// Mapped reports whether lpn currently has a physical location.
+func (f *FTL) Mapped(lpn storage.LPN) bool {
+	_, ok := f.spnOf(lpn)
+	return ok
+}
+
+// ReadSlot reads the 4 KB slot of lpn. If buf is non-nil it must be
+// SlotSize bytes; unmapped or timing-only slots read back zeroed. Reading an
+// unmapped slot costs no device time (the controller answers from the map).
+func (f *FTL) ReadSlot(p *sim.Proc, lpn storage.LPN, buf []byte) error {
+	if int64(lpn) >= f.logicalSlots {
+		return storage.ErrOutOfRange
+	}
+	spn, ok := f.spnOf(lpn)
+	if !ok {
+		zero(buf)
+		return nil
+	}
+	ppn := nand.PPN(spn / SPN(f.cfg.SlotsPerPage))
+	sub := int(spn % SPN(f.cfg.SlotsPerPage))
+	var page []byte
+	if buf != nil {
+		page = make([]byte, f.a.Config().PageSize)
+	}
+	if err := f.a.ReadPage(p, ppn, page); err != nil {
+		return err
+	}
+	if buf != nil {
+		copy(buf, page[sub*f.SlotSize():(sub+1)*f.SlotSize()])
+	}
+	return nil
+}
+
+// ReadSlots reads several logical slots, issuing one physical page read per
+// distinct physical page (consecutive DB-page slots often share a NAND
+// page). If buf is non-nil it must be len(lpns)*SlotSize bytes.
+func (f *FTL) ReadSlots(p *sim.Proc, lpns []storage.LPN, buf []byte) error {
+	ss := f.SlotSize()
+	type pending struct {
+		ppn  nand.PPN
+		idxs []int // positions in lpns served by this physical page
+	}
+	var reads []pending
+	byPPN := make(map[nand.PPN]int)
+	for i, lpn := range lpns {
+		spn, ok := f.spnOf(lpn)
+		if !ok {
+			if int64(lpn) >= f.logicalSlots {
+				return storage.ErrOutOfRange
+			}
+			if buf != nil {
+				zero(buf[i*ss : (i+1)*ss])
+			}
+			continue
+		}
+		ppn := nand.PPN(spn / SPN(f.cfg.SlotsPerPage))
+		j, seen := byPPN[ppn]
+		if !seen {
+			j = len(reads)
+			byPPN[ppn] = j
+			reads = append(reads, pending{ppn: ppn})
+		}
+		reads[j].idxs = append(reads[j].idxs, i)
+	}
+	for _, r := range reads {
+		var page []byte
+		if buf != nil {
+			page = make([]byte, f.a.Config().PageSize)
+		}
+		if err := f.a.ReadPage(p, r.ppn, page); err != nil {
+			return err
+		}
+		if buf != nil {
+			for _, i := range r.idxs {
+				spn := f.mapTab[lpns[i]]
+				sub := int(spn % SPN(f.cfg.SlotsPerPage))
+				copy(buf[i*ss:(i+1)*ss], page[sub*ss:(sub+1)*ss])
+			}
+		}
+	}
+	return nil
+}
+
+// Program writes up to SlotsPerPage logical slots as a single NAND program,
+// running garbage collection first if the target plane is low on space.
+// Duplicate LPNs within one call are not allowed.
+func (f *FTL) Program(p *sim.Proc, slots []SlotWrite) error {
+	return f.program(p, slots, false)
+}
+
+func (f *FTL) program(p *sim.Proc, slots []SlotWrite, gc bool) error {
+	return f.programAt(p, slots, -1, gc)
+}
+
+// programAt programs slots on the given plane (-1 = round-robin). GC
+// relocations pin to the victim's plane and skip the GC trigger.
+func (f *FTL) programAt(p *sim.Proc, slots []SlotWrite, pl int, gc bool) error {
+	if len(slots) == 0 || len(slots) > f.cfg.SlotsPerPage {
+		return fmt.Errorf("ftl: program of %d slots (max %d)", len(slots), f.cfg.SlotsPerPage)
+	}
+	for _, s := range slots {
+		if int64(s.LPN) >= f.logicalSlots {
+			return storage.ErrOutOfRange
+		}
+	}
+	if pl < 0 {
+		pl = f.pickPlane()
+	}
+	if !gc {
+		if err := f.ensureFree(p, pl); err != nil {
+			return err
+		}
+	}
+	ppn, err := f.nextPage(pl)
+	if err != nil {
+		return err
+	}
+	tags := make([]nand.SlotTag, len(slots))
+	var data []byte
+	for i, s := range slots {
+		tags[i] = nand.SlotTag{LPN: s.LPN}
+		if s.Data != nil && data == nil {
+			data = make([]byte, f.a.Config().PageSize)
+		}
+	}
+	if data != nil {
+		ss := f.SlotSize()
+		for i, s := range slots {
+			if s.Data != nil {
+				copy(data[i*ss:(i+1)*ss], s.Data)
+			}
+		}
+	}
+	if f.cfg.EagerMapping {
+		f.commitMapping(ppn, slots)
+	}
+	if err := f.a.ProgramPage(p, ppn, tags, data, false); err != nil {
+		return err
+	}
+	if !f.cfg.EagerMapping {
+		f.commitMapping(ppn, slots)
+	}
+	if gc {
+		f.stats.GCPrograms++
+	}
+	return nil
+}
+
+func (f *FTL) commitMapping(ppn nand.PPN, slots []SlotWrite) {
+	blk := f.a.BlockOf(ppn)
+	for i, s := range slots {
+		old := f.mapTab[s.LPN]
+		if old != invalidSPN {
+			f.validCount[int(old/SPN(f.cfg.SlotsPerPage))/f.a.Config().PagesPerBlock]--
+		} else {
+			f.liveSlots++
+		}
+		f.mapTab[s.LPN] = SPN(uint64(ppn)*uint64(f.cfg.SlotsPerPage) + uint64(i))
+		f.validCount[blk]++
+		f.dirtyMapEntries++
+	}
+}
+
+// pickPlane advances the round-robin program cursor.
+func (f *FTL) pickPlane() int {
+	pl := f.nextPlane
+	f.nextPlane = (f.nextPlane + 1) % len(f.planeFree)
+	return pl
+}
+
+// nextPage returns the next erased page of the plane's active block,
+// opening a new block from the free list when needed. With WearAware set,
+// the least-erased free block is opened first.
+func (f *FTL) nextPage(pl int) (nand.PPN, error) {
+	ncfg := f.a.Config()
+	if f.active[pl] == -1 || f.writePtr[pl] >= ncfg.PagesPerBlock {
+		free := f.planeFree[pl]
+		if len(free) == 0 {
+			return 0, ErrNoSpace
+		}
+		pick := 0
+		if f.cfg.WearAware {
+			for i := 1; i < len(free); i++ {
+				if f.a.EraseCount(free[i]) < f.a.EraseCount(free[pick]) {
+					pick = i
+				}
+			}
+		}
+		f.active[pl] = free[pick]
+		f.planeFree[pl] = append(free[:pick], free[pick+1:]...)
+		f.writePtr[pl] = 0
+	}
+	ppn := f.a.PageOfBlock(f.active[pl]) + nand.PPN(f.writePtr[pl])
+	f.writePtr[pl]++
+	return ppn, nil
+}
+
+// WearSpread returns (min, max) erase counts over all non-dump blocks —
+// the wear-leveling quality metric.
+func (f *FTL) WearSpread() (min, max int64) {
+	first := true
+	for blk := 0; blk < f.a.Config().Blocks(); blk++ {
+		if f.dumpSet[blk] {
+			continue
+		}
+		e := f.a.EraseCount(blk)
+		if first {
+			min, max, first = e, e, false
+			continue
+		}
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return min, max
+}
+
+// StartBackgroundGC launches the idle-time collector (no-op unless
+// BackgroundGCBlocks is configured above the hard threshold). Call once.
+func (f *FTL) StartBackgroundGC() {
+	if f.cfg.BackgroundGCBlocks <= f.cfg.GCThresholdBlocks || f.bgWake != nil {
+		return
+	}
+	f.bgWake = sim.NewQueue(f.a.Engine())
+	f.a.Engine().Go("bg-gc", f.backgroundGC)
+}
+
+// NotifyIdle wakes the background collector (devices call it when their
+// write queues drain).
+func (f *FTL) NotifyIdle() {
+	if f.bgWake != nil {
+		f.bgWake.WakeOne()
+	}
+}
+
+func (f *FTL) backgroundGC(p *sim.Proc) {
+	for {
+		worked := false
+		for pl := range f.planeFree {
+			if len(f.planeFree[pl]) >= f.cfg.BackgroundGCBlocks {
+				continue
+			}
+			f.gcLocks[pl].Acquire(p, 1)
+			var err error
+			if len(f.planeFree[pl]) < f.cfg.BackgroundGCBlocks {
+				err = f.gcOnce(p, pl)
+			}
+			f.gcLocks[pl].Release(1)
+			if err == nil {
+				worked = true
+			}
+		}
+		if !worked {
+			f.bgWake.Wait(p)
+		}
+	}
+}
+
+// ensureFree runs greedy garbage collection on the plane until its free
+// list is back above the low watermark. GC is serialized per plane, so
+// concurrent flusher workers never pick the same victim but different
+// planes collect in parallel.
+func (f *FTL) ensureFree(p *sim.Proc, pl int) error {
+	for len(f.planeFree[pl]) < f.cfg.GCThresholdBlocks {
+		f.gcLocks[pl].Acquire(p, 1)
+		var err error
+		if len(f.planeFree[pl]) < f.cfg.GCThresholdBlocks { // recheck under lock
+			err = f.gcOnce(p, pl)
+		}
+		f.gcLocks[pl].Release(1)
+		if err == ErrNoSpace && len(f.planeFree[pl]) > 0 {
+			// Nothing reclaimable (every block fully live — e.g. an
+			// append-only workload before its first wrap), but erased
+			// blocks remain: let the write dip into the GC reserve rather
+			// than failing a device that still has room.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gcOnce relocates the live slots of the plane's emptiest closed block and
+// erases it.
+func (f *FTL) gcOnce(p *sim.Proc, pl int) error {
+	ncfg := f.a.Config()
+	victim, victimValid := -1, int(^uint(0)>>1)
+	for b := 0; b < ncfg.BlocksPerPlane; b++ {
+		blk := f.a.BlockOfPlane(pl, b)
+		if blk == f.active[pl] || f.dumpSet[blk] || f.isFree(pl, blk) {
+			continue
+		}
+		if f.validCount[blk] < victimValid {
+			victim, victimValid = blk, f.validCount[blk]
+		}
+	}
+	if victim == -1 {
+		return ErrNoSpace
+	}
+	// Relocating must gain at least one page, or GC would churn forever on
+	// an (almost) fully-live plane.
+	relocPages := (victimValid + f.cfg.SlotsPerPage - 1) / f.cfg.SlotsPerPage
+	if relocPages >= ncfg.PagesPerBlock {
+		return ErrNoSpace // no reclaimable space anywhere in this plane
+	}
+
+	// Relocate live slots, pairing them into full pages.
+	var batch []SlotWrite
+	ss := f.SlotSize()
+	first := f.a.PageOfBlock(victim)
+	for i := 0; i < ncfg.PagesPerBlock; i++ {
+		ppn := first + nand.PPN(i)
+		if f.a.State(ppn) != nand.PageValid {
+			continue
+		}
+		meta := f.a.Meta(ppn)
+		if meta == nil {
+			continue
+		}
+		var live []int
+		for si, tag := range meta.Slots {
+			if tag.LPN == nand.InvalidLPN {
+				continue
+			}
+			// Torn slots that are still mapped must be relocated as-is:
+			// the host sees the garbage until it rewrites the page.
+			if spn, ok := f.spnOf(tag.LPN); ok && spn == SPN(uint64(ppn)*uint64(f.cfg.SlotsPerPage)+uint64(si)) {
+				live = append(live, si)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+		var page []byte
+		if f.a.Data(ppn) != nil {
+			page = make([]byte, ncfg.PageSize)
+		}
+		if err := f.a.ReadPage(p, ppn, page); err != nil {
+			return err
+		}
+		for _, si := range live {
+			var d []byte
+			if page != nil {
+				d = append([]byte(nil), page[si*ss:(si+1)*ss]...)
+			}
+			batch = append(batch, SlotWrite{LPN: f.a.Meta(ppn).Slots[si].LPN, Data: d})
+			if len(batch) == f.cfg.SlotsPerPage {
+				if err := f.programAt(p, batch, pl, true); err != nil {
+					return err
+				}
+				batch = nil
+			}
+		}
+	}
+	if len(batch) > 0 {
+		if err := f.programAt(p, batch, pl, true); err != nil {
+			return err
+		}
+	}
+	if err := f.a.EraseBlock(p, victim); err != nil {
+		return err
+	}
+	f.validCount[victim] = 0
+	f.planeFree[pl] = append(f.planeFree[pl], victim)
+	return nil
+}
+
+func (f *FTL) isFree(pl, blk int) bool {
+	for _, b := range f.planeFree[pl] {
+		if b == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushMapJournal programs the dirty mapping entries to flash as journal
+// pages (no live slots; GC reclaims them). Volatile-cache devices pay this
+// on every flush-cache command; DuraSSD never does, because the mapping
+// table sits in the capacitor-protected cache (paper §2.3).
+func (f *FTL) FlushMapJournal(p *sim.Proc) error {
+	if f.dirtyMapEntries == 0 {
+		return nil
+	}
+	bytes := f.dirtyMapEntries * int64(f.cfg.MapEntryBytes)
+	pages := int((bytes + int64(f.a.Config().PageSize) - 1) / int64(f.a.Config().PageSize))
+	for i := 0; i < pages; i++ {
+		pl := f.pickPlane()
+		if err := f.ensureFree(p, pl); err != nil {
+			return err
+		}
+		ppn, err := f.nextPage(pl)
+		if err != nil {
+			return err
+		}
+		if err := f.a.ProgramPage(p, ppn, nil, nil, false); err != nil {
+			return err
+		}
+		f.stats.MapFlushPages++
+	}
+	f.dirtyMapEntries = 0
+	return nil
+}
+
+// ClearMapDirty marks the mapping journal clean without I/O. The DuraSSD
+// recovery manager uses it after dumping modified entries under capacitor
+// power.
+func (f *FTL) ClearMapDirty() { f.dirtyMapEntries = 0 }
+
+// LoadSlots installs logical slots instantly (no virtual time), for
+// preconditioning devices and bulk-loading databases before a measured run.
+func (f *FTL) LoadSlots(slots []SlotWrite) error {
+	ss := f.SlotSize()
+	for start := 0; start < len(slots); start += f.cfg.SlotsPerPage {
+		end := start + f.cfg.SlotsPerPage
+		if end > len(slots) {
+			end = len(slots)
+		}
+		group := slots[start:end]
+		pl := f.pickPlane()
+		if len(f.planeFree[pl]) < f.cfg.GCThresholdBlocks {
+			return ErrNoSpace // bulk load must fit without GC
+		}
+		ppn, err := f.nextPage(pl)
+		if err != nil {
+			return err
+		}
+		tags := make([]nand.SlotTag, len(group))
+		var data []byte
+		for i, s := range group {
+			if int64(s.LPN) >= f.logicalSlots {
+				return storage.ErrOutOfRange
+			}
+			tags[i] = nand.SlotTag{LPN: s.LPN}
+			if s.Data != nil && data == nil {
+				data = make([]byte, f.a.Config().PageSize)
+			}
+		}
+		if data != nil {
+			for i, s := range group {
+				if s.Data != nil {
+					copy(data[i*ss:(i+1)*ss], s.Data)
+				}
+			}
+		}
+		if err := f.a.ProgramPageInstant(ppn, tags, data, false); err != nil {
+			return err
+		}
+		f.commitMapping(ppn, group)
+	}
+	return nil
+}
+
+// CheckInvariants verifies mapping/accounting consistency; tests call it
+// after randomized workloads.
+func (f *FTL) CheckInvariants() error {
+	ncfg := f.a.Config()
+	recount := make([]int, ncfg.Blocks())
+	var live int64
+	for lpn := int64(0); lpn < f.logicalSlots; lpn++ {
+		spn := f.mapTab[lpn]
+		if spn == invalidSPN {
+			continue
+		}
+		live++
+		ppn := nand.PPN(spn / SPN(f.cfg.SlotsPerPage))
+		sub := int(spn % SPN(f.cfg.SlotsPerPage))
+		if f.a.State(ppn) != nand.PageValid {
+			return fmt.Errorf("ftl: lpn %d maps to non-valid page %d", lpn, ppn)
+		}
+		meta := f.a.Meta(ppn)
+		if meta == nil || sub >= len(meta.Slots) || meta.Slots[sub].LPN != storage.LPN(lpn) {
+			return fmt.Errorf("ftl: lpn %d OOB mismatch at ppn %d slot %d", lpn, ppn, sub)
+		}
+		recount[f.a.BlockOf(ppn)]++
+	}
+	if live != f.liveSlots {
+		return fmt.Errorf("ftl: live slots %d, counter says %d", live, f.liveSlots)
+	}
+	for blk, want := range recount {
+		if f.validCount[blk] != want {
+			return fmt.Errorf("ftl: block %d valid count %d, recount %d", blk, f.validCount[blk], want)
+		}
+	}
+	return nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

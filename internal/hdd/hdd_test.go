@@ -1,0 +1,154 @@
+package hdd
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+func newDisk(t *testing.T) (*sim.Engine, *Device) {
+	t.Helper()
+	eng := sim.New()
+	d, err := New(eng, Cheetah15K(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	eng, d := newDisk(t)
+	data := bytes.Repeat([]byte{0x3c}, d.PageSize())
+	eng.Go("io", func(p *sim.Proc) {
+		if err := d.Write(p, 42, 1, data); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		if err := d.Flush(p); err != nil {
+			t.Errorf("Flush: %v", err)
+		}
+		buf := make([]byte, d.PageSize())
+		if err := d.Read(p, 42, 1, buf); err != nil {
+			t.Errorf("Read: %v", err)
+		}
+		if !bytes.Equal(buf, data) {
+			t.Error("round trip mismatch")
+		}
+	})
+	eng.Run()
+}
+
+func TestCachedWriteAcksFast(t *testing.T) {
+	eng, d := newDisk(t)
+	var ack time.Duration
+	eng.Go("io", func(p *sim.Proc) {
+		if err := d.Write(p, 0, 1, nil); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		ack = p.Now()
+	})
+	eng.Run()
+	if ack >= d.cfg.MinService {
+		t.Fatalf("cached write acked at %v — no write-back caching", ack)
+	}
+}
+
+func TestUncachedWriteSeeks(t *testing.T) {
+	eng, d := newDisk(t)
+	d.SetWriteCache(false)
+	var ack time.Duration
+	eng.Go("io", func(p *sim.Proc) {
+		if err := d.Write(p, 0, 1, nil); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		ack = p.Now()
+	})
+	eng.Run()
+	if ack < d.cfg.BaseService {
+		t.Fatalf("uncached write acked at %v, faster than a seek", ack)
+	}
+}
+
+func TestReorderingImprovesThroughput(t *testing.T) {
+	// 32 concurrent reads must finish much faster than 32 serial seeks.
+	eng, d := newDisk(t)
+	var last time.Duration
+	for i := 0; i < 32; i++ {
+		lpn := storage.LPN(i * 1000)
+		eng.Go("r", func(p *sim.Proc) {
+			if err := d.Read(p, lpn, 1, nil); err != nil {
+				t.Errorf("Read: %v", err)
+			}
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	eng.Run()
+	serial := 32 * d.cfg.BaseService
+	if last >= serial {
+		t.Fatalf("no NCQ reordering gain: %v >= %v", last, serial)
+	}
+}
+
+func TestExtentDrainsAsOneSeek(t *testing.T) {
+	// A 16 KB (4-page) cached write must drain with one seek, so draining
+	// it takes barely longer than draining a single page.
+	timeFor := func(pages int) time.Duration {
+		eng, d := newDisk(t)
+		var done time.Duration
+		eng.Go("io", func(p *sim.Proc) {
+			if err := d.Write(p, 0, pages, nil); err != nil {
+				t.Errorf("Write: %v", err)
+			}
+			if err := d.Flush(p); err != nil {
+				t.Errorf("Flush: %v", err)
+			}
+			done = p.Now()
+		})
+		eng.Run()
+		return done
+	}
+	t1, t4 := timeFor(1), timeFor(4)
+	if t4 > t1*2 {
+		t.Fatalf("4-page extent drained in %v vs %v for 1 page; not a single seek", t4, t1)
+	}
+}
+
+func TestPowerFailLosesTrackCache(t *testing.T) {
+	eng, d := newDisk(t)
+	eng.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			if err := d.Write(p, storage.LPN(i), 1, nil); err != nil {
+				return
+			}
+		}
+		d.PowerFail()
+	})
+	eng.Run()
+	if d.Stats().LostPages == 0 {
+		t.Fatal("track cache loss not recorded")
+	}
+}
+
+func TestFlushWaitsForDrain(t *testing.T) {
+	eng, d := newDisk(t)
+	var flushDone time.Duration
+	eng.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if err := d.Write(p, storage.LPN(i*500), 1, nil); err != nil {
+				t.Errorf("Write: %v", err)
+			}
+		}
+		if err := d.Flush(p); err != nil {
+			t.Errorf("Flush: %v", err)
+		}
+		flushDone = p.Now()
+	})
+	eng.Run()
+	if flushDone < 10*d.cfg.MinService {
+		t.Fatalf("flush returned at %v, before 10 media writes could finish", flushDone)
+	}
+}

@@ -1,0 +1,156 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"durassd/internal/sim"
+	"durassd/internal/ssd"
+	"durassd/internal/storage"
+)
+
+func newFS(t *testing.T, barrier bool) (*sim.Engine, *FS, *ssd.Device) {
+	t.Helper()
+	eng := sim.New()
+	dev, err := ssd.New(eng, ssd.DuraSSD(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, NewFS(dev, barrier), dev
+}
+
+func TestCreateOpenAndBounds(t *testing.T) {
+	eng, fs, _ := newFS(t, true)
+	f, err := fs.Create("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("a", 10); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if _, err := fs.Open("missing"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+	got, err := fs.Open("a")
+	if err != nil || got != f {
+		t.Fatalf("Open = %v, %v", got, err)
+	}
+	eng.Go("io", func(p *sim.Proc) {
+		if err := f.WritePages(p, 99, 2, nil); err == nil {
+			t.Error("write beyond EOF succeeded")
+		}
+		if err := f.ReadPages(p, -1, 1, nil); err == nil {
+			t.Error("negative-offset read succeeded")
+		}
+	})
+	eng.Run()
+}
+
+func TestFilesAreDisjoint(t *testing.T) {
+	eng, fs, dev := newFS(t, true)
+	a, _ := fs.Create("a", 10)
+	b, _ := fs.Create("b", 10)
+	pg := dev.PageSize()
+	eng.Go("io", func(p *sim.Proc) {
+		bufA := make([]byte, pg)
+		for i := range bufA {
+			bufA[i] = 0xaa
+		}
+		if err := a.WritePages(p, 0, 1, bufA); err != nil {
+			t.Errorf("write a: %v", err)
+		}
+		got := make([]byte, pg)
+		if err := b.ReadPages(p, 0, 1, got); err != nil {
+			t.Errorf("read b: %v", err)
+		}
+		for _, x := range got {
+			if x != 0 {
+				t.Error("file b sees file a's data")
+				break
+			}
+		}
+	})
+	eng.Run()
+}
+
+func TestFsyncSendsFlushOnlyWithBarriers(t *testing.T) {
+	for _, barrier := range []bool{true, false} {
+		eng, fs, dev := newFS(t, barrier)
+		f, _ := fs.Create("a", 10)
+		eng.Go("io", func(p *sim.Proc) {
+			if err := f.WritePages(p, 0, 1, nil); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			if err := f.Fsync(p); err != nil {
+				t.Errorf("fsync: %v", err)
+			}
+		})
+		eng.Run()
+		flushes := dev.Stats().FlushCommands
+		if barrier && flushes == 0 {
+			t.Fatal("barrier on: fsync sent no flush-cache")
+		}
+		if !barrier && flushes != 0 {
+			t.Fatal("barrier off: fsync sent flush-cache")
+		}
+	}
+}
+
+func TestBarrierOffFsyncIsCPUOnly(t *testing.T) {
+	eng, fs, _ := newFS(t, false)
+	f, _ := fs.Create("a", 10)
+	var cost time.Duration
+	eng.Go("io", func(p *sim.Proc) {
+		if err := f.WritePages(p, 0, 1, nil); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		start := p.Now()
+		if err := f.Fsync(p); err != nil {
+			t.Errorf("fsync: %v", err)
+		}
+		cost = p.Now() - start
+	})
+	eng.Run()
+	if cost > 50*time.Microsecond {
+		t.Fatalf("no-barrier fsync cost %v; should be CPU only", cost)
+	}
+}
+
+func TestODSyncFlushesEveryWrite(t *testing.T) {
+	eng, fs, dev := newFS(t, true)
+	f, _ := fs.Create("a", 10)
+	f.SetODSync(true)
+	eng.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			if err := f.WritePages(p, int64(i), 1, nil); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}
+	})
+	eng.Run()
+	if dev.Stats().FlushCommands != 3 {
+		t.Fatalf("O_DSYNC flushes = %d, want 3", dev.Stats().FlushCommands)
+	}
+}
+
+func TestPreloadInstant(t *testing.T) {
+	eng, fs, _ := newFS(t, true)
+	f, _ := fs.Create("a", 100)
+	if err := f.Preload(0, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != 0 {
+		t.Fatal("preload consumed virtual time")
+	}
+}
+
+func TestDeviceFullCreate(t *testing.T) {
+	_, fs, dev := newFS(t, true)
+	if _, err := fs.Create("big", dev.Pages()+1); err == nil {
+		t.Fatal("oversized create succeeded")
+	}
+	if _, err := fs.Create("x", 0); err == nil {
+		t.Fatal("zero-size create succeeded")
+	}
+	var _ storage.Device = dev
+}

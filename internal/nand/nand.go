@@ -1,0 +1,398 @@
+// Package nand models an array of NAND flash memory chips: the persistent
+// medium inside every simulated SSD.
+//
+// The array reproduces the structural properties the paper's results depend
+// on: multi-channel / multi-plane parallelism (paper §2.3: up to
+// channels × packages × chips × planes concurrent operations), the latency
+// gap between page reads and page programs, erase-before-rewrite semantics,
+// and per-block wear. Page contents and out-of-band (OOB) metadata are
+// stored so higher layers can implement recovery scans and torn-write
+// detection with real bytes.
+//
+// An Array is the durable object in a power-failure experiment: SSD
+// controllers are discarded and rebuilt across power cycles, the Array
+// persists.
+package nand
+
+import (
+	"fmt"
+	"time"
+
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// PPN is a physical page number within an Array.
+type PPN uint64
+
+// InvalidPPN marks an unmapped physical page slot.
+const InvalidPPN = PPN(1<<64 - 1)
+
+// Config describes the geometry and timing of a NAND array.
+type Config struct {
+	Channels           int // independent buses to the controller
+	PackagesPerChannel int
+	ChipsPerPackage    int
+	PlanesPerChip      int
+	BlocksPerPlane     int
+	PagesPerBlock      int
+	PageSize           int // physical page size in bytes (8 KB in the paper)
+
+	ReadLatency    time.Duration // cell-to-register page read
+	ProgramLatency time.Duration // register-to-cell page program
+	EraseLatency   time.Duration // block erase
+	ChannelMBps    int           // channel bus bandwidth, MiB/s
+	CmdOverhead    time.Duration // fixed per-operation channel occupancy
+}
+
+// EnterpriseConfig returns a geometry resembling the paper's 480 GB
+// enterprise SATA drive, scaled down by `scale` (1 = ~4 GiB of flash for
+// simulation tractability; larger values shrink further). Parallelism
+// (channels × planes) is preserved; only capacity shrinks.
+func EnterpriseConfig(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	blocks := 256 / scale
+	if blocks < 8 {
+		blocks = 8
+	}
+	return Config{
+		Channels:           8,
+		PackagesPerChannel: 2,
+		ChipsPerPackage:    1,
+		PlanesPerChip:      2,
+		BlocksPerPlane:     blocks,
+		PagesPerBlock:      64,
+		PageSize:           8 * storage.KB,
+		ReadLatency:        60 * time.Microsecond,
+		ProgramLatency:     900 * time.Microsecond,
+		EraseLatency:       3 * time.Millisecond,
+		ChannelMBps:        330,
+		CmdOverhead:        4 * time.Microsecond,
+	}
+}
+
+// Planes returns the total number of planes (the device's maximum degree of
+// operation-level parallelism).
+func (c Config) Planes() int {
+	return c.Channels * c.PackagesPerChannel * c.ChipsPerPackage * c.PlanesPerChip
+}
+
+// Blocks returns the total number of erase blocks.
+func (c Config) Blocks() int { return c.Planes() * c.BlocksPerPlane }
+
+// Pages returns the total number of physical pages.
+func (c Config) Pages() int64 { return int64(c.Blocks()) * int64(c.PagesPerBlock) }
+
+// Bytes returns the raw capacity in bytes.
+func (c Config) Bytes() int64 { return c.Pages() * int64(c.PageSize) }
+
+func (c Config) validate() error {
+	switch {
+	case c.Channels <= 0, c.PackagesPerChannel <= 0, c.ChipsPerPackage <= 0,
+		c.PlanesPerChip <= 0, c.BlocksPerPlane <= 0, c.PagesPerBlock <= 0:
+		return fmt.Errorf("nand: non-positive geometry: %+v", c)
+	case c.PageSize <= 0:
+		return fmt.Errorf("nand: non-positive page size %d", c.PageSize)
+	case c.ChannelMBps <= 0:
+		return fmt.Errorf("nand: non-positive channel bandwidth")
+	}
+	return nil
+}
+
+// PageState describes the lifecycle of a physical page.
+type PageState uint8
+
+// Page lifecycle states.
+const (
+	PageFree  PageState = iota // erased, programmable
+	PageValid                  // programmed, holds live data
+)
+
+// OOB is the out-of-band metadata programmed alongside each page. Recovery
+// scans read it to rebuild mappings without host involvement.
+type OOB struct {
+	// Slots records the logical page (4 KB mapping unit) stored in each
+	// sub-slot of the physical page. InvalidLPN marks an unused slot.
+	Slots []SlotTag
+	Seq   uint64 // monotonically increasing program sequence number
+	Dump  bool   // page belongs to a power-failure dump, not the main map
+}
+
+// InvalidLPN marks an unused OOB slot.
+const InvalidLPN = storage.LPN(1<<64 - 1)
+
+// SlotTag identifies one logical slot inside a physical page.
+type SlotTag struct {
+	LPN  storage.LPN
+	Torn bool // power failed mid-program; contents are garbage
+}
+
+// Array is a simulated NAND flash array.
+type Array struct {
+	cfg Config
+	eng *sim.Engine
+
+	channels []*sim.Resource // per-channel bus
+	planes   []*sim.Resource // per-plane cell array
+
+	state  []PageState
+	oob    map[PPN]*OOB
+	data   map[PPN][]byte // sparse: only pages written with real bytes
+	erases []int64        // per-block erase count
+	seq    uint64
+
+	inflight map[PPN][]SlotTag // programs racing a potential power cut
+	powered  bool
+
+	stats *storage.Stats
+}
+
+// New builds an array with the given geometry, attached to eng. The stats
+// pointer (shared with the owning device) may be nil.
+func New(eng *sim.Engine, cfg Config, stats *storage.Stats) (*Array, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if stats == nil {
+		stats = &storage.Stats{}
+	}
+	a := &Array{
+		cfg:      cfg,
+		eng:      eng,
+		state:    make([]PageState, cfg.Pages()),
+		oob:      make(map[PPN]*OOB),
+		data:     make(map[PPN][]byte),
+		erases:   make([]int64, cfg.Blocks()),
+		inflight: make(map[PPN][]SlotTag),
+		powered:  true,
+		stats:    stats,
+	}
+	a.channels = make([]*sim.Resource, cfg.Channels)
+	for i := range a.channels {
+		a.channels[i] = sim.NewResource(eng, 1)
+	}
+	a.planes = make([]*sim.Resource, cfg.Planes())
+	for i := range a.planes {
+		a.planes[i] = sim.NewResource(eng, 1)
+	}
+	return a, nil
+}
+
+// Config returns the array geometry.
+func (a *Array) Config() Config { return a.cfg }
+
+// Engine returns the simulation engine the array is attached to.
+func (a *Array) Engine() *sim.Engine { return a.eng }
+
+// PlaneOf returns the plane index holding ppn.
+func (a *Array) PlaneOf(ppn PPN) int {
+	return int(ppn / PPN(a.cfg.BlocksPerPlane*a.cfg.PagesPerBlock))
+}
+
+// ChannelOf returns the channel index serving ppn.
+func (a *Array) ChannelOf(ppn PPN) int {
+	planesPerChannel := a.cfg.PackagesPerChannel * a.cfg.ChipsPerPackage * a.cfg.PlanesPerChip
+	return a.PlaneOf(ppn) / planesPerChannel
+}
+
+// BlockOf returns the global block index holding ppn.
+func (a *Array) BlockOf(ppn PPN) int { return int(ppn) / a.cfg.PagesPerBlock }
+
+// PageOfBlock returns the first PPN of the global block index.
+func (a *Array) PageOfBlock(block int) PPN { return PPN(block * a.cfg.PagesPerBlock) }
+
+// BlockOfPlane returns the global block index for block b of plane pl.
+func (a *Array) BlockOfPlane(pl, b int) int { return pl*a.cfg.BlocksPerPlane + b }
+
+// State returns the lifecycle state of ppn.
+func (a *Array) State(ppn PPN) PageState { return a.state[ppn] }
+
+// Meta returns the OOB metadata of ppn (nil if never programmed since the
+// last erase).
+func (a *Array) Meta(ppn PPN) *OOB { return a.oob[ppn] }
+
+// Data returns the stored bytes of ppn, or nil if the page was programmed
+// in timing-only mode.
+func (a *Array) Data(ppn PPN) []byte { return a.data[ppn] }
+
+// EraseCount returns the wear counter of the global block index.
+func (a *Array) EraseCount(block int) int64 { return a.erases[block] }
+
+// Powered reports whether the array currently has power.
+func (a *Array) Powered() bool { return a.powered }
+
+func (a *Array) xferTime(bytes int) time.Duration {
+	return a.cfg.CmdOverhead + time.Duration(float64(bytes)/float64(a.cfg.ChannelMBps*storage.MB)*float64(time.Second))
+}
+
+// ReadPage reads the physical page ppn, occupying its plane for the cell
+// read and its channel for the data transfer. If buf is non-nil the stored
+// bytes are copied into it (zero-filled when the page was timing-only).
+func (a *Array) ReadPage(p *sim.Proc, ppn PPN, buf []byte) error {
+	if !a.powered {
+		return storage.ErrOffline
+	}
+	if int64(ppn) >= a.cfg.Pages() {
+		return storage.ErrOutOfRange
+	}
+	plane := a.planes[a.PlaneOf(ppn)]
+	plane.Acquire(p, 1)
+	p.Sleep(a.cfg.ReadLatency)
+	plane.Release(1)
+	a.channels[a.ChannelOf(ppn)].Use(p, a.xferTime(a.cfg.PageSize))
+	if !a.powered {
+		return storage.ErrPowerFail
+	}
+	if buf != nil {
+		if d := a.data[ppn]; d != nil {
+			copy(buf, d)
+		} else {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+	}
+	a.stats.NANDReads++
+	return nil
+}
+
+// ProgramPage programs ppn with the given OOB tags and optional data.
+// The page must be free (erase-before-rewrite). The program occupies the
+// channel for the transfer, then the plane for the cell program. If power
+// fails during the cell program, the page is recorded as torn.
+func (a *Array) ProgramPage(p *sim.Proc, ppn PPN, slots []SlotTag, data []byte, dump bool) error {
+	if !a.powered {
+		return storage.ErrOffline
+	}
+	if int64(ppn) >= a.cfg.Pages() {
+		return storage.ErrOutOfRange
+	}
+	if a.state[ppn] != PageFree {
+		return fmt.Errorf("nand: program of non-free page %d", ppn)
+	}
+	a.channels[a.ChannelOf(ppn)].Use(p, a.xferTime(a.cfg.PageSize))
+	if !a.powered {
+		return storage.ErrPowerFail
+	}
+
+	// The cell program is the window where a power cut tears the page.
+	a.inflight[ppn] = append([]SlotTag(nil), slots...)
+	plane := a.planes[a.PlaneOf(ppn)]
+	plane.Acquire(p, 1)
+	p.Sleep(a.cfg.ProgramLatency)
+	plane.Release(1)
+	if _, ok := a.inflight[ppn]; !ok {
+		// PowerFail removed us from inflight and recorded the torn page.
+		return storage.ErrPowerFail
+	}
+	delete(a.inflight, ppn)
+	if !a.powered {
+		return storage.ErrPowerFail
+	}
+
+	a.commitProgram(ppn, slots, data, dump)
+	return nil
+}
+
+func (a *Array) commitProgram(ppn PPN, slots []SlotTag, data []byte, dump bool) {
+	a.seq++
+	meta := &OOB{Slots: append([]SlotTag(nil), slots...), Seq: a.seq, Dump: dump}
+	a.state[ppn] = PageValid
+	a.oob[ppn] = meta
+	if data != nil {
+		a.data[ppn] = append([]byte(nil), data...)
+	}
+	a.stats.NANDPrograms++
+}
+
+// ProgramPageInstant programs ppn without consuming virtual time. It models
+// the capacitor-powered dump after power-off detection, where the engine's
+// normal resource scheduling no longer applies (the host is gone and the
+// firmware owns the whole device). The caller accounts for dump energy.
+func (a *Array) ProgramPageInstant(ppn PPN, slots []SlotTag, data []byte, dump bool) error {
+	if int64(ppn) >= a.cfg.Pages() {
+		return storage.ErrOutOfRange
+	}
+	if a.state[ppn] != PageFree {
+		return fmt.Errorf("nand: program of non-free page %d", ppn)
+	}
+	a.commitProgram(ppn, slots, data, dump)
+	return nil
+}
+
+// EraseBlock erases the global block index, returning its pages to PageFree.
+func (a *Array) EraseBlock(p *sim.Proc, block int) error {
+	if !a.powered {
+		return storage.ErrOffline
+	}
+	first := a.PageOfBlock(block)
+	plane := a.planes[a.PlaneOf(first)]
+	plane.Acquire(p, 1)
+	p.Sleep(a.cfg.EraseLatency)
+	plane.Release(1)
+	if !a.powered {
+		return storage.ErrPowerFail
+	}
+	a.eraseNow(block)
+	return nil
+}
+
+// EraseBlockInstant erases without consuming virtual time (recovery path).
+func (a *Array) EraseBlockInstant(block int) { a.eraseNow(block) }
+
+func (a *Array) eraseNow(block int) {
+	first := a.PageOfBlock(block)
+	for i := 0; i < a.cfg.PagesPerBlock; i++ {
+		ppn := first + PPN(i)
+		a.state[ppn] = PageFree
+		delete(a.oob, ppn)
+		delete(a.data, ppn)
+	}
+	a.erases[block]++
+	a.stats.NANDErases++
+}
+
+// PowerFail cuts power to the array. Every in-flight cell program tears its
+// target page: the page reads back as garbage with Torn OOB tags, exactly
+// the "shorn write" anomaly the paper cites from the FAST'13 power-fault
+// study. The original slot tags are preserved (with Torn set) so that an
+// eagerly-updated mapping exposes the corruption to the host.
+func (a *Array) PowerFail() {
+	if !a.powered {
+		return
+	}
+	a.powered = false
+	for ppn, tags := range a.inflight {
+		a.seq++
+		torn := make([]SlotTag, len(tags))
+		for i, tag := range tags {
+			torn[i] = SlotTag{LPN: tag.LPN, Torn: true}
+		}
+		if len(torn) == 0 {
+			torn = []SlotTag{{LPN: InvalidLPN, Torn: true}}
+		}
+		a.state[ppn] = PageValid
+		a.oob[ppn] = &OOB{Slots: torn, Seq: a.seq}
+		a.data[ppn] = tornImage(a.data[ppn], a.cfg.PageSize)
+		a.stats.TornPages++
+		delete(a.inflight, ppn)
+	}
+}
+
+// PowerOn restores power.
+func (a *Array) PowerOn() { a.powered = true }
+
+// tornImage fabricates a recognizably corrupt page image.
+func tornImage(old []byte, size int) []byte {
+	img := make([]byte, size)
+	if old != nil {
+		copy(img, old)
+	}
+	// Corrupt the second half: a mix of old (or zero) and garbage bytes.
+	for i := size / 2; i < size; i++ {
+		img[i] = byte(0xde ^ i)
+	}
+	return img
+}

@@ -1,0 +1,310 @@
+package nand
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+func testConfig() Config {
+	cfg := EnterpriseConfig(16)
+	return cfg
+}
+
+func newTestArray(t *testing.T, eng *sim.Engine) *Array {
+	t.Helper()
+	a, err := New(eng, testConfig(), nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+func TestConfigGeometry(t *testing.T) {
+	cfg := EnterpriseConfig(1)
+	if got := cfg.Planes(); got != 32 {
+		t.Fatalf("Planes = %d, want 32", got)
+	}
+	if cfg.Pages() != int64(cfg.Blocks())*int64(cfg.PagesPerBlock) {
+		t.Fatal("page accounting inconsistent")
+	}
+	if cfg.Bytes() != cfg.Pages()*int64(cfg.PageSize) {
+		t.Fatal("byte accounting inconsistent")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := testConfig()
+	bad.Channels = 0
+	if _, err := New(sim.New(), bad, nil); err == nil {
+		t.Fatal("expected error for zero channels")
+	}
+	bad = testConfig()
+	bad.PageSize = 0
+	if _, err := New(sim.New(), bad, nil); err == nil {
+		t.Fatal("expected error for zero page size")
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	data := bytes.Repeat([]byte{0xab}, a.Config().PageSize)
+	eng.Go("io", func(p *sim.Proc) {
+		if err := a.ProgramPage(p, 0, []SlotTag{{LPN: 7}, {LPN: 8}}, data, false); err != nil {
+			t.Errorf("ProgramPage: %v", err)
+		}
+		buf := make([]byte, a.Config().PageSize)
+		if err := a.ReadPage(p, 0, buf); err != nil {
+			t.Errorf("ReadPage: %v", err)
+		}
+		if !bytes.Equal(buf, data) {
+			t.Error("read data differs from programmed data")
+		}
+	})
+	eng.Run()
+	if a.State(0) != PageValid {
+		t.Fatal("page not valid after program")
+	}
+	meta := a.Meta(0)
+	if meta == nil || len(meta.Slots) != 2 || meta.Slots[0].LPN != 7 || meta.Slots[1].LPN != 8 {
+		t.Fatalf("OOB = %+v", meta)
+	}
+}
+
+func TestProgramRequiresErase(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	eng.Go("io", func(p *sim.Proc) {
+		if err := a.ProgramPage(p, 3, []SlotTag{{LPN: 1}}, nil, false); err != nil {
+			t.Errorf("first program: %v", err)
+		}
+		if err := a.ProgramPage(p, 3, []SlotTag{{LPN: 2}}, nil, false); err == nil {
+			t.Error("expected rewrite without erase to fail")
+		}
+		if err := a.EraseBlock(p, a.BlockOf(3)); err != nil {
+			t.Errorf("erase: %v", err)
+		}
+		if err := a.ProgramPage(p, 3, []SlotTag{{LPN: 2}}, nil, false); err != nil {
+			t.Errorf("program after erase: %v", err)
+		}
+	})
+	eng.Run()
+	if a.EraseCount(a.BlockOf(3)) != 1 {
+		t.Fatalf("erase count = %d, want 1", a.EraseCount(a.BlockOf(3)))
+	}
+}
+
+func TestEraseClearsBlock(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	ppb := a.Config().PagesPerBlock
+	eng.Go("io", func(p *sim.Proc) {
+		for i := 0; i < ppb; i++ {
+			if err := a.ProgramPage(p, PPN(i), []SlotTag{{LPN: storage.LPN(i)}}, nil, false); err != nil {
+				t.Errorf("program %d: %v", i, err)
+			}
+		}
+		if err := a.EraseBlock(p, 0); err != nil {
+			t.Errorf("erase: %v", err)
+		}
+	})
+	eng.Run()
+	for i := 0; i < ppb; i++ {
+		if a.State(PPN(i)) != PageFree {
+			t.Fatalf("page %d not free after erase", i)
+		}
+		if a.Meta(PPN(i)) != nil {
+			t.Fatalf("page %d retains OOB after erase", i)
+		}
+	}
+}
+
+func TestParallelProgramsAcrossPlanes(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	cfg := a.Config()
+	pagesPerPlane := cfg.BlocksPerPlane * cfg.PagesPerBlock
+
+	// Program one page in each of 8 distinct planes, all on distinct
+	// channels where possible: programs should overlap.
+	var finish time.Duration
+	n := cfg.Channels
+	for i := 0; i < n; i++ {
+		planesPerChannel := cfg.PackagesPerChannel * cfg.ChipsPerPackage * cfg.PlanesPerChip
+		ppn := PPN(i * planesPerChannel * pagesPerPlane)
+		eng.Go("prog", func(p *sim.Proc) {
+			if err := a.ProgramPage(p, ppn, []SlotTag{{LPN: 1}}, nil, false); err != nil {
+				t.Errorf("program: %v", err)
+			}
+			if p.Now() > finish {
+				finish = p.Now()
+			}
+		})
+	}
+	eng.Run()
+	serial := time.Duration(n) * cfg.ProgramLatency
+	if finish >= serial {
+		t.Fatalf("no parallelism: finished at %v, serial would be %v", finish, serial)
+	}
+}
+
+func TestSameplaneProgramsSerialize(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	cfg := a.Config()
+	var finish time.Duration
+	for i := 0; i < 4; i++ {
+		ppn := PPN(i) // same block, same plane
+		eng.Go("prog", func(p *sim.Proc) {
+			if err := a.ProgramPage(p, ppn, []SlotTag{{LPN: 1}}, nil, false); err != nil {
+				t.Errorf("program: %v", err)
+			}
+			if p.Now() > finish {
+				finish = p.Now()
+			}
+		})
+	}
+	eng.Run()
+	if finish < 4*cfg.ProgramLatency {
+		t.Fatalf("same-plane programs overlapped: %v < %v", finish, 4*cfg.ProgramLatency)
+	}
+}
+
+func TestPowerFailTearsInflightProgram(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	data := bytes.Repeat([]byte{0x11}, a.Config().PageSize)
+	var progErr error
+	eng.Go("prog", func(p *sim.Proc) {
+		progErr = a.ProgramPage(p, 5, []SlotTag{{LPN: 42}}, data, false)
+	})
+	// Cut power in the middle of the cell program (transfer ~29us, program 900us).
+	eng.Schedule(200*time.Microsecond, func() { a.PowerFail() })
+	eng.Run()
+	if progErr != storage.ErrPowerFail {
+		t.Fatalf("program error = %v, want ErrPowerFail", progErr)
+	}
+	meta := a.Meta(5)
+	if meta == nil || !meta.Slots[0].Torn {
+		t.Fatalf("page 5 not marked torn: %+v", meta)
+	}
+	img := a.Data(5)
+	if bytes.Equal(img, data) {
+		t.Fatal("torn page holds fully-new data")
+	}
+	if storage.Checksum(img) == storage.Checksum(data) {
+		t.Fatal("torn page checksum matches intended data")
+	}
+}
+
+func TestPowerFailBeforeTransferReturnsOffline(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	a.PowerFail()
+	var err error
+	eng.Go("prog", func(p *sim.Proc) {
+		err = a.ProgramPage(p, 5, []SlotTag{{LPN: 42}}, nil, false)
+	})
+	eng.Run()
+	if err != storage.ErrOffline {
+		t.Fatalf("err = %v, want ErrOffline", err)
+	}
+	if a.State(5) != PageFree {
+		t.Fatal("page programmed while offline")
+	}
+}
+
+func TestInstantOpsBypassTiming(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	if err := a.ProgramPageInstant(9, []SlotTag{{LPN: 3}}, nil, true); err != nil {
+		t.Fatalf("instant program: %v", err)
+	}
+	if eng.Now() != 0 {
+		t.Fatal("instant program consumed virtual time")
+	}
+	if !a.Meta(9).Dump {
+		t.Fatal("dump flag not recorded")
+	}
+	a.EraseBlockInstant(a.BlockOf(9))
+	if a.State(9) != PageFree {
+		t.Fatal("instant erase did not free page")
+	}
+}
+
+func TestSequenceNumbersMonotonic(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	eng.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if err := a.ProgramPage(p, PPN(i), []SlotTag{{LPN: storage.LPN(i)}}, nil, false); err != nil {
+				t.Errorf("program: %v", err)
+			}
+		}
+	})
+	eng.Run()
+	var last uint64
+	for i := 0; i < 5; i++ {
+		seq := a.Meta(PPN(i)).Seq
+		if seq <= last {
+			t.Fatalf("sequence not monotonic: %d after %d", seq, last)
+		}
+		last = seq
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	eng := sim.New()
+	stats := &storage.Stats{}
+	a, err := New(eng, testConfig(), stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Go("io", func(p *sim.Proc) {
+		_ = a.ProgramPage(p, 0, []SlotTag{{LPN: 1}}, nil, false)
+		_ = a.ReadPage(p, 0, nil)
+		_ = a.EraseBlock(p, 0)
+	})
+	eng.Run()
+	if stats.NANDPrograms != 1 || stats.NANDReads != 1 || stats.NANDErases != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	var err error
+	eng.Go("io", func(p *sim.Proc) {
+		err = a.ReadPage(p, PPN(a.Config().Pages()), nil)
+	})
+	eng.Run()
+	if err != storage.ErrOutOfRange {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestTimingOnlyReadZeroFills(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	eng.Go("io", func(p *sim.Proc) {
+		if err := a.ProgramPage(p, 0, []SlotTag{{LPN: 1}}, nil, false); err != nil {
+			t.Errorf("program: %v", err)
+		}
+		buf := bytes.Repeat([]byte{0xff}, a.Config().PageSize)
+		if err := a.ReadPage(p, 0, buf); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		for _, b := range buf {
+			if b != 0 {
+				t.Error("timing-only page did not read back zeroed")
+				break
+			}
+		}
+	})
+	eng.Run()
+}

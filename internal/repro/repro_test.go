@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"testing"
+
+	"durassd/internal/storage"
+)
+
+// These are fast smoke versions of the paper's experiments; the full-size
+// shape assertions live in the repository-root benchmark suite.
+
+func TestTable1SmokeShapes(t *testing.T) {
+	res, err := Table1(Table1Config{Scale: 32, OpsPerCell: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dura := res.IOPS["DuraSSD/ON"]
+	nb := res.IOPS["DuraSSD/ON(NoBarrier)"]
+	hddOff := res.IOPS["HDD/OFF"]
+	// fsync frequency dominates cache-on SSD throughput.
+	if dura[0] < 10*dura[1] {
+		t.Fatalf("DuraSSD ON: no-fsync %v not >> fsync-1 %v", dura[0], dura[1])
+	}
+	// NoBarrier is nearly flat and high.
+	if nb[1] < 3*dura[1] {
+		t.Fatalf("NoBarrier fsync-1 %v not much faster than barrier fsync-1 %v", nb[1], dura[1])
+	}
+	// Disk gains little from batching compared with SSDs.
+	if gain := hddOff[0] / hddOff[1]; gain > 10 {
+		t.Fatalf("HDD OFF no-fsync/fsync-1 gain %v too large", gain)
+	}
+	// SSDs beat the disk outright with caches on and rare fsyncs.
+	if dura[0] < 5*res.IOPS["HDD/ON"][0] {
+		t.Fatalf("DuraSSD %v not >> HDD %v", dura[0], res.IOPS["HDD/ON"][0])
+	}
+}
+
+func TestTable2SmokeShapes(t *testing.T) {
+	res, err := Table2(Table2Config{Scale: 32, OpsPerCell: 1500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := res.IOPS[T2ReadOnly128]
+	if ro[4*storage.KB] < 2*ro[16*storage.KB] {
+		t.Fatalf("read-only 4KB %v not >> 16KB %v", ro[4*storage.KB], ro[16*storage.KB])
+	}
+	w1 := res.IOPS[T2Write1Fsync]
+	ratio := w1[4*storage.KB] / w1[16*storage.KB]
+	if ratio < 0.7 || ratio > 2.0 {
+		t.Fatalf("write 1-fsync page-size ratio %v; should be nearly flat", ratio)
+	}
+	hr := res.IOPS[T2HDDRead128]
+	hratio := hr[4*storage.KB] / hr[16*storage.KB]
+	if hratio < 0.9 || hratio > 1.3 {
+		t.Fatalf("HDD read page-size ratio %v; disk should be insensitive", hratio)
+	}
+}
+
+func TestLinkBenchSmoke(t *testing.T) {
+	res, err := RunLinkBench(LinkBenchConfig{
+		Scale: 1024, Requests: 6_000, Warmup: 1_000, Clients: 32,
+		PageBytes: 4 * storage.KB, Barrier: false, DoubleWrite: false, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TPS() <= 0 || res.Requests < 5_000 {
+		t.Fatalf("TPS=%v requests=%d", res.TPS(), res.Requests)
+	}
+}
+
+func TestTPCCSmoke(t *testing.T) {
+	res, err := RunTPCC(TPCCConfig{
+		Scale: 256, Requests: 3_000, Warmup: 300, Clients: 16,
+		PageBytes: 4 * storage.KB, Barrier: false, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TpmC() <= 0 {
+		t.Fatal("zero tpmC")
+	}
+}
+
+func TestYCSBSmoke(t *testing.T) {
+	on, err := RunYCSB(YCSBConfig{Docs: 200_000, Operations: 1_000, Barrier: true, BatchSize: 1, UpdatePct: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := RunYCSB(YCSBConfig{Docs: 200_000, Operations: 1_000, Barrier: false, BatchSize: 1, UpdatePct: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.OPS() < 2*on.OPS() {
+		t.Fatalf("barrier off (%v OPS) not much faster than on (%v OPS)", off.OPS(), on.OPS())
+	}
+}
+
+func TestEnduranceReduction(t *testing.T) {
+	res, err := Endurance(LinkBenchConfig{Scale: 512, Requests: 20_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reduction < 0.5 {
+		t.Fatalf("flash write reduction = %.0f%%, paper claims >50%%", res.Reduction*100)
+	}
+}
+
+func TestTailLatencyCollapsesWithoutBarriers(t *testing.T) {
+	res, err := TailLatency(TailLatencyConfig{Scale: 32, Ops: 8_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, off := res.ReadP99[true], res.ReadP99[false]
+	if on < 2*off {
+		t.Fatalf("read P99 with barriers (%v) not clearly above without (%v)", on, off)
+	}
+}

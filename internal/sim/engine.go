@@ -1,0 +1,235 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// All devices, database engines and workload clients in this repository run
+// in virtual time on a single Engine. Simulated concurrency is expressed with
+// processes (Proc): ordinary goroutines that are scheduled cooperatively so
+// that exactly one process executes at any instant. This makes every run
+// deterministic for a given seed and lets multi-hour hardware experiments
+// finish in milliseconds of wall-clock time.
+//
+// The engine orders events by (timestamp, sequence number), so events
+// scheduled at the same virtual instant fire in the order they were created.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event simulator clock and scheduler.
+// Create one with New, add processes with Go, then call Run.
+//
+// An Engine must only be accessed from the goroutine that calls Run and from
+// processes started via Go (which are serialized by the engine); it is not
+// safe for use from unrelated goroutines.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+
+	yield   chan yieldMsg // running process -> engine handoff
+	running bool
+	procs   int // live (started, not yet finished) processes
+	blocked map[*Proc]struct{}
+
+	panicVal any // re-raised by Run if a process panicked
+}
+
+type yieldMsg struct {
+	done bool // process finished (returned or panicked)
+}
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func() // callback event; nil when proc != nil
+	proc *Proc  // process to resume; nil for callback events
+}
+
+// New returns an empty engine with the virtual clock at zero.
+func New() *Engine {
+	return &Engine{
+		yield:   make(chan yieldMsg),
+		blocked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule registers fn to run after delay d of virtual time.
+// A negative delay is treated as zero.
+func (e *Engine) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.push(&event{at: e.now + d, fn: fn})
+}
+
+func (e *Engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// Go starts a new process executing fn. The process begins running at the
+// current virtual time (after already-pending events at this instant).
+// Go may be called before Run or from within a running process.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:  e,
+		name: name,
+		wake: make(chan struct{}),
+		body: fn,
+	}
+	e.procs++
+	e.push(&event{at: e.now, proc: p})
+	return p
+}
+
+// Run processes events until none remain, then returns. Processes that are
+// still waiting on a Queue or Resource when the event heap drains are left
+// blocked (query them with Blocked). If any process panicked, Run re-panics
+// with the original value after draining.
+func (e *Engine) Run() {
+	e.RunUntil(-1)
+}
+
+// RunFor advances the simulation by at most d of virtual time.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now + d)
+}
+
+// RunUntil processes events with timestamps <= deadline and then sets the
+// clock to deadline. A negative deadline means run until the heap is empty.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if deadline >= 0 && ev.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if ev.proc != nil {
+			e.resume(ev.proc)
+		} else {
+			ev.fn()
+		}
+		if e.panicVal != nil {
+			panic(e.panicVal)
+		}
+	}
+	if deadline >= 0 && deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// resume transfers control to p and blocks until p parks or finishes.
+func (e *Engine) resume(p *Proc) {
+	delete(e.blocked, p)
+	if !p.started {
+		p.started = true
+		go p.run()
+	} else {
+		p.wake <- struct{}{}
+	}
+	msg := <-e.yield
+	if msg.done {
+		e.procs--
+	}
+}
+
+// Blocked returns the names of processes that are parked with no pending
+// wakeup event. Useful for diagnosing simulation deadlocks in tests.
+func (e *Engine) Blocked() []string {
+	var names []string
+	for p := range e.blocked {
+		names = append(names, p.name)
+	}
+	return names
+}
+
+// Procs returns the number of live processes (started or pending, not yet
+// finished).
+func (e *Engine) Procs() int { return e.procs }
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// deterministically with other processes by the Engine. All Proc methods
+// must be called from the process's own goroutine.
+type Proc struct {
+	eng     *Engine
+	name    string
+	wake    chan struct{}
+	body    func(p *Proc)
+	started bool
+}
+
+// Name returns the name given to Engine.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.eng.panicVal = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+		}
+		p.eng.yield <- yieldMsg{done: true}
+	}()
+	p.body(p)
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.push(&event{at: p.eng.now + d, proc: p})
+	p.park()
+}
+
+// Yield reschedules the process at the current instant, letting other
+// events and processes scheduled for this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// park returns control to the engine until another event resumes p.
+// The caller must have arranged a wakeup (event, queue signal, ...).
+func (p *Proc) park() {
+	p.eng.blocked[p] = struct{}{}
+	p.eng.yield <- yieldMsg{}
+	<-p.wake
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

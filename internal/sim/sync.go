@@ -1,0 +1,192 @@
+package sim
+
+import "time"
+
+// Queue is a FIFO wait queue for processes, the building block for
+// condition-style synchronization. A process calls Wait to park; another
+// process (or a callback event) calls WakeOne/WakeAll to resume waiters.
+// Wakeups are scheduled at the current virtual instant, preserving FIFO
+// order via event sequence numbers.
+type Queue struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewQueue returns an empty wait queue bound to eng.
+func NewQueue(eng *Engine) *Queue { return &Queue{eng: eng} }
+
+// Len returns the number of waiting processes.
+func (q *Queue) Len() int { return len(q.waiters) }
+
+// Wait parks p until a wakeup. The caller must re-check its condition after
+// returning (Mesa semantics).
+func (q *Queue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.park()
+}
+
+// WakeOne resumes the longest-waiting process, if any, and reports whether
+// a process was woken.
+func (q *Queue) WakeOne() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	q.eng.push(&event{at: q.eng.now, proc: p})
+	return true
+}
+
+// WakeAll resumes every waiting process in FIFO order.
+func (q *Queue) WakeAll() {
+	for _, p := range q.waiters {
+		q.eng.push(&event{at: q.eng.now, proc: p})
+	}
+	q.waiters = q.waiters[:0]
+}
+
+// Resource is a counting resource with FIFO admission, modelling servers
+// with limited concurrency: NAND planes, channel buses, NCQ slots, ...
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+}
+
+type resWaiter struct {
+	p       *Proc
+	n       int
+	granted bool
+}
+
+// NewResource returns a resource with the given capacity (units > 0).
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire obtains n units for p, blocking in FIFO order until available.
+// n must not exceed the capacity.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n > r.capacity {
+		panic("sim: acquire exceeds resource capacity")
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	w := &resWaiter{p: p, n: n}
+	r.waiters = append(r.waiters, w)
+	for !w.granted {
+		p.park()
+	}
+}
+
+// TryAcquire obtains n units without blocking and reports success.
+func (r *Resource) TryAcquire(n int) bool {
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and admits queued waiters in FIFO order.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: resource released below zero")
+	}
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			break
+		}
+		r.inUse += w.n
+		w.granted = true
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		r.eng.push(&event{at: r.eng.now, proc: w.p})
+	}
+}
+
+// Use acquires one unit, holds it for d of virtual time, then releases it.
+// It models a FIFO service station with service time d.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p, 1)
+	p.Sleep(d)
+	r.Release(1)
+}
+
+// Signal is a one-shot completion flag: processes Wait until Fire is called.
+// After Fire, Wait returns immediately. Useful for async I/O completions.
+type Signal struct {
+	fired bool
+	q     Queue
+}
+
+// NewSignal returns an unfired signal bound to eng.
+func NewSignal(eng *Engine) *Signal { return &Signal{q: Queue{eng: eng}} }
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire marks the signal and wakes all waiters. Firing twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	s.q.WakeAll()
+}
+
+// Wait blocks p until the signal fires (returns immediately if it already
+// has).
+func (s *Signal) Wait(p *Proc) {
+	for !s.fired {
+		s.q.Wait(p)
+	}
+}
+
+// WaitGroup counts outstanding work items within the simulation.
+type WaitGroup struct {
+	n int
+	q Queue
+}
+
+// NewWaitGroup returns a wait group bound to eng.
+func NewWaitGroup(eng *Engine) *WaitGroup { return &WaitGroup{q: Queue{eng: eng}} }
+
+// Add increments the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.q.WakeAll()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.n > 0 {
+		wg.q.Wait(p)
+	}
+}

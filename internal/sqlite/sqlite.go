@@ -1,0 +1,277 @@
+// Package sqlite implements the third software torn-page scheme the paper
+// names in §2.1: the rollback journal of mobile engines (SQLite, Sybase
+// SQL Anywhere). Before a transaction's first in-place write to a page,
+// the page's **before-image** is copied to a journal file and fsynced;
+// commit invalidates the journal header; crash recovery rolls the
+// database back from any valid journal.
+//
+// Like the double-write buffer and full-page writes, the journal exists
+// only because ordinary storage tears pages. On DuraSSD the store can run
+// with the journal off (SQLite's journal_mode=OFF) and remain crash-safe —
+// every page write is atomic and durable on acknowledgement.
+package sqlite
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"durassd/internal/btree"
+	"durassd/internal/host"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// ErrNoTx reports a write outside a transaction.
+var ErrNoTx = errors.New("sqlite: write outside a transaction")
+
+// Config tunes the store.
+type Config struct {
+	PageBytes int  // tree page size (default 4 KB)
+	Journal   bool // rollback journal on (the safe default off DuraSSD)
+	DBPages   int64
+	JPages    int64
+}
+
+// Store is a journaled key-value store: a btree over a journaled file.
+type Store struct {
+	cfg  Config
+	fs   *host.FS
+	db   *jfile
+	tree *btree.Tree
+}
+
+// jfile wraps the database file, copying before-images into the journal
+// ahead of in-place writes while a transaction is open.
+type jfile struct {
+	db      *host.File
+	journal *host.File
+	cfg     *Config
+
+	inTx     bool
+	bypass   bool           // formatting/recovery writes skip journaling
+	logged   map[int64]bool // tree pages journaled this tx
+	jPos     int64          // next journal page (device pages)
+	jEntries uint32
+	perTree  int // device pages per tree page
+}
+
+// Open creates (or reopens) the store on fs. Reopening runs rollback
+// recovery first when a valid journal exists.
+func Open(p *sim.Proc, fs *host.FS, cfg Config) (*Store, error) {
+	if cfg.PageBytes <= 0 {
+		cfg.PageBytes = 4 * storage.KB
+	}
+	if cfg.DBPages <= 0 {
+		cfg.DBPages = fs.Device().Pages() / 2
+	}
+	if cfg.JPages <= 0 {
+		cfg.JPages = cfg.DBPages / 4
+	}
+	devPage := fs.Device().PageSize()
+	if cfg.PageBytes%devPage != 0 {
+		return nil, fmt.Errorf("sqlite: bad page size %d", cfg.PageBytes)
+	}
+	st := &Store{cfg: cfg, fs: fs}
+	var db, journal *host.File
+	var err error
+	fresh := false
+	if db, err = fs.Open("sqlite.db"); err != nil {
+		if db, err = fs.Create("sqlite.db", cfg.DBPages); err != nil {
+			return nil, err
+		}
+		if journal, err = fs.Create("sqlite.journal", cfg.JPages); err != nil {
+			return nil, err
+		}
+		fresh = true
+	} else if journal, err = fs.Open("sqlite.journal"); err != nil {
+		return nil, err
+	}
+	st.db = &jfile{db: db, journal: journal, cfg: &st.cfg, perTree: cfg.PageBytes / devPage}
+	st.db.bypass = true
+	defer func() { st.db.bypass = false }()
+	if fresh {
+		if st.tree, err = btree.Create(p, st.db, cfg.PageBytes); err != nil {
+			return nil, err
+		}
+		// An invalid header marks "no journal to roll back".
+		if cfg.Journal {
+			if err := st.db.writeHeader(p, 0, false); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+	// Reopen path: roll back from the journal if one is valid, then load.
+	if _, err := st.Rollback(p); err != nil {
+		return nil, err
+	}
+	if st.tree, err = btree.Open(p, st.db, cfg.PageBytes); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// journal header layout (device page 0 of the journal file):
+// [0:4] crc over [4:12], [4:8] magic, [8:12] entry count.
+const jMagic = 0x5AFEC0DE
+
+func (f *jfile) writeHeader(p *sim.Proc, entries uint32, valid bool) error {
+	hdr := make([]byte, f.db.PageSize())
+	if valid {
+		binary.LittleEndian.PutUint32(hdr[4:8], jMagic)
+	}
+	binary.LittleEndian.PutUint32(hdr[8:12], entries)
+	binary.LittleEndian.PutUint32(hdr[0:4], storage.Checksum(hdr[4:12]))
+	if err := f.journal.WritePages(p, 0, 1, hdr); err != nil {
+		return err
+	}
+	return f.journal.Fsync(p)
+}
+
+// ReadPages implements btree.File.
+func (f *jfile) ReadPages(p *sim.Proc, off int64, n int, buf []byte) error {
+	return f.db.ReadPages(p, off, n, buf)
+}
+
+// PageSize implements btree.File.
+func (f *jfile) PageSize() int { return f.db.PageSize() }
+
+// Pages implements btree.File.
+func (f *jfile) Pages() int64 { return f.db.Pages() }
+
+// WritePages implements btree.File: with the journal on, the before-image
+// of each not-yet-logged tree page is appended to the journal and synced
+// before the in-place write proceeds.
+func (f *jfile) WritePages(p *sim.Proc, off int64, n int, data []byte) error {
+	if f.cfg.Journal && !f.bypass {
+		if !f.inTx {
+			return ErrNoTx
+		}
+		treePage := off / int64(f.perTree)
+		if !f.logged[treePage] {
+			img := make([]byte, f.cfg.PageBytes+f.db.PageSize())
+			// Entry: one device page of metadata + the before-image. The
+			// checksum covers the image too, so a journal entry torn by a
+			// power cut is detected and never restored.
+			binary.LittleEndian.PutUint64(img[4:12], uint64(treePage))
+			if err := f.db.ReadPages(p, treePage*int64(f.perTree), f.perTree, img[f.db.PageSize():]); err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint32(img[0:4], storage.Checksum(img[4:]))
+			need := int64(1 + f.perTree)
+			if f.jPos+need > f.journal.Pages() {
+				return fmt.Errorf("sqlite: journal full")
+			}
+			if err := f.journal.WritePages(p, f.jPos, int(need), img); err != nil {
+				return err
+			}
+			f.jPos += need
+			f.jEntries++
+			f.logged[treePage] = true
+			// The header (entry count) must be durable before the page is
+			// overwritten in place.
+			if err := f.writeHeader(p, f.jEntries, true); err != nil {
+				return err
+			}
+		}
+	}
+	return f.db.WritePages(p, off, n, data)
+}
+
+// Begin opens a transaction (required when the journal is on).
+func (s *Store) Begin(p *sim.Proc) error {
+	f := s.db
+	if f.inTx {
+		return fmt.Errorf("sqlite: nested transaction")
+	}
+	f.inTx = true
+	f.logged = make(map[int64]bool)
+	f.jPos = 1 // page 0 is the header
+	f.jEntries = 0
+	return nil
+}
+
+// Commit makes the transaction durable: data pages are synced, then the
+// journal header is invalidated (SQLite's commit point).
+func (s *Store) Commit(p *sim.Proc) error {
+	f := s.db
+	if !f.inTx {
+		return ErrNoTx
+	}
+	if err := f.db.Fsync(p); err != nil {
+		return err
+	}
+	if f.cfg.Journal {
+		if err := f.writeHeader(p, 0, false); err != nil {
+			return err
+		}
+	}
+	f.inTx = false
+	return nil
+}
+
+// Rollback restores before-images from a valid journal (crash recovery or
+// explicit abort). It reports how many pages were restored.
+func (s *Store) Rollback(p *sim.Proc) (int, error) {
+	f := s.db
+	f.inTx = false
+	wasBypass := f.bypass
+	f.bypass = true
+	defer func() { f.bypass = wasBypass }()
+	if !f.cfg.Journal {
+		return 0, nil
+	}
+	hdr := make([]byte, f.db.PageSize())
+	if err := f.journal.ReadPages(p, 0, 1, hdr); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != storage.Checksum(hdr[4:12]) ||
+		binary.LittleEndian.Uint32(hdr[4:8]) != jMagic {
+		return 0, nil // no valid journal: nothing to roll back
+	}
+	entries := binary.LittleEndian.Uint32(hdr[8:12])
+	restored := 0
+	pos := int64(1)
+	entry := make([]byte, f.cfg.PageBytes+f.db.PageSize())
+	for i := uint32(0); i < entries; i++ {
+		if err := f.journal.ReadPages(p, pos, 1+f.perTree, entry); err != nil {
+			return restored, err
+		}
+		if binary.LittleEndian.Uint32(entry[0:4]) != storage.Checksum(entry[4:]) {
+			break // torn journal tail: entries beyond it never committed
+		}
+		treePage := int64(binary.LittleEndian.Uint64(entry[4:12]))
+		if err := f.db.WritePages(p, treePage*int64(f.perTree), f.perTree, entry[f.db.PageSize():]); err != nil {
+			return restored, err
+		}
+		restored++
+		pos += int64(1 + f.perTree)
+	}
+	if err := f.db.Fsync(p); err != nil {
+		return restored, err
+	}
+	if err := f.writeHeader(p, 0, false); err != nil {
+		return restored, err
+	}
+	return restored, nil
+}
+
+// Put inserts or replaces a key inside the current transaction (or as an
+// autocommit write when the journal is off).
+func (s *Store) Put(p *sim.Proc, key uint64, value []byte) error {
+	return s.tree.Put(p, key, value)
+}
+
+// Get reads a key.
+func (s *Store) Get(p *sim.Proc, key uint64) ([]byte, error) {
+	return s.tree.Get(p, key)
+}
+
+// Delete removes a key.
+func (s *Store) Delete(p *sim.Proc, key uint64) error {
+	return s.tree.Delete(p, key)
+}
+
+// Check verifies the tree structure and checksums.
+func (s *Store) Check(p *sim.Proc) error { return s.tree.Check(p) }

@@ -1,0 +1,391 @@
+// Package ssd assembles complete flash SSD devices from the nand, ftl and
+// core building blocks, and supplies the calibrated device profiles used in
+// the paper's evaluation: the DuraSSD prototype, two commercial volatile-
+// cache drives (SSD-A with 512 MB and SSD-B with 128 MB of cache), all
+// behind a SATA-like host interface with native command queuing.
+//
+// Command timing decomposes into a serialized link component (per-command
+// protocol overhead plus data transfer at the link rate) and a firmware
+// component that overlaps across queued commands. The profiles are
+// calibrated so the paper's Table 1 / Table 2 columns land in the right
+// decade; the shapes (fsync sensitivity, page-size effect, cache on/off)
+// emerge from the mechanisms rather than the constants.
+package ssd
+
+import (
+	"fmt"
+	"time"
+
+	"durassd/internal/core"
+	"durassd/internal/ftl"
+	"durassd/internal/nand"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// Profile describes one drive model.
+type Profile struct {
+	Name string
+
+	NAND  nand.Config
+	FTL   ftl.Config
+	Cache core.Config
+
+	// Host interface.
+	LinkMBps         int           // serialized link bandwidth
+	WriteCmdOverhead time.Duration // serialized per write command
+	ReadCmdOverhead  time.Duration // serialized per read command
+	FirmwareWrite    time.Duration // overlapping per write command
+	FirmwareRead     time.Duration // overlapping per read command
+	NCQDepth         int           // outstanding commands (SATA NCQ: 32)
+}
+
+// DuraSSD returns the paper's prototype: durable cache, dump area, lazy
+// mapping, 4 KB mapping units over 8 KB NAND pages. scale shrinks capacity
+// (see nand.EnterpriseConfig).
+func DuraSSD(scale int) Profile {
+	ncfg := nand.EnterpriseConfig(scale)
+	fcfg := ftl.DefaultConfig(ncfg.PageSize)
+	fcfg.DumpBlocks = ncfg.Planes() // one pre-erased dump block per plane
+	ccfg := core.Config{
+		Frames:         4096,
+		Durable:        true,
+		FlushWorkers:   ncfg.Planes(),
+		SlotAccess:     2 * time.Microsecond,
+		FlushAck:       1500 * time.Microsecond,
+		RebootRecharge: 100 * time.Millisecond,
+	}
+	return Profile{
+		Name:             "DuraSSD",
+		NAND:             ncfg,
+		FTL:              fcfg,
+		Cache:            ccfg,
+		LinkMBps:         550,
+		WriteCmdOverhead: 12 * time.Microsecond,
+		ReadCmdOverhead:  4 * time.Microsecond,
+		FirmwareWrite:    44 * time.Microsecond,
+		FirmwareRead:     20 * time.Microsecond,
+		NCQDepth:         32,
+	}
+}
+
+// SSDA returns the volatile-cache commercial drive "SSD-A" (512 MB cache):
+// throughput close to DuraSSD when flushes are rare, but fsync must drain
+// the cache and journal the mapping, and power loss drops the cache.
+func SSDA(scale int) Profile {
+	p := DuraSSD(scale)
+	p.Name = "SSD-A"
+	p.NAND.ProgramLatency = 1100 * time.Microsecond
+	p.FTL.DumpBlocks = 0
+	p.FTL.EagerMapping = true
+	p.Cache.Durable = false
+	p.Cache.Frames = 4096
+	p.Cache.FlushAck = 0
+	p.WriteCmdOverhead = 16 * time.Microsecond
+	p.FirmwareWrite = 64 * time.Microsecond
+	return p
+}
+
+// SSDB returns the volatile-cache commercial drive "SSD-B" (128 MB cache):
+// a slower host path but a leaner firmware whose flush-cache is cheaper.
+func SSDB(scale int) Profile {
+	p := DuraSSD(scale)
+	p.Name = "SSD-B"
+	p.NAND.ProgramLatency = 500 * time.Microsecond
+	p.NAND.Channels = 4
+	p.NAND.BlocksPerPlane *= 2 // keep capacity when halving channels
+	p.FTL.DumpBlocks = 0
+	p.FTL.EagerMapping = true
+	p.Cache.Durable = false
+	p.Cache.Frames = 1024
+	p.Cache.FlushAck = 0
+	p.WriteCmdOverhead = 24 * time.Microsecond
+	p.FirmwareWrite = 90 * time.Microsecond
+	p.ReadCmdOverhead = 8 * time.Microsecond
+	p.FirmwareRead = 40 * time.Microsecond
+	return p
+}
+
+// Device is a complete SSD. It implements storage.Device and
+// storage.PowerCycler.
+type Device struct {
+	prof      Profile
+	eng       *sim.Engine
+	arr       *nand.Array
+	f         *ftl.FTL
+	ctrl      *core.Controller
+	link      *sim.Resource
+	ncq       *sim.Resource
+	flushLock *sim.Resource // flush-cache commands serialize at the device
+	stats     *storage.Stats
+
+	cacheOn bool
+	offline bool
+}
+
+// New builds a powered-on, empty device from the profile.
+func New(eng *sim.Engine, prof Profile) (*Device, error) {
+	stats := &storage.Stats{}
+	arr, err := nand.New(eng, prof.NAND, stats)
+	if err != nil {
+		return nil, err
+	}
+	f, err := ftl.New(arr, prof.FTL, stats)
+	if err != nil {
+		return nil, err
+	}
+	if prof.NCQDepth <= 0 {
+		prof.NCQDepth = 32
+	}
+	d := &Device{
+		prof:      prof,
+		eng:       eng,
+		arr:       arr,
+		f:         f,
+		link:      sim.NewResource(eng, 1),
+		ncq:       sim.NewResource(eng, prof.NCQDepth),
+		flushLock: sim.NewResource(eng, 1),
+		stats:     stats,
+		cacheOn:   true,
+	}
+	d.ctrl = core.NewController(f, prof.Cache, stats)
+	f.StartBackgroundGC() // no-op unless the profile configures a watermark
+	return d, nil
+}
+
+// SetWriteCache enables or disables the volatile/durable write cache
+// (Table 1's "Storage Cache OFF/ON" knob). Disable only while idle.
+func (d *Device) SetWriteCache(on bool) { d.cacheOn = on }
+
+// WriteCache reports whether the write cache is enabled.
+func (d *Device) WriteCache() bool { return d.cacheOn }
+
+// Profile returns the device profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// FTL exposes the translation layer (tests and preconditioning).
+func (d *Device) FTL() *ftl.FTL { return d.f }
+
+// Array exposes the NAND medium (fault-injection harnesses).
+func (d *Device) Array() *nand.Array { return d.arr }
+
+// Controller exposes the cache controller.
+func (d *Device) Controller() *core.Controller { return d.ctrl }
+
+// PageSize returns the mapping unit (4 KB).
+func (d *Device) PageSize() int { return d.f.SlotSize() }
+
+// Pages returns the logical capacity in mapping units.
+func (d *Device) Pages() int64 { return d.f.LogicalSlots() }
+
+// Stats returns the device counters.
+func (d *Device) Stats() *storage.Stats { return d.stats }
+
+func (d *Device) xfer(bytes int, overhead time.Duration) time.Duration {
+	return overhead + time.Duration(float64(bytes)/float64(d.prof.LinkMBps*storage.MB)*float64(time.Second))
+}
+
+// Write submits one write command covering n mapping units from lpn.
+func (d *Device) Write(p *sim.Proc, lpn storage.LPN, n int, data []byte) error {
+	if d.offline {
+		return storage.ErrOffline
+	}
+	if n <= 0 || int64(lpn)+int64(n) > d.f.LogicalSlots() {
+		return storage.ErrOutOfRange
+	}
+	ss := d.f.SlotSize()
+	if data != nil && len(data) != n*ss {
+		return fmt.Errorf("ssd: write data length %d != %d", len(data), n*ss)
+	}
+	d.ncq.Acquire(p, 1)
+	defer d.ncq.Release(1)
+
+	// Serialized host-link occupancy: protocol overhead + data transfer.
+	d.link.Use(p, d.xfer(n*ss, d.prof.WriteCmdOverhead))
+	// Firmware command handling overlaps across queued commands.
+	p.Sleep(d.prof.FirmwareWrite)
+	if d.offline {
+		return storage.ErrPowerFail
+	}
+
+	slots := make([]ftl.SlotWrite, n)
+	for i := 0; i < n; i++ {
+		slots[i].LPN = lpn + storage.LPN(i)
+		if data != nil {
+			slots[i].Data = data[i*ss : (i+1)*ss]
+		}
+	}
+	var err error
+	if d.cacheOn {
+		err = d.ctrl.Write(p, slots)
+	} else {
+		// Write-through: program slot pairs directly (a lone 4 KB slot
+		// still consumes a full physical page — §3.1.2's pairing only
+		// happens in the cache).
+		spp := d.f.SlotsPerPage()
+		for start := 0; start < n && err == nil; start += spp {
+			end := start + spp
+			if end > n {
+				end = n
+			}
+			err = d.f.Program(p, slots[start:end])
+		}
+	}
+	if err != nil {
+		return err
+	}
+	d.stats.WriteCommands++
+	d.stats.PagesWritten += int64(n)
+	return nil
+}
+
+// Read submits one read command covering n mapping units from lpn.
+func (d *Device) Read(p *sim.Proc, lpn storage.LPN, n int, buf []byte) error {
+	if d.offline {
+		return storage.ErrOffline
+	}
+	if n <= 0 || int64(lpn)+int64(n) > d.f.LogicalSlots() {
+		return storage.ErrOutOfRange
+	}
+	ss := d.f.SlotSize()
+	if buf != nil && len(buf) != n*ss {
+		return fmt.Errorf("ssd: read buffer length %d != %d", len(buf), n*ss)
+	}
+	d.ncq.Acquire(p, 1)
+	defer d.ncq.Release(1)
+
+	p.Sleep(d.prof.FirmwareRead)
+	if d.offline {
+		return storage.ErrPowerFail
+	}
+	var err error
+	if d.cacheOn {
+		// Serve each slot from cache when resident, flash otherwise.
+		for i := 0; i < n && err == nil; i++ {
+			var sb []byte
+			if buf != nil {
+				sb = buf[i*ss : (i+1)*ss]
+			}
+			err = d.ctrl.Read(p, lpn+storage.LPN(i), sb)
+		}
+	} else {
+		lpns := make([]storage.LPN, n)
+		for i := range lpns {
+			lpns[i] = lpn + storage.LPN(i)
+		}
+		err = d.f.ReadSlots(p, lpns, buf)
+	}
+	if err != nil {
+		return err
+	}
+	// Data transfer back to the host.
+	d.link.Use(p, d.xfer(n*ss, d.prof.ReadCmdOverhead))
+	if d.offline {
+		return storage.ErrPowerFail
+	}
+	d.stats.ReadCommands++
+	d.stats.PagesRead += int64(n)
+	return nil
+}
+
+// Flush submits a flush-cache command (fsync with write barriers on).
+// Flush-cache is a non-queued command: concurrent flushes serialize at the
+// device, which is exactly why fsync storms crater throughput (Table 1) and
+// inflate tail latency (Table 3) on every drive that must honor them.
+func (d *Device) Flush(p *sim.Proc) error {
+	if d.offline {
+		return storage.ErrOffline
+	}
+	d.link.Use(p, d.prof.WriteCmdOverhead)
+	d.flushLock.Acquire(p, 1)
+	defer d.flushLock.Release(1)
+	// Flush-cache is a non-queued command: the device drains the NCQ
+	// before executing it, and every command arriving meanwhile waits
+	// behind it. This is how fsync storms poison *read* latency (§1-2).
+	d.ncq.Acquire(p, d.prof.NCQDepth)
+	defer d.ncq.Release(d.prof.NCQDepth)
+	if d.offline {
+		return storage.ErrPowerFail
+	}
+	var err error
+	if d.cacheOn {
+		err = d.ctrl.FlushCache(p)
+	} else {
+		err = d.f.FlushMapJournal(p)
+	}
+	if err != nil {
+		return err
+	}
+	d.stats.FlushCommands++
+	return nil
+}
+
+// PowerFail cuts power instantly (storage.PowerCycler).
+func (d *Device) PowerFail() {
+	if d.offline {
+		return
+	}
+	d.offline = true
+	d.arr.PowerFail()
+	d.ctrl.PowerFail()
+}
+
+// Reboot restores power and runs device recovery: for DuraSSD, capacitor
+// recharge plus dump replay; for volatile drives, a mapping rebuild from
+// the OOB metadata already on flash.
+func (d *Device) Reboot(p *sim.Proc) error {
+	if !d.offline {
+		return nil
+	}
+	d.arr.PowerOn()
+	if d.prof.Cache.Durable {
+		if err := core.Recover(p, d.f, d.prof.Cache.RebootRecharge, d.stats); err != nil {
+			return err
+		}
+	} else {
+		// Volatile drive: the mapping for everything that reached NAND is
+		// reconstructed from OOB scans; cached-but-unflushed writes are
+		// simply gone (already counted as LostPages).
+		p.Sleep(50 * time.Millisecond)
+		d.f.ClearMapDirty()
+	}
+	// Fresh controller over the same FTL: the old cache state died with
+	// the power (its content, if durable, was replayed above).
+	d.ctrl = core.NewController(d.f, d.prof.Cache, d.stats)
+	d.offline = false
+	return nil
+}
+
+// PreloadPages installs n logical pages instantly starting at lpn, so that
+// random reads hit mapped data and GC behaves as on a used drive. data may
+// be nil (timing-only) or n*PageSize bytes.
+func (d *Device) PreloadPages(lpn storage.LPN, n int64, data []byte) error {
+	const batch = 4096
+	ss := d.f.SlotSize()
+	slots := make([]ftl.SlotWrite, 0, batch)
+	for i := int64(0); i < n; i++ {
+		sw := ftl.SlotWrite{LPN: lpn + storage.LPN(i)}
+		if data != nil {
+			sw.Data = data[i*int64(ss) : (i+1)*int64(ss)]
+		}
+		slots = append(slots, sw)
+		if len(slots) == batch {
+			if err := d.f.LoadSlots(slots); err != nil {
+				return err
+			}
+			slots = slots[:0]
+		}
+	}
+	if len(slots) > 0 {
+		return d.f.LoadSlots(slots)
+	}
+	return nil
+}
+
+// Precondition installs n sequential logical pages instantly from LPN 0.
+func (d *Device) Precondition(n int64) error { return d.PreloadPages(0, n, nil) }
+
+var (
+	_ storage.Device      = (*Device)(nil)
+	_ storage.PowerCycler = (*Device)(nil)
+)

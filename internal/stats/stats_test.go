@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("zero hist not zero")
+	}
+	h.Record(1 * time.Millisecond)
+	h.Record(2 * time.Millisecond)
+	h.Record(3 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 400*time.Microsecond || p50 > 650*time.Microsecond {
+		t.Fatalf("P50 = %v, expected ~500µs", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 900*time.Microsecond || p99 > 1200*time.Microsecond {
+		t.Fatalf("P99 = %v, expected ~990µs", p99)
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Fatalf("P100 = %v, max = %v", h.Percentile(100), h.Max())
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Hist
+		for i := 0; i < 500; i++ {
+			h.Record(time.Duration(rng.Intn(10_000_000)))
+		}
+		last := time.Duration(0)
+		for _, q := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			v := h.Percentile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return h.Percentile(100) <= h.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Hist
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Max() != 3*time.Millisecond || a.Min() != time.Millisecond {
+		t.Fatalf("merged = count %d min %v max %v", a.Count(), a.Min(), a.Max())
+	}
+	if a.Mean() != 2*time.Millisecond {
+		t.Fatalf("merged mean = %v", a.Mean())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Fatalf("zero-window throughput = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "Name", "IOPS")
+	tbl.AddRow("fast", 12345.0)
+	tbl.AddRow("slow", 1.5)
+	tbl.AddComment("note")
+	s := tbl.String()
+	for _, want := range []string{"Demo", "Name", "12,345", "1.5", "# note"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCommafy(t *testing.T) {
+	cases := map[string]string{
+		"1":        "1",
+		"999":      "999",
+		"1000":     "1,000",
+		"1234567":  "1,234,567",
+		"-1234":    "-1,234",
+		"12345678": "12,345,678",
+	}
+	for in, want := range cases {
+		if got := commafy(in); got != want {
+			t.Fatalf("commafy(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestDurationFormatting(t *testing.T) {
+	tbl := NewTable("", "d")
+	tbl.AddRow(1500 * time.Microsecond)
+	tbl.AddRow(250 * time.Millisecond)
+	s := tbl.String()
+	if !strings.Contains(s, "1.5ms") || !strings.Contains(s, "250ms") {
+		t.Fatalf("duration formatting wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,115 @@
+// Package storage defines the types shared by every simulated storage
+// device in this repository: logical page addressing, the Device interface
+// the host stack programs against, page checksums used for torn-write
+// detection, and per-device statistics.
+package storage
+
+import (
+	"errors"
+	"hash/crc32"
+
+	"durassd/internal/sim"
+)
+
+// LPN is a logical page number in the device's address space. One LPN
+// addresses one mapping unit (Device.PageSize bytes, 4 KB by default),
+// mirroring the paper's DuraSSD which emulates 4 KB pages over 8 KB NAND
+// pages.
+type LPN uint64
+
+// Common unit sizes.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// Errors returned by devices.
+var (
+	// ErrPowerFail reports that the device lost power while the operation
+	// was outstanding; the operation's effect is undefined (the page may be
+	// old, new, or torn depending on the device).
+	ErrPowerFail = errors.New("storage: power failure during operation")
+	// ErrOutOfRange reports an access beyond the device capacity.
+	ErrOutOfRange = errors.New("storage: page address out of range")
+	// ErrOffline reports an operation submitted to a powered-off device.
+	ErrOffline = errors.New("storage: device is offline")
+)
+
+// Device is a block storage device operating in virtual time. All methods
+// that take a *sim.Proc block the calling process for the simulated duration
+// of the operation.
+//
+// Data buffers may be nil, in which case the device tracks timing and
+// page-state metadata only; throughput-oriented workloads use this mode,
+// while crash-consistency tests pass real bytes.
+type Device interface {
+	// PageSize returns the mapping-unit size in bytes.
+	PageSize() int
+	// Pages returns the device capacity in pages.
+	Pages() int64
+	// Read reads n consecutive pages starting at lpn as one command.
+	// If buf is non-nil it must be n*PageSize bytes and receives the data.
+	Read(p *sim.Proc, lpn LPN, n int, buf []byte) error
+	// Write writes n consecutive pages starting at lpn as one command.
+	// If data is non-nil it must be n*PageSize bytes.
+	Write(p *sim.Proc, lpn LPN, n int, data []byte) error
+	// Flush executes a flush-cache command: on return, every previously
+	// acknowledged write is on stable media (for devices with volatile
+	// caches) or already guaranteed (durable caches treat this as a cheap
+	// ordering point).
+	Flush(p *sim.Proc) error
+	// Stats returns the device's live counters.
+	Stats() *Stats
+}
+
+// PowerCycler is implemented by devices that support power-fault injection.
+type PowerCycler interface {
+	// PowerFail cuts power instantly. In-flight NAND programs may tear,
+	// volatile caches are lost; durable caches execute their capacitor-
+	// backed dump. Outstanding commands fail with ErrPowerFail.
+	PowerFail()
+	// Reboot restores power and runs device-level recovery, returning the
+	// simulated recovery duration.
+	Reboot(p *sim.Proc) error
+}
+
+// Stats holds per-device counters. All fields are cumulative since device
+// creation (they survive power cycles, like a SMART log).
+type Stats struct {
+	ReadCommands  int64 // host read commands completed
+	WriteCommands int64 // host write commands completed
+	FlushCommands int64 // host flush-cache commands completed
+	PagesRead     int64 // host pages transferred in
+	PagesWritten  int64 // host pages transferred out
+
+	NANDReads    int64 // physical page reads (incl. GC)
+	NANDPrograms int64 // physical page programs (incl. GC, dumps)
+	NANDErases   int64 // block erases
+	GCPrograms   int64 // programs caused by garbage collection
+
+	CacheHits     int64 // host reads served from the device cache
+	CacheEvicts   int64 // cache frames written back
+	CacheOverlaps int64 // stale cached copies discarded on overwrite
+
+	DumpPages     int64 // pages flushed to the dump area on power failure
+	TornPages     int64 // pages torn by power failure mid-program
+	LostPages     int64 // acknowledged pages lost to power failure
+	Recoveries    int64 // successful reboot recoveries
+	MapFlushPages int64 // mapping-table journal pages programmed
+}
+
+// WriteAmplification returns NAND pages programmed per host page written.
+// It returns 0 when no host pages have been written.
+func (s *Stats) WriteAmplification() float64 {
+	if s.PagesWritten == 0 {
+		return 0
+	}
+	return float64(s.NANDPrograms) / float64(s.PagesWritten)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC-32C of a page image. Database engines stamp it
+// into page headers so recovery can detect torn writes.
+func Checksum(page []byte) uint32 { return crc32.Checksum(page, crcTable) }

@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumDetectsFlips(t *testing.T) {
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	sum := Checksum(page)
+	page[100] ^= 0x01
+	if Checksum(page) == sum {
+		t.Fatal("single-bit flip not detected")
+	}
+}
+
+func TestPageImageRoundTrip(t *testing.T) {
+	buf := make([]byte, 4096)
+	BuildPageImage(buf, 42, 7)
+	id, ver, ok := ParsePageImage(buf)
+	if !ok || id != 42 || ver != 7 {
+		t.Fatalf("parse = (%d, %d, %v)", id, ver, ok)
+	}
+}
+
+func TestPageImageDetectsTear(t *testing.T) {
+	buf := make([]byte, 4096)
+	BuildPageImage(buf, 1, 2)
+	// Tear: second half replaced with garbage.
+	for i := 2048; i < 4096; i++ {
+		buf[i] = byte(0xde ^ i)
+	}
+	if _, _, ok := ParsePageImage(buf); ok {
+		t.Fatal("torn image parsed as valid")
+	}
+}
+
+func TestPageImageDeterministic(t *testing.T) {
+	check := func(id, ver uint64) bool {
+		a := make([]byte, 1024)
+		b := make([]byte, 1024)
+		BuildPageImage(a, id, ver)
+		BuildPageImage(b, id, ver)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		gid, gver, ok := ParsePageImage(a)
+		return ok && gid == id && gver == ver
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageImageVersionsDiffer(t *testing.T) {
+	a := make([]byte, 1024)
+	b := make([]byte, 1024)
+	BuildPageImage(a, 5, 1)
+	BuildPageImage(b, 5, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different versions produced identical images")
+	}
+}
+
+func TestParsePageImageTooShort(t *testing.T) {
+	if _, _, ok := ParsePageImage(make([]byte, 8)); ok {
+		t.Fatal("short buffer parsed")
+	}
+}
+
+func TestWriteAmplification(t *testing.T) {
+	s := Stats{}
+	if s.WriteAmplification() != 0 {
+		t.Fatal("WA of empty stats not 0")
+	}
+	s.PagesWritten = 100
+	s.NANDPrograms = 150
+	if got := s.WriteAmplification(); got != 1.5 {
+		t.Fatalf("WA = %v", got)
+	}
+}

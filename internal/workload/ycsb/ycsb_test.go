@@ -1,0 +1,85 @@
+package ycsb
+
+import (
+	"testing"
+
+	"durassd/internal/couch"
+	"durassd/internal/host"
+	"durassd/internal/sim"
+	"durassd/internal/ssd"
+)
+
+func newStore(t *testing.T, barrier bool, batch int) (*sim.Engine, *couch.Store) {
+	t.Helper()
+	eng := sim.New()
+	dev, err := ssd.New(eng, ssd.DuraSSD(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := host.NewFS(dev, barrier)
+	st, err := couch.Open(eng, fs, couch.Config{Docs: 50_000, BatchSize: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, st
+}
+
+func TestWorkloadARuns(t *testing.T) {
+	eng, st := newStore(t, true, 10)
+	res, err := Run(eng, st, 50_000, Config{Operations: 2_000, UpdatePct: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2_000 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.OPS() <= 0 {
+		t.Fatal("zero OPS")
+	}
+	if res.Lat.Count() != 2_000 {
+		t.Fatalf("latency samples = %d", res.Lat.Count())
+	}
+}
+
+func TestUpdateOnlySlowerThanMixed(t *testing.T) {
+	run := func(updPct int) float64 {
+		eng, st := newStore(t, true, 1)
+		res, err := Run(eng, st, 50_000, Config{Operations: 1_000, UpdatePct: updPct, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OPS()
+	}
+	if full, half := run(100), run(50); full >= half {
+		t.Fatalf("100%% updates (%v OPS) not slower than 50%% (%v OPS) under per-update fsync", full, half)
+	}
+}
+
+func TestBatchSizeSpeedsThroughput(t *testing.T) {
+	run := func(batch int) float64 {
+		eng, st := newStore(t, true, batch)
+		res, err := Run(eng, st, 50_000, Config{Operations: 1_500, UpdatePct: 100, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OPS()
+	}
+	b1, b100 := run(1), run(100)
+	if b100 < 5*b1 {
+		t.Fatalf("batch-100 (%v) should be far faster than batch-1 (%v) with barriers on", b100, b1)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		eng, st := newStore(t, false, 5)
+		res, err := Run(eng, st, 50_000, Config{Operations: 1_000, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OPS()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
