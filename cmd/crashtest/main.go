@@ -17,6 +17,7 @@ import (
 	"log"
 
 	"durassd/internal/faults"
+	"durassd/internal/iotrace"
 	"durassd/internal/stats"
 )
 
@@ -28,6 +29,8 @@ func main() {
 
 	tbl := stats.NewTable("Power-fault campaign: acked-commit durability and page atomicity",
 		"Config", "Trials", "Acked", "LostCommits", "TornPages", "Verdict")
+	wa := stats.NewTable("Per-origin write amplification (summed over trials)",
+		"Config", "Origin", "PagesWritten", "NANDSlots", "GCSlots", "WA")
 	for _, sc := range []faults.Scenario{
 		{Device: faults.DuraSSD, Barrier: false, DoubleWrite: false},
 		{Device: faults.DuraSSD, Barrier: true, DoubleWrite: false},
@@ -37,6 +40,7 @@ func main() {
 		{Device: faults.SSDA, Barrier: true, DoubleWrite: true},
 	} {
 		var acked, lost, torn int
+		var origins [iotrace.NumOrigins]iotrace.OriginCounters
 		for i := 0; i < *trials; i++ {
 			sc.Seed = *seed + int64(i)
 			v, err := faults.Run(sc)
@@ -49,14 +53,29 @@ func main() {
 			acked += v.AckedCommits
 			lost += v.LostCommits
 			torn += v.TornPages
+			for o := range v.Origins {
+				origins[o].PagesWritten += v.Origins[o].PagesWritten
+				origins[o].PagesRead += v.Origins[o].PagesRead
+				origins[o].NANDSlots += v.Origins[o].NANDSlots
+				origins[o].GCSlots += v.Origins[o].GCSlots
+			}
 		}
 		verdict := "SAFE"
 		if lost > 0 || torn > 0 {
 			verdict = "UNSAFE"
 		}
 		tbl.AddRow(sc.Name(), *trials, acked, lost, torn, verdict)
+		for o := range origins {
+			c := &origins[o]
+			if c.PagesWritten == 0 && c.NANDSlots == 0 {
+				continue
+			}
+			wa.AddRow(sc.Name(), iotrace.Origin(o).String(),
+				c.PagesWritten, c.NANDSlots, c.GCSlots, c.WriteAmplification())
+		}
 	}
 	tbl.AddComment("LostCommits: acknowledged transactions missing after recovery")
 	tbl.AddComment("TornPages: pages failing checksum validation with no double-write copy")
 	fmt.Println(tbl)
+	fmt.Println(wa)
 }

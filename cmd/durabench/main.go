@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	endurance := flag.Bool("endurance", false, "also measure NAND bytes per transaction (paper's >50% reduction claim)")
 	tail := flag.Bool("tail", false, "also measure read-latency percentiles under mixed load with and without barriers")
+	breakdown := flag.Bool("breakdown", false, "trace requests and print the per-layer latency breakdown and per-origin traffic")
 	flag.Parse()
 
 	if *table == 0 || *table == 1 {
@@ -50,6 +51,15 @@ func main() {
 			log.Fatalf("endurance: %v", err)
 		}
 		fmt.Fprintln(os.Stdout, res.Table)
+	}
+	if *breakdown {
+		res, err := repro.Breakdown(repro.BreakdownConfig{Scale: *scale, Ops: *ops, Seed: *seed})
+		if err != nil {
+			log.Fatalf("breakdown: %v", err)
+		}
+		for _, t := range res.Tables {
+			fmt.Fprintln(os.Stdout, t)
+		}
 	}
 	if *tail {
 		res, err := repro.TailLatency(repro.TailLatencyConfig{Scale: *scale, Seed: *seed})

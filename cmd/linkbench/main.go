@@ -33,6 +33,7 @@ func main() {
 			log.Fatalf("figure 5: %v", err)
 		}
 		fmt.Println(res.Table)
+		fmt.Println(res.Origins)
 	}
 	if *all || *figure == 6 {
 		res, err := repro.Fig6(cfg)

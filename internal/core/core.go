@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"durassd/internal/ftl"
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -90,8 +91,9 @@ type frame struct {
 	lpn     storage.LPN
 	data    []byte // latest host data; nil in timing-only mode
 	state   frameState
-	hasData bool // distinguishes timing-only writes from zero pages
-	redirty bool // overwritten while busy; requeue after write-back
+	hasData bool           // distinguishes timing-only writes from zero pages
+	redirty bool           // overwritten while busy; requeue after write-back
+	origin  iotrace.Origin // origin of the latest staged copy
 }
 
 // Controller is the device cache controller described above.
@@ -116,13 +118,15 @@ type Controller struct {
 	dead   bool
 	closed bool
 
+	reg   *iotrace.Registry
 	stats *storage.Stats
 }
 
 // NewController builds a controller over f and starts its flush workers.
-func NewController(f *ftl.FTL, cfg Config, stats *storage.Stats) *Controller {
-	if stats == nil {
-		stats = &storage.Stats{}
+// The registry (shared with the owning device) may be nil.
+func NewController(f *ftl.FTL, cfg Config, reg *iotrace.Registry) *Controller {
+	if reg == nil {
+		reg = iotrace.NewRegistry()
 	}
 	if cfg.Frames <= 0 {
 		cfg.Frames = 1024
@@ -139,7 +143,8 @@ func NewController(f *ftl.FTL, cfg Config, stats *storage.Stats) *Controller {
 		hasDirty: sim.NewQueue(eng),
 		space:    sim.NewQueue(eng),
 		drained:  sim.NewQueue(eng),
-		stats:    stats,
+		reg:      reg,
+		stats:    reg.Stats(),
 	}
 	for i := 0; i < cfg.FlushWorkers; i++ {
 		eng.Go("flusher", c.flushWorker)
@@ -161,13 +166,15 @@ func (c *Controller) CachedSlots() int { return len(c.frames) }
 // command is complete (the DuraSSD durability point). The staging step
 // itself is atomic: admission control and the DRAM copy happen before any
 // frame is touched, so a power failure never leaves a command half-staged.
-func (c *Controller) Write(p *sim.Proc, slots []ftl.SlotWrite) error {
+func (c *Controller) Write(p *sim.Proc, req iotrace.Req, slots []ftl.SlotWrite) error {
 	if c.dead {
 		return ErrCacheDead
 	}
 	if len(slots) > c.cfg.Frames {
 		return ErrCommandTooLarge
 	}
+	sp := req.Begin(p, iotrace.LayerCache)
+	defer sp.End(p)
 	// Admission control: wait until every new frame the command needs can
 	// be taken without evicting dirty data (write stall, §2.3). The frames
 	// are reserved before the DRAM transfer so concurrent commands cannot
@@ -221,6 +228,7 @@ func (c *Controller) stage(s ftl.SlotWrite) {
 		fr.data = nil
 	}
 	fr.hasData = true
+	fr.origin = s.Origin
 	switch fr.state {
 	case frameBusy:
 		// The old copy is mid-program; requeue the new one afterwards.
@@ -261,12 +269,14 @@ func (c *Controller) evictClean() {
 
 // Read serves one slot, from the cache when resident (device cache hit) or
 // from flash otherwise.
-func (c *Controller) Read(p *sim.Proc, lpn storage.LPN, buf []byte) error {
+func (c *Controller) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, buf []byte) error {
 	if c.dead {
 		return ErrCacheDead
 	}
 	if fr, ok := c.frames[lpn]; ok {
+		sp := req.Begin(p, iotrace.LayerCache)
 		p.Sleep(c.cfg.SlotAccess)
+		sp.End(p)
 		if c.dead {
 			return ErrCacheDead
 		}
@@ -282,7 +292,7 @@ func (c *Controller) Read(p *sim.Proc, lpn storage.LPN, buf []byte) error {
 		}
 		return nil
 	}
-	return c.f.ReadSlot(p, lpn, buf)
+	return c.f.ReadSlot(p, req, lpn, buf)
 }
 
 // FlushCache executes the device flush-cache command: it drains every dirty
@@ -293,10 +303,11 @@ func (c *Controller) Read(p *sim.Proc, lpn storage.LPN, buf []byte) error {
 // guarantee everything acknowledged. A volatile cache additionally journals
 // the dirty mapping entries; DuraSSD's mapping table is capacitor-protected
 // and skips that.
-func (c *Controller) FlushCache(p *sim.Proc) error {
+func (c *Controller) FlushCache(p *sim.Proc, req iotrace.Req) error {
 	if c.dead {
 		return ErrCacheDead
 	}
+	sp := req.Begin(p, iotrace.LayerFlushDrain)
 	// Snapshot semantics: the command covers data dirty at its arrival;
 	// writes arriving during the drain belong to the next flush. (Without
 	// the epoch counter a steady writer stream would starve the flush.)
@@ -304,14 +315,17 @@ func (c *Controller) FlushCache(p *sim.Proc) error {
 	for c.flushed < target {
 		c.drained.Wait(p)
 		if c.dead {
+			sp.End(p)
 			return ErrCacheDead
 		}
 	}
 	if c.cfg.Durable {
 		p.Sleep(c.cfg.FlushAck)
+		sp.End(p)
 		return nil
 	}
-	return c.f.FlushMapJournal(p)
+	sp.End(p)
+	return c.f.FlushMapJournal(p, req)
 }
 
 // flushWorker continuously pulls write-backs from the flush list, pairing
@@ -329,9 +343,14 @@ func (c *Controller) flushWorker(p *sim.Proc) {
 		}
 		slots := make([]ftl.SlotWrite, len(batch))
 		for i, fr := range batch {
-			slots[i] = ftl.SlotWrite{LPN: fr.lpn, Data: fr.data}
+			slots[i] = ftl.SlotWrite{LPN: fr.lpn, Data: fr.data, Origin: fr.origin}
 		}
-		err := c.f.Program(p, slots)
+		// Write-backs run under a background request tagged with the first
+		// frame's origin, so GC they trigger is charged to the database
+		// mechanism whose pages filled the cache.
+		req := c.reg.NewReq(p, iotrace.OpWriteback, batch[0].origin, uint64(batch[0].lpn), len(batch))
+		err := c.f.Program(p, req, slots)
+		req.Finish(p)
 		c.completeBatch(batch, err == nil)
 		if err != nil {
 			// Power failure or a fatal FTL error (e.g. out of space). Mark

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"durassd/internal/ftl"
+	"durassd/internal/iotrace"
 	"durassd/internal/nand"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
@@ -23,8 +24,9 @@ type rig struct {
 func newRig(t *testing.T, durable bool, frames int) *rig {
 	t.Helper()
 	eng := sim.New()
-	stats := &storage.Stats{}
-	a, err := nand.New(eng, nand.EnterpriseConfig(16), stats)
+	reg := iotrace.NewRegistry()
+	stats := reg.Stats()
+	a, err := nand.New(eng, nand.EnterpriseConfig(16), reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func newRig(t *testing.T, durable bool, frames int) *rig {
 	} else {
 		fcfg.EagerMapping = true
 	}
-	f, err := ftl.New(a, fcfg, stats)
+	f, err := ftl.New(a, fcfg, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func newRig(t *testing.T, durable bool, frames int) *rig {
 	if frames > 0 {
 		cfg.Frames = frames
 	}
-	c := NewController(f, cfg, stats)
+	c := NewController(f, cfg, reg)
 	return &rig{eng: eng, arr: a, f: f, c: c, stats: stats}
 }
 
@@ -53,7 +55,7 @@ func TestWriteAcksFromCache(t *testing.T) {
 	r := newRig(t, true, 0)
 	var ackTime time.Duration
 	r.eng.Go("w", func(p *sim.Proc) {
-		if err := r.c.Write(p, []ftl.SlotWrite{{LPN: 1}}); err != nil {
+		if err := r.c.Write(p, iotrace.Req{}, []ftl.SlotWrite{{LPN: 1}}); err != nil {
 			t.Errorf("Write: %v", err)
 		}
 		ackTime = p.Now()
@@ -77,11 +79,11 @@ func TestReadHitsCache(t *testing.T) {
 	ss := r.f.SlotSize()
 	d := slotData(ss, 0x5a)
 	r.eng.Go("rw", func(p *sim.Proc) {
-		if err := r.c.Write(p, []ftl.SlotWrite{{LPN: 9, Data: d}}); err != nil {
+		if err := r.c.Write(p, iotrace.Req{}, []ftl.SlotWrite{{LPN: 9, Data: d}}); err != nil {
 			t.Errorf("Write: %v", err)
 		}
 		buf := make([]byte, ss)
-		if err := r.c.Read(p, 9, buf); err != nil {
+		if err := r.c.Read(p, iotrace.Req{}, 9, buf); err != nil {
 			t.Errorf("Read: %v", err)
 		}
 		if !bytes.Equal(buf, d) {
@@ -103,7 +105,7 @@ func TestReadMissGoesToFlash(t *testing.T) {
 	}
 	r.eng.Go("r", func(p *sim.Proc) {
 		buf := make([]byte, ss)
-		if err := r.c.Read(p, 33, buf); err != nil {
+		if err := r.c.Read(p, iotrace.Req{}, 33, buf); err != nil {
 			t.Errorf("Read: %v", err)
 		}
 		if !bytes.Equal(buf, d) {
@@ -126,7 +128,7 @@ func TestOverwriteCoalescesInCache(t *testing.T) {
 	const n = 50
 	r.eng.Go("w", func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
-			if err := r.c.Write(p, []ftl.SlotWrite{{LPN: 4}}); err != nil {
+			if err := r.c.Write(p, iotrace.Req{}, []ftl.SlotWrite{{LPN: 4}}); err != nil {
 				t.Errorf("Write: %v", err)
 			}
 		}
@@ -146,11 +148,11 @@ func TestDurableFlushCacheDrainsButSkipsMapJournal(t *testing.T) {
 	r := newRig(t, true, 0)
 	r.eng.Go("w", func(p *sim.Proc) {
 		for i := 0; i < 32; i++ {
-			if err := r.c.Write(p, []ftl.SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
+			if err := r.c.Write(p, iotrace.Req{}, []ftl.SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
 				t.Errorf("Write: %v", err)
 			}
 		}
-		if err := r.c.FlushCache(p); err != nil {
+		if err := r.c.FlushCache(p, iotrace.Req{}); err != nil {
 			t.Errorf("FlushCache: %v", err)
 		}
 		if r.c.DirtySlots() != 0 {
@@ -168,12 +170,12 @@ func TestVolatileFlushCacheDrains(t *testing.T) {
 	var flushTime time.Duration
 	r.eng.Go("w", func(p *sim.Proc) {
 		for i := 0; i < 32; i++ {
-			if err := r.c.Write(p, []ftl.SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
+			if err := r.c.Write(p, iotrace.Req{}, []ftl.SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
 				t.Errorf("Write: %v", err)
 			}
 		}
 		start := p.Now()
-		if err := r.c.FlushCache(p); err != nil {
+		if err := r.c.FlushCache(p, iotrace.Req{}); err != nil {
 			t.Errorf("FlushCache: %v", err)
 		}
 		flushTime = p.Now() - start
@@ -197,7 +199,7 @@ func TestWriteStallWhenCacheFull(t *testing.T) {
 	var done int
 	r.eng.Go("w", func(p *sim.Proc) {
 		for i := 0; i < 64; i++ {
-			if err := r.c.Write(p, []ftl.SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
+			if err := r.c.Write(p, iotrace.Req{}, []ftl.SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
 				t.Errorf("Write %d: %v", i, err)
 				return
 			}
@@ -221,7 +223,7 @@ func TestCommandTooLarge(t *testing.T) {
 		for i := range slots {
 			slots[i].LPN = storage.LPN(i)
 		}
-		err = r.c.Write(p, slots)
+		err = r.c.Write(p, iotrace.Req{}, slots)
 	})
 	r.eng.Run()
 	if err != ErrCommandTooLarge {
@@ -239,7 +241,7 @@ func TestFlusherPairsSlots(t *testing.T) {
 		for i := range slots {
 			slots[i].LPN = storage.LPN(i)
 		}
-		if err := r.c.Write(p, slots); err != nil {
+		if err := r.c.Write(p, iotrace.Req{}, slots); err != nil {
 			t.Errorf("Write: %v", err)
 		}
 	})
@@ -259,7 +261,7 @@ func TestDurablePowerFailDumpsAndRecovers(t *testing.T) {
 			lpn := storage.LPN(i)
 			d := slotData(ss, byte(i+1))
 			want[lpn] = d
-			if err := r.c.Write(p, []ftl.SlotWrite{{LPN: lpn, Data: d}}); err != nil {
+			if err := r.c.Write(p, iotrace.Req{}, []ftl.SlotWrite{{LPN: lpn, Data: d}}); err != nil {
 				return // power may hit mid-run
 			}
 		}
@@ -286,7 +288,7 @@ func TestDurablePowerFailDumpsAndRecovers(t *testing.T) {
 		}
 		buf := make([]byte, ss)
 		for lpn, d := range want {
-			if err := r.f.ReadSlot(p, lpn, buf); err != nil {
+			if err := r.f.ReadSlot(p, iotrace.Req{}, lpn, buf); err != nil {
 				t.Errorf("read %d: %v", lpn, err)
 				return
 			}
@@ -312,7 +314,7 @@ func TestVolatilePowerFailLosesCachedWrites(t *testing.T) {
 	r := newRig(t, false, 0)
 	r.eng.Go("w", func(p *sim.Proc) {
 		for i := 0; i < 40; i++ {
-			if err := r.c.Write(p, []ftl.SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
+			if err := r.c.Write(p, iotrace.Req{}, []ftl.SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
 				return
 			}
 		}
@@ -334,22 +336,23 @@ func TestCapacitorBudgetTooSmall(t *testing.T) {
 	// Ablation: an under-provisioned capacitor bank cannot dump the whole
 	// buffer pool; the shortfall is recorded as lost pages.
 	eng := sim.New()
-	stats := &storage.Stats{}
-	a, _ := nand.New(eng, nand.EnterpriseConfig(16), stats)
+	reg := iotrace.NewRegistry()
+	stats := reg.Stats()
+	a, _ := nand.New(eng, nand.EnterpriseConfig(16), reg)
 	fcfg := ftl.DefaultConfig(a.Config().PageSize)
 	fcfg.DumpBlocks = 16
-	f, _ := ftl.New(a, fcfg, stats)
+	f, _ := ftl.New(a, fcfg, reg)
 	cfg := DefaultConfig(f)
 	cfg.DumpBudgetPages = 2 // can only save ~4 slots
 	cfg.FlushWorkers = 1    // keep lots of data in cache
-	c := NewController(f, cfg, stats)
+	c := NewController(f, cfg, reg)
 
 	eng.Go("w", func(p *sim.Proc) {
 		slots := make([]ftl.SlotWrite, 64)
 		for i := range slots {
 			slots[i].LPN = storage.LPN(i)
 		}
-		_ = c.Write(p, slots)
+		_ = c.Write(p, iotrace.Req{}, slots)
 		a.PowerFail()
 		c.PowerFail()
 	})
@@ -372,7 +375,7 @@ func TestAtomicWriterRollsBackIncompleteCommand(t *testing.T) {
 		for i := range slots {
 			slots[i].LPN = storage.LPN(100 + i)
 		}
-		werr = r.c.Write(p, slots)
+		werr = r.c.Write(p, iotrace.Req{}, slots)
 	})
 	// 32 slots * 2us SlotAccess = 64us transfer; cut at 10us.
 	r.eng.Schedule(10*time.Microsecond, func() {
@@ -406,7 +409,7 @@ func TestRecoveryIdempotent(t *testing.T) {
 	// Run recovery twice; the second run must be a no-op.
 	r := newRig(t, true, 0)
 	r.eng.Go("w", func(p *sim.Proc) {
-		_ = r.c.Write(p, []ftl.SlotWrite{{LPN: 7}})
+		_ = r.c.Write(p, iotrace.Req{}, []ftl.SlotWrite{{LPN: 7}})
 		r.arr.PowerFail()
 		r.c.PowerFail()
 	})
@@ -432,12 +435,13 @@ func TestRandomPowerCutsNeverLoseAckedWrites(t *testing.T) {
 	for trial := 0; trial < 12; trial++ {
 		rng := rand.New(rand.NewSource(int64(trial)))
 		eng := sim.New()
-		stats := &storage.Stats{}
-		a, _ := nand.New(eng, nand.EnterpriseConfig(16), stats)
+		reg := iotrace.NewRegistry()
+		stats := reg.Stats()
+		a, _ := nand.New(eng, nand.EnterpriseConfig(16), reg)
 		fcfg := ftl.DefaultConfig(a.Config().PageSize)
 		fcfg.DumpBlocks = 16
-		f, _ := ftl.New(a, fcfg, stats)
-		c := NewController(f, DefaultConfig(f), stats)
+		f, _ := ftl.New(a, fcfg, reg)
+		c := NewController(f, DefaultConfig(f), reg)
 
 		acked := make(map[storage.LPN]byte)
 		ss := f.SlotSize()
@@ -445,7 +449,7 @@ func TestRandomPowerCutsNeverLoseAckedWrites(t *testing.T) {
 			for i := 0; i < 300; i++ {
 				lpn := storage.LPN(rng.Intn(64))
 				v := byte(rng.Intn(255) + 1)
-				if err := c.Write(p, []ftl.SlotWrite{{LPN: lpn, Data: slotData(ss, v)}}); err != nil {
+				if err := c.Write(p, iotrace.Req{}, []ftl.SlotWrite{{LPN: lpn, Data: slotData(ss, v)}}); err != nil {
 					return
 				}
 				acked[lpn] = v
@@ -466,7 +470,7 @@ func TestRandomPowerCutsNeverLoseAckedWrites(t *testing.T) {
 			}
 			buf := make([]byte, ss)
 			for lpn, v := range acked {
-				if err := f.ReadSlot(p, lpn, buf); err != nil {
+				if err := f.ReadSlot(p, iotrace.Req{}, lpn, buf); err != nil {
 					t.Errorf("trial %d: read: %v", trial, err)
 					return
 				}

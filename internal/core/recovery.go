@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"durassd/internal/ftl"
+	"durassd/internal/iotrace"
 	"durassd/internal/nand"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
@@ -101,6 +102,8 @@ func NeedsRecovery(f *ftl.FTL) bool {
 // power failure during recovery just replays again.
 func Recover(p *sim.Proc, f *ftl.FTL, recharge time.Duration, stats *storage.Stats) error {
 	p.Sleep(recharge)
+	req := f.Registry().NewReq(p, iotrace.OpRecovery, iotrace.OriginUnknown, 0, 0)
+	defer req.Finish(p)
 	a := f.Array()
 	ppb := a.Config().PagesPerBlock
 	ss := f.SlotSize()
@@ -122,7 +125,7 @@ func Recover(p *sim.Proc, f *ftl.FTL, recharge time.Duration, stats *storage.Sta
 			if a.Data(ppn) != nil {
 				buf = make([]byte, a.Config().PageSize)
 			}
-			if err := a.ReadPage(p, ppn, buf); err != nil {
+			if err := a.ReadPage(p, req, ppn, buf); err != nil {
 				return err
 			}
 			dp := dumpPage{seq: meta.Seq}
@@ -143,7 +146,7 @@ func Recover(p *sim.Proc, f *ftl.FTL, recharge time.Duration, stats *storage.Sta
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i].seq < pages[j].seq })
 	for _, dp := range pages {
-		if err := f.Program(p, dp.slots); err != nil {
+		if err := f.Program(p, req, dp.slots); err != nil {
 			return err
 		}
 	}
@@ -153,7 +156,7 @@ func Recover(p *sim.Proc, f *ftl.FTL, recharge time.Duration, stats *storage.Sta
 			// dumps fill pages in order).
 			continue
 		}
-		if err := a.EraseBlock(p, blk); err != nil {
+		if err := a.EraseBlock(p, req, blk); err != nil {
 			return err
 		}
 	}

@@ -14,6 +14,7 @@ import (
 
 	"durassd/internal/dbsim/index"
 	"durassd/internal/host"
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -91,6 +92,7 @@ func Open(eng *sim.Engine, fs *host.FS, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	file.SetOrigin(iotrace.OriginJournal)
 	tree, err := index.New(index.Config{
 		PageBytes: cfg.NodeBytes,
 		RowBytes:  64, // key + file offset per entry

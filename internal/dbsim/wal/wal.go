@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"durassd/internal/host"
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -87,6 +88,7 @@ func New(eng *sim.Engine, fs *host.FS, cfg Config) (*Log, error) {
 		if err != nil {
 			return nil, err
 		}
+		f.SetOrigin(iotrace.OriginRedo)
 		l.files = append(l.files, f)
 	}
 	return l, nil

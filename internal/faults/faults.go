@@ -27,6 +27,7 @@ import (
 	"durassd/internal/dbsim/index"
 	"durassd/internal/host"
 	"durassd/internal/innodb"
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/ssd"
 	"durassd/internal/storage"
@@ -83,6 +84,11 @@ type Verdict struct {
 	DumpPages    int64
 	LostDevPages int64
 	Err          error
+
+	// Origins snapshots the device's per-origin traffic counters at the
+	// end of the run, attributing write amplification to the database
+	// mechanism (redo log, double-write, data pages) that caused it.
+	Origins [iotrace.NumOrigins]iotrace.OriginCounters
 }
 
 // Safe reports whether the configuration preserved every guarantee.
@@ -202,6 +208,9 @@ func Run(s Scenario) (*Verdict, error) {
 		}
 	})
 	eng.Run()
+	for o := iotrace.Origin(0); o < iotrace.NumOrigins; o++ {
+		v.Origins[o] = *dev.Registry().Origin(o)
+	}
 	if auditErr != nil {
 		v.Err = auditErr
 		return v, nil

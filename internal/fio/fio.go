@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"durassd/internal/host"
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/stats"
 )
@@ -68,6 +69,9 @@ func Run(eng *sim.Engine, fs *host.FS, job Job) (Result, error) {
 func RunFile(eng *sim.Engine, file *host.File, job Job) (Result, error) {
 	if job.Threads <= 0 {
 		job.Threads = 1
+	}
+	if file.Origin() == iotrace.OriginUnknown {
+		file.SetOrigin(iotrace.OriginData)
 	}
 	devPage := file.PageSize()
 	if job.BlockBytes == 0 {

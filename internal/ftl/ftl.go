@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"durassd/internal/iotrace"
 	"durassd/internal/nand"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
@@ -77,8 +78,9 @@ func DefaultConfig(physPageSize int) Config {
 
 // SlotWrite is one logical slot to program.
 type SlotWrite struct {
-	LPN  storage.LPN
-	Data []byte // SlotSize bytes, or nil for timing-only
+	LPN    storage.LPN
+	Data   []byte // SlotSize bytes, or nil for timing-only
+	Origin iotrace.Origin
 }
 
 // FTL is a page-mapping flash translation layer.
@@ -102,11 +104,13 @@ type FTL struct {
 	gcLocks []*sim.Resource // per-plane GC locks (concurrent GC across planes)
 	bgWake  *sim.Queue      // background collector wakeup (nil when disabled)
 
+	reg   *iotrace.Registry
 	stats *storage.Stats
 }
 
-// New builds an FTL over the array. All blocks start erased.
-func New(a *nand.Array, cfg Config, stats *storage.Stats) (*FTL, error) {
+// New builds an FTL over the array. All blocks start erased. The registry
+// (shared with the owning device) may be nil.
+func New(a *nand.Array, cfg Config, reg *iotrace.Registry) (*FTL, error) {
 	ncfg := a.Config()
 	if cfg.SlotsPerPage <= 0 || ncfg.PageSize%cfg.SlotsPerPage != 0 {
 		return nil, fmt.Errorf("ftl: invalid SlotsPerPage %d for page size %d", cfg.SlotsPerPage, ncfg.PageSize)
@@ -121,8 +125,8 @@ func New(a *nand.Array, cfg Config, stats *storage.Stats) (*FTL, error) {
 	if cfg.DumpBlocks >= planes*(ncfg.BlocksPerPlane-cfg.GCThresholdBlocks-1) {
 		return nil, fmt.Errorf("ftl: DumpBlocks %d leaves no usable space", cfg.DumpBlocks)
 	}
-	if stats == nil {
-		stats = &storage.Stats{}
+	if reg == nil {
+		reg = iotrace.NewRegistry()
 	}
 	f := &FTL{
 		a:          a,
@@ -132,7 +136,8 @@ func New(a *nand.Array, cfg Config, stats *storage.Stats) (*FTL, error) {
 		active:     make([]int, planes),
 		writePtr:   make([]int, planes),
 		dumpSet:    make(map[int]bool),
-		stats:      stats,
+		reg:        reg,
+		stats:      reg.Stats(),
 	}
 	f.gcLocks = make([]*sim.Resource, planes)
 	for i := range f.gcLocks {
@@ -193,6 +198,9 @@ func (f *FTL) DumpBlockIDs() []int { return append([]int(nil), f.dumpBlocks...) 
 // Array returns the underlying NAND array.
 func (f *FTL) Array() *nand.Array { return f.a }
 
+// Registry returns the metrics registry shared with the owning device.
+func (f *FTL) Registry() *iotrace.Registry { return f.reg }
+
 func (f *FTL) spnOf(lpn storage.LPN) (SPN, bool) {
 	if int64(lpn) >= f.logicalSlots {
 		return 0, false
@@ -210,10 +218,12 @@ func (f *FTL) Mapped(lpn storage.LPN) bool {
 // ReadSlot reads the 4 KB slot of lpn. If buf is non-nil it must be
 // SlotSize bytes; unmapped or timing-only slots read back zeroed. Reading an
 // unmapped slot costs no device time (the controller answers from the map).
-func (f *FTL) ReadSlot(p *sim.Proc, lpn storage.LPN, buf []byte) error {
+func (f *FTL) ReadSlot(p *sim.Proc, req iotrace.Req, lpn storage.LPN, buf []byte) error {
 	if int64(lpn) >= f.logicalSlots {
 		return storage.ErrOutOfRange
 	}
+	sp := req.Begin(p, iotrace.LayerFTL)
+	defer sp.End(p)
 	spn, ok := f.spnOf(lpn)
 	if !ok {
 		zero(buf)
@@ -225,7 +235,7 @@ func (f *FTL) ReadSlot(p *sim.Proc, lpn storage.LPN, buf []byte) error {
 	if buf != nil {
 		page = make([]byte, f.a.Config().PageSize)
 	}
-	if err := f.a.ReadPage(p, ppn, page); err != nil {
+	if err := f.a.ReadPage(p, req, ppn, page); err != nil {
 		return err
 	}
 	if buf != nil {
@@ -237,7 +247,9 @@ func (f *FTL) ReadSlot(p *sim.Proc, lpn storage.LPN, buf []byte) error {
 // ReadSlots reads several logical slots, issuing one physical page read per
 // distinct physical page (consecutive DB-page slots often share a NAND
 // page). If buf is non-nil it must be len(lpns)*SlotSize bytes.
-func (f *FTL) ReadSlots(p *sim.Proc, lpns []storage.LPN, buf []byte) error {
+func (f *FTL) ReadSlots(p *sim.Proc, req iotrace.Req, lpns []storage.LPN, buf []byte) error {
+	sp := req.Begin(p, iotrace.LayerFTL)
+	defer sp.End(p)
 	ss := f.SlotSize()
 	type pending struct {
 		ppn  nand.PPN
@@ -270,7 +282,7 @@ func (f *FTL) ReadSlots(p *sim.Proc, lpns []storage.LPN, buf []byte) error {
 		if buf != nil {
 			page = make([]byte, f.a.Config().PageSize)
 		}
-		if err := f.a.ReadPage(p, r.ppn, page); err != nil {
+		if err := f.a.ReadPage(p, req, r.ppn, page); err != nil {
 			return err
 		}
 		if buf != nil {
@@ -287,17 +299,17 @@ func (f *FTL) ReadSlots(p *sim.Proc, lpns []storage.LPN, buf []byte) error {
 // Program writes up to SlotsPerPage logical slots as a single NAND program,
 // running garbage collection first if the target plane is low on space.
 // Duplicate LPNs within one call are not allowed.
-func (f *FTL) Program(p *sim.Proc, slots []SlotWrite) error {
-	return f.program(p, slots, false)
+func (f *FTL) Program(p *sim.Proc, req iotrace.Req, slots []SlotWrite) error {
+	return f.program(p, req, slots, false)
 }
 
-func (f *FTL) program(p *sim.Proc, slots []SlotWrite, gc bool) error {
-	return f.programAt(p, slots, -1, gc)
+func (f *FTL) program(p *sim.Proc, req iotrace.Req, slots []SlotWrite, gc bool) error {
+	return f.programAt(p, req, slots, -1, gc)
 }
 
 // programAt programs slots on the given plane (-1 = round-robin). GC
 // relocations pin to the victim's plane and skip the GC trigger.
-func (f *FTL) programAt(p *sim.Proc, slots []SlotWrite, pl int, gc bool) error {
+func (f *FTL) programAt(p *sim.Proc, req iotrace.Req, slots []SlotWrite, pl int, gc bool) error {
 	if len(slots) == 0 || len(slots) > f.cfg.SlotsPerPage {
 		return fmt.Errorf("ftl: program of %d slots (max %d)", len(slots), f.cfg.SlotsPerPage)
 	}
@@ -306,11 +318,13 @@ func (f *FTL) programAt(p *sim.Proc, slots []SlotWrite, pl int, gc bool) error {
 			return storage.ErrOutOfRange
 		}
 	}
+	sp := req.Begin(p, iotrace.LayerFTL)
+	defer sp.End(p)
 	if pl < 0 {
 		pl = f.pickPlane()
 	}
 	if !gc {
-		if err := f.ensureFree(p, pl); err != nil {
+		if err := f.ensureFree(p, req, pl); err != nil {
 			return err
 		}
 	}
@@ -337,7 +351,7 @@ func (f *FTL) programAt(p *sim.Proc, slots []SlotWrite, pl int, gc bool) error {
 	if f.cfg.EagerMapping {
 		f.commitMapping(ppn, slots)
 	}
-	if err := f.a.ProgramPage(p, ppn, tags, data, false); err != nil {
+	if err := f.a.ProgramPage(p, req, ppn, tags, data, false); err != nil {
 		return err
 	}
 	if !f.cfg.EagerMapping {
@@ -345,6 +359,17 @@ func (f *FTL) programAt(p *sim.Proc, slots []SlotWrite, pl int, gc bool) error {
 	}
 	if gc {
 		f.stats.GCPrograms++
+	}
+	// Attribute each programmed slot to its database-level origin. GC
+	// relocations are charged to the origin that triggered the collection,
+	// per the paper's question "who caused this NAND traffic?".
+	for _, s := range slots {
+		o := s.Origin
+		if gc {
+			o = req.Origin
+			f.reg.AddOriginGC(o, 1)
+		}
+		f.reg.AddOriginNAND(o, 1)
 	}
 	return nil
 }
@@ -449,7 +474,9 @@ func (f *FTL) backgroundGC(p *sim.Proc) {
 			f.gcLocks[pl].Acquire(p, 1)
 			var err error
 			if len(f.planeFree[pl]) < f.cfg.BackgroundGCBlocks {
-				err = f.gcOnce(p, pl)
+				req := f.reg.NewReq(p, iotrace.OpGC, iotrace.OriginUnknown, 0, 0)
+				err = f.gcOnce(p, req, pl)
+				req.Finish(p)
 			}
 			f.gcLocks[pl].Release(1)
 			if err == nil {
@@ -466,12 +493,12 @@ func (f *FTL) backgroundGC(p *sim.Proc) {
 // list is back above the low watermark. GC is serialized per plane, so
 // concurrent flusher workers never pick the same victim but different
 // planes collect in parallel.
-func (f *FTL) ensureFree(p *sim.Proc, pl int) error {
+func (f *FTL) ensureFree(p *sim.Proc, req iotrace.Req, pl int) error {
 	for len(f.planeFree[pl]) < f.cfg.GCThresholdBlocks {
 		f.gcLocks[pl].Acquire(p, 1)
 		var err error
 		if len(f.planeFree[pl]) < f.cfg.GCThresholdBlocks { // recheck under lock
-			err = f.gcOnce(p, pl)
+			err = f.gcOnce(p, req, pl)
 		}
 		f.gcLocks[pl].Release(1)
 		if err == ErrNoSpace && len(f.planeFree[pl]) > 0 {
@@ -490,7 +517,9 @@ func (f *FTL) ensureFree(p *sim.Proc, pl int) error {
 
 // gcOnce relocates the live slots of the plane's emptiest closed block and
 // erases it.
-func (f *FTL) gcOnce(p *sim.Proc, pl int) error {
+func (f *FTL) gcOnce(p *sim.Proc, req iotrace.Req, pl int) error {
+	sp := req.Begin(p, iotrace.LayerGC)
+	defer sp.End(p)
 	ncfg := f.a.Config()
 	victim, victimValid := -1, int(^uint(0)>>1)
 	for b := 0; b < ncfg.BlocksPerPlane; b++ {
@@ -543,7 +572,7 @@ func (f *FTL) gcOnce(p *sim.Proc, pl int) error {
 		if f.a.Data(ppn) != nil {
 			page = make([]byte, ncfg.PageSize)
 		}
-		if err := f.a.ReadPage(p, ppn, page); err != nil {
+		if err := f.a.ReadPage(p, req, ppn, page); err != nil {
 			return err
 		}
 		for _, si := range live {
@@ -553,7 +582,7 @@ func (f *FTL) gcOnce(p *sim.Proc, pl int) error {
 			}
 			batch = append(batch, SlotWrite{LPN: f.a.Meta(ppn).Slots[si].LPN, Data: d})
 			if len(batch) == f.cfg.SlotsPerPage {
-				if err := f.programAt(p, batch, pl, true); err != nil {
+				if err := f.programAt(p, req, batch, pl, true); err != nil {
 					return err
 				}
 				batch = nil
@@ -561,11 +590,11 @@ func (f *FTL) gcOnce(p *sim.Proc, pl int) error {
 		}
 	}
 	if len(batch) > 0 {
-		if err := f.programAt(p, batch, pl, true); err != nil {
+		if err := f.programAt(p, req, batch, pl, true); err != nil {
 			return err
 		}
 	}
-	if err := f.a.EraseBlock(p, victim); err != nil {
+	if err := f.a.EraseBlock(p, req, victim); err != nil {
 		return err
 	}
 	f.validCount[victim] = 0
@@ -586,22 +615,24 @@ func (f *FTL) isFree(pl, blk int) bool {
 // pages (no live slots; GC reclaims them). Volatile-cache devices pay this
 // on every flush-cache command; DuraSSD never does, because the mapping
 // table sits in the capacitor-protected cache (paper §2.3).
-func (f *FTL) FlushMapJournal(p *sim.Proc) error {
+func (f *FTL) FlushMapJournal(p *sim.Proc, req iotrace.Req) error {
 	if f.dirtyMapEntries == 0 {
 		return nil
 	}
+	sp := req.Begin(p, iotrace.LayerFTL)
+	defer sp.End(p)
 	bytes := f.dirtyMapEntries * int64(f.cfg.MapEntryBytes)
 	pages := int((bytes + int64(f.a.Config().PageSize) - 1) / int64(f.a.Config().PageSize))
 	for i := 0; i < pages; i++ {
 		pl := f.pickPlane()
-		if err := f.ensureFree(p, pl); err != nil {
+		if err := f.ensureFree(p, req, pl); err != nil {
 			return err
 		}
 		ppn, err := f.nextPage(pl)
 		if err != nil {
 			return err
 		}
-		if err := f.a.ProgramPage(p, ppn, nil, nil, false); err != nil {
+		if err := f.a.ProgramPage(p, req, ppn, nil, nil, false); err != nil {
 			return err
 		}
 		f.stats.MapFlushPages++

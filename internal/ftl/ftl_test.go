@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"durassd/internal/iotrace"
 	"durassd/internal/nand"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
@@ -15,12 +16,12 @@ import (
 func newTestFTL(t *testing.T, eng *sim.Engine, cfg Config) *FTL {
 	t.Helper()
 	ncfg := nand.EnterpriseConfig(16) // 16 blocks/plane, 32 planes, 64 pages/block
-	stats := &storage.Stats{}
-	a, err := nand.New(eng, ncfg, stats)
+	reg := iotrace.NewRegistry()
+	a, err := nand.New(eng, ncfg, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := New(a, cfg, stats)
+	f, err := New(a, cfg, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,14 +62,14 @@ func TestProgramReadRoundTrip(t *testing.T) {
 	d1 := bytes.Repeat([]byte{0x11}, ss)
 	d2 := bytes.Repeat([]byte{0x22}, ss)
 	eng.Go("io", func(p *sim.Proc) {
-		if err := f.Program(p, []SlotWrite{{LPN: 10, Data: d1}, {LPN: 20, Data: d2}}); err != nil {
+		if err := f.Program(p, iotrace.Req{}, []SlotWrite{{LPN: 10, Data: d1}, {LPN: 20, Data: d2}}); err != nil {
 			t.Errorf("Program: %v", err)
 		}
 		buf := make([]byte, ss)
-		if err := f.ReadSlot(p, 10, buf); err != nil || !bytes.Equal(buf, d1) {
+		if err := f.ReadSlot(p, iotrace.Req{}, 10, buf); err != nil || !bytes.Equal(buf, d1) {
 			t.Errorf("slot 10 mismatch (err=%v)", err)
 		}
-		if err := f.ReadSlot(p, 20, buf); err != nil || !bytes.Equal(buf, d2) {
+		if err := f.ReadSlot(p, iotrace.Req{}, 20, buf); err != nil || !bytes.Equal(buf, d2) {
 			t.Errorf("slot 20 mismatch (err=%v)", err)
 		}
 	})
@@ -85,14 +86,14 @@ func TestOverwriteRemapsAndInvalidates(t *testing.T) {
 	old := bytes.Repeat([]byte{0xaa}, ss)
 	newer := bytes.Repeat([]byte{0xbb}, ss)
 	eng.Go("io", func(p *sim.Proc) {
-		if err := f.Program(p, []SlotWrite{{LPN: 5, Data: old}}); err != nil {
+		if err := f.Program(p, iotrace.Req{}, []SlotWrite{{LPN: 5, Data: old}}); err != nil {
 			t.Errorf("first: %v", err)
 		}
-		if err := f.Program(p, []SlotWrite{{LPN: 5, Data: newer}}); err != nil {
+		if err := f.Program(p, iotrace.Req{}, []SlotWrite{{LPN: 5, Data: newer}}); err != nil {
 			t.Errorf("second: %v", err)
 		}
 		buf := make([]byte, ss)
-		if err := f.ReadSlot(p, 5, buf); err != nil || !bytes.Equal(buf, newer) {
+		if err := f.ReadSlot(p, iotrace.Req{}, 5, buf); err != nil || !bytes.Equal(buf, newer) {
 			t.Errorf("read after overwrite (err=%v)", err)
 		}
 	})
@@ -110,7 +111,7 @@ func TestUnmappedReadsZero(t *testing.T) {
 	f := newTestFTL(t, eng, defaultTestConfig())
 	eng.Go("io", func(p *sim.Proc) {
 		buf := bytes.Repeat([]byte{0xff}, f.SlotSize())
-		if err := f.ReadSlot(p, 99, buf); err != nil {
+		if err := f.ReadSlot(p, iotrace.Req{}, 99, buf); err != nil {
 			t.Errorf("read: %v", err)
 		}
 		for _, b := range buf {
@@ -139,7 +140,7 @@ func TestGarbageCollectionReclaimsSpace(t *testing.T) {
 	eng.Go("hammer", func(p *sim.Proc) {
 		for i := 0; i < writes; i++ {
 			lpn := storage.LPN(rng.Int63n(hot))
-			if err := f.Program(p, []SlotWrite{{LPN: lpn}}); err != nil {
+			if err := f.Program(p, iotrace.Req{}, []SlotWrite{{LPN: lpn}}); err != nil {
 				t.Errorf("write %d: %v", i, err)
 				return
 			}
@@ -174,7 +175,7 @@ func TestGCPreservesData(t *testing.T) {
 			lpn := storage.LPN(i)
 			d := bytes.Repeat([]byte{byte(i + 1)}, ss)
 			want[lpn] = d
-			if err := f.Program(p, []SlotWrite{{LPN: lpn, Data: d}}); err != nil {
+			if err := f.Program(p, iotrace.Req{}, []SlotWrite{{LPN: lpn, Data: d}}); err != nil {
 				t.Errorf("cold write: %v", err)
 				return
 			}
@@ -184,14 +185,14 @@ func TestGCPreservesData(t *testing.T) {
 		rng := rand.New(rand.NewSource(2))
 		for i := 0; i < int(f.LogicalSlots())*2; i++ {
 			lpn := hotBase + storage.LPN(rng.Int63n(hotRange))
-			if err := f.Program(p, []SlotWrite{{LPN: lpn}}); err != nil {
+			if err := f.Program(p, iotrace.Req{}, []SlotWrite{{LPN: lpn}}); err != nil {
 				t.Errorf("hot write: %v", err)
 				return
 			}
 		}
 		buf := make([]byte, ss)
 		for lpn, d := range want {
-			if err := f.ReadSlot(p, lpn, buf); err != nil {
+			if err := f.ReadSlot(p, iotrace.Req{}, lpn, buf); err != nil {
 				t.Errorf("read %d: %v", lpn, err)
 				return
 			}
@@ -215,14 +216,14 @@ func TestMapJournalFlush(t *testing.T) {
 	f := newTestFTL(t, eng, defaultTestConfig())
 	eng.Go("io", func(p *sim.Proc) {
 		for i := 0; i < 10; i++ {
-			if err := f.Program(p, []SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
+			if err := f.Program(p, iotrace.Req{}, []SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
 				t.Errorf("write: %v", err)
 			}
 		}
 		if f.DirtyMapEntries() != 10 {
 			t.Errorf("dirty entries = %d, want 10", f.DirtyMapEntries())
 		}
-		if err := f.FlushMapJournal(p); err != nil {
+		if err := f.FlushMapJournal(p, iotrace.Req{}); err != nil {
 			t.Errorf("flush: %v", err)
 		}
 		if f.DirtyMapEntries() != 0 {
@@ -236,7 +237,7 @@ func TestMapJournalFlush(t *testing.T) {
 	// Flushing a clean journal is free.
 	before := f.stats.MapFlushPages
 	eng.Go("io2", func(p *sim.Proc) {
-		if err := f.FlushMapJournal(p); err != nil {
+		if err := f.FlushMapJournal(p, iotrace.Req{}); err != nil {
 			t.Errorf("noop flush: %v", err)
 		}
 	})
@@ -260,7 +261,7 @@ func TestDumpBlocksReservedAndExcluded(t *testing.T) {
 	// land in a dump block.
 	eng.Go("io", func(p *sim.Proc) {
 		for i := int64(0); i < f.LogicalSlots()*6/10; i++ {
-			if err := f.Program(p, []SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
+			if err := f.Program(p, iotrace.Req{}, []SlotWrite{{LPN: storage.LPN(i)}}); err != nil {
 				t.Errorf("write %d: %v", i, err)
 				return
 			}
@@ -296,7 +297,7 @@ func TestLoadSlotsInstant(t *testing.T) {
 	}
 	eng.Go("io", func(p *sim.Proc) {
 		buf := make([]byte, ss)
-		if err := f.ReadSlot(p, 42, buf); err != nil || buf[0] != 42 {
+		if err := f.ReadSlot(p, iotrace.Req{}, 42, buf); err != nil || buf[0] != 42 {
 			t.Errorf("loaded slot unreadable (err=%v, b0=%x)", err, buf[0])
 		}
 	})
@@ -311,9 +312,10 @@ func TestWriteAmplificationTracked(t *testing.T) {
 	cfg := defaultTestConfig()
 	cfg.OverProvisionPct = 25
 	ncfg := nand.EnterpriseConfig(16)
-	stats := &storage.Stats{}
-	a, _ := nand.New(eng, ncfg, stats)
-	f, err := New(a, cfg, stats)
+	reg := iotrace.NewRegistry()
+	stats := reg.Stats()
+	a, _ := nand.New(eng, ncfg, reg)
+	f, err := New(a, cfg, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +331,7 @@ func TestWriteAmplificationTracked(t *testing.T) {
 			if pair[0].LPN == pair[1].LPN {
 				pair = pair[:1]
 			}
-			if err := f.Program(p, pair); err != nil {
+			if err := f.Program(p, iotrace.Req{}, pair); err != nil {
 				t.Errorf("write: %v", err)
 				return
 			}
@@ -364,14 +366,14 @@ func TestRandomOpsInvariant(t *testing.T) {
 				lpn := storage.LPN(rng.Int63n(f.LogicalSlots() / 8))
 				if rng.Intn(3) > 0 {
 					v := byte(rng.Intn(255) + 1)
-					if err := f.Program(p, []SlotWrite{{LPN: lpn, Data: bytes.Repeat([]byte{v}, ss)}}); err != nil {
+					if err := f.Program(p, iotrace.Req{}, []SlotWrite{{LPN: lpn, Data: bytes.Repeat([]byte{v}, ss)}}); err != nil {
 						ok = false
 						return
 					}
 					shadow[lpn] = v
 				} else {
 					buf := make([]byte, ss)
-					if err := f.ReadSlot(p, lpn, buf); err != nil {
+					if err := f.ReadSlot(p, iotrace.Req{}, lpn, buf); err != nil {
 						ok = false
 						return
 					}
@@ -406,7 +408,7 @@ func TestWearAwareAllocationBalancesErases(t *testing.T) {
 		rng := rand.New(rand.NewSource(9))
 		eng.Go("hammer", func(p *sim.Proc) {
 			for i := 0; i < int(f.LogicalSlots())*4; i++ {
-				if err := f.Program(p, []SlotWrite{
+				if err := f.Program(p, iotrace.Req{}, []SlotWrite{
 					{LPN: storage.LPN(rng.Int63n(hot))},
 					{LPN: storage.LPN(hot + rng.Int63n(hot))},
 				}); err != nil {
@@ -433,9 +435,10 @@ func TestBackgroundGCReducesForegroundStalls(t *testing.T) {
 		cfg.OverProvisionPct = 25
 		cfg.BackgroundGCBlocks = bg
 		ncfg := nand.EnterpriseConfig(16)
-		stats := &storage.Stats{}
-		a, _ := nand.New(eng, ncfg, stats)
-		f, err := New(a, cfg, stats)
+		reg := iotrace.NewRegistry()
+		stats := reg.Stats()
+		a, _ := nand.New(eng, ncfg, reg)
+		f, err := New(a, cfg, reg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -444,7 +447,7 @@ func TestBackgroundGCReducesForegroundStalls(t *testing.T) {
 		rng := rand.New(rand.NewSource(4))
 		eng.Go("w", func(p *sim.Proc) {
 			for i := 0; i < int(f.LogicalSlots())*2; i++ {
-				if err := f.Program(p, []SlotWrite{{LPN: storage.LPN(rng.Int63n(hot))}}); err != nil {
+				if err := f.Program(p, iotrace.Req{}, []SlotWrite{{LPN: storage.LPN(rng.Int63n(hot))}}); err != nil {
 					t.Errorf("write: %v", err)
 					return
 				}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"time"
 
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -81,6 +82,7 @@ type Device struct {
 	drained    *sim.Queue
 
 	offline bool
+	reg     *iotrace.Registry
 	stats   *storage.Stats
 }
 
@@ -89,6 +91,7 @@ func New(eng *sim.Engine, cfg Config) (*Device, error) {
 	if cfg.PageSize <= 0 || cfg.Pages <= 0 {
 		return nil, fmt.Errorf("hdd: invalid geometry %+v", cfg)
 	}
+	reg := iotrace.NewRegistry()
 	d := &Device{
 		cfg:      cfg,
 		eng:      eng,
@@ -101,7 +104,8 @@ func New(eng *sim.Engine, cfg Config) (*Device, error) {
 		hasDirty: sim.NewQueue(eng),
 		space:    sim.NewQueue(eng),
 		drained:  sim.NewQueue(eng),
-		stats:    &storage.Stats{},
+		reg:      reg,
+		stats:    reg.Stats(),
 	}
 	eng.Go("hdd-drain", d.drainer)
 	return d, nil
@@ -119,12 +123,21 @@ func (d *Device) Pages() int64 { return d.cfg.Pages }
 // Stats returns the device counters.
 func (d *Device) Stats() *storage.Stats { return d.stats }
 
+// Registry returns the device's unified metrics registry.
+func (d *Device) Registry() *iotrace.Registry { return d.reg }
+
 // service performs one random media access of n consecutive pages. depth is
 // the scheduling window the firmware can reorder over: the arm queue for
-// direct accesses, the dirty backlog for cache drains.
-func (d *Device) service(p *sim.Proc, n, depth int) {
+// direct accesses, the dirty backlog for cache drains. The arm wait is a
+// host-queue span; the mechanical access itself is charged to the media
+// (NAND) layer so HDD and SSD breakdowns share one table shape.
+func (d *Device) service(p *sim.Proc, req iotrace.Req, n, depth int) {
+	qsp := req.Begin(p, iotrace.LayerHostQueue)
 	d.armQ++
 	d.arm.Acquire(p, 1)
+	qsp.End(p)
+	msp := req.Begin(p, iotrace.LayerNAND)
+	defer msp.End(p)
 	qd := d.armQ
 	if depth > qd {
 		qd = depth
@@ -153,7 +166,7 @@ func (d *Device) xfer(bytes int) time.Duration {
 }
 
 // Write submits one write command of n pages starting at lpn.
-func (d *Device) Write(p *sim.Proc, lpn storage.LPN, n int, data []byte) error {
+func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, data []byte) error {
 	if d.offline {
 		return storage.ErrOffline
 	}
@@ -163,17 +176,22 @@ func (d *Device) Write(p *sim.Proc, lpn storage.LPN, n int, data []byte) error {
 	if data != nil && len(data) != n*d.cfg.PageSize {
 		return fmt.Errorf("hdd: write data length %d != %d", len(data), n*d.cfg.PageSize)
 	}
+	lsp := req.Begin(p, iotrace.LayerLink)
 	d.link.Use(p, d.xfer(n*d.cfg.PageSize))
+	lsp.End(p)
 	if d.offline {
 		return storage.ErrPowerFail
 	}
 	if d.cacheOn {
+		csp := req.Begin(p, iotrace.LayerCache)
 		for d.dirtyPages+d.inFlight+n > d.cfg.CacheFrames {
 			d.space.Wait(p)
 			if d.offline {
+				csp.End(p)
 				return storage.ErrPowerFail
 			}
 		}
+		csp.End(p)
 		for i := 0; i < n; i++ {
 			l := lpn + storage.LPN(i)
 			var pg []byte
@@ -188,10 +206,10 @@ func (d *Device) Write(p *sim.Proc, lpn storage.LPN, n int, data []byte) error {
 			}
 		}
 		d.dirtyPages += n
-		d.dirtyq = append(d.dirtyq, extent{lpn: lpn, n: n})
+		d.dirtyq = append(d.dirtyq, extent{lpn: lpn, n: n, origin: req.Origin})
 		d.hasDirty.WakeOne()
 	} else {
-		d.service(p, n, 0)
+		d.service(p, req, n, 0)
 		if d.offline {
 			return storage.ErrPowerFail // in-place write may be torn
 		}
@@ -199,6 +217,7 @@ func (d *Device) Write(p *sim.Proc, lpn storage.LPN, n int, data []byte) error {
 	}
 	d.stats.WriteCommands++
 	d.stats.PagesWritten += int64(n)
+	d.reg.AddOriginWrite(req.Origin, n)
 	return nil
 }
 
@@ -214,8 +233,9 @@ func (d *Device) commit(lpn storage.LPN, n int, data []byte) {
 
 // extent is one cached write command awaiting write-back.
 type extent struct {
-	lpn storage.LPN
-	n   int
+	lpn    storage.LPN
+	n      int
+	origin iotrace.Origin
 }
 
 // drainer writes cached commands back to the platter in FIFO order, one
@@ -237,7 +257,9 @@ func (d *Device) drainer(p *sim.Proc) {
 		for i := 0; i < ext.n; i++ {
 			images[i] = d.frames[ext.lpn+storage.LPN(i)]
 		}
-		d.service(p, ext.n, d.dirtyPages+1)
+		req := d.reg.NewReq(p, iotrace.OpWriteback, ext.origin, uint64(ext.lpn), ext.n)
+		d.service(p, req, ext.n, d.dirtyPages+1)
+		req.Finish(p)
 		d.inFlight -= ext.n
 		if d.offline {
 			return
@@ -273,7 +295,7 @@ func (d *Device) stillQueued(l storage.LPN) bool {
 }
 
 // Read submits one read command of n pages starting at lpn.
-func (d *Device) Read(p *sim.Proc, lpn storage.LPN, n int, buf []byte) error {
+func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf []byte) error {
 	if d.offline {
 		return storage.ErrOffline
 	}
@@ -293,7 +315,7 @@ func (d *Device) Read(p *sim.Proc, lpn storage.LPN, n int, buf []byte) error {
 	if allCached && d.cacheOn {
 		d.stats.CacheHits += int64(n)
 	} else {
-		d.service(p, n, 0)
+		d.service(p, req, n, 0)
 		if d.offline {
 			return storage.ErrPowerFail
 		}
@@ -315,20 +337,25 @@ func (d *Device) Read(p *sim.Proc, lpn storage.LPN, n int, buf []byte) error {
 			}
 		}
 	}
+	lsp := req.Begin(p, iotrace.LayerLink)
 	d.link.Use(p, d.xfer(n*d.cfg.PageSize))
+	lsp.End(p)
 	if d.offline {
 		return storage.ErrPowerFail
 	}
 	d.stats.ReadCommands++
 	d.stats.PagesRead += int64(n)
+	d.reg.AddOriginRead(req.Origin, n)
 	return nil
 }
 
 // Flush drains the track cache to the platter and settles.
-func (d *Device) Flush(p *sim.Proc) error {
+func (d *Device) Flush(p *sim.Proc, req iotrace.Req) error {
 	if d.offline {
 		return storage.ErrOffline
 	}
+	sp := req.Begin(p, iotrace.LayerFlushDrain)
+	defer sp.End(p)
 	if d.cacheOn {
 		for d.dirtyPages > 0 || d.inFlight > 0 {
 			d.drained.Wait(p)

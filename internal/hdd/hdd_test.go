@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -23,14 +24,14 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	eng, d := newDisk(t)
 	data := bytes.Repeat([]byte{0x3c}, d.PageSize())
 	eng.Go("io", func(p *sim.Proc) {
-		if err := d.Write(p, 42, 1, data); err != nil {
+		if err := d.Write(p, iotrace.Req{}, 42, 1, data); err != nil {
 			t.Errorf("Write: %v", err)
 		}
-		if err := d.Flush(p); err != nil {
+		if err := d.Flush(p, iotrace.Req{}); err != nil {
 			t.Errorf("Flush: %v", err)
 		}
 		buf := make([]byte, d.PageSize())
-		if err := d.Read(p, 42, 1, buf); err != nil {
+		if err := d.Read(p, iotrace.Req{}, 42, 1, buf); err != nil {
 			t.Errorf("Read: %v", err)
 		}
 		if !bytes.Equal(buf, data) {
@@ -44,7 +45,7 @@ func TestCachedWriteAcksFast(t *testing.T) {
 	eng, d := newDisk(t)
 	var ack time.Duration
 	eng.Go("io", func(p *sim.Proc) {
-		if err := d.Write(p, 0, 1, nil); err != nil {
+		if err := d.Write(p, iotrace.Req{}, 0, 1, nil); err != nil {
 			t.Errorf("Write: %v", err)
 		}
 		ack = p.Now()
@@ -60,7 +61,7 @@ func TestUncachedWriteSeeks(t *testing.T) {
 	d.SetWriteCache(false)
 	var ack time.Duration
 	eng.Go("io", func(p *sim.Proc) {
-		if err := d.Write(p, 0, 1, nil); err != nil {
+		if err := d.Write(p, iotrace.Req{}, 0, 1, nil); err != nil {
 			t.Errorf("Write: %v", err)
 		}
 		ack = p.Now()
@@ -78,7 +79,7 @@ func TestReorderingImprovesThroughput(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		lpn := storage.LPN(i * 1000)
 		eng.Go("r", func(p *sim.Proc) {
-			if err := d.Read(p, lpn, 1, nil); err != nil {
+			if err := d.Read(p, iotrace.Req{}, lpn, 1, nil); err != nil {
 				t.Errorf("Read: %v", err)
 			}
 			if p.Now() > last {
@@ -100,10 +101,10 @@ func TestExtentDrainsAsOneSeek(t *testing.T) {
 		eng, d := newDisk(t)
 		var done time.Duration
 		eng.Go("io", func(p *sim.Proc) {
-			if err := d.Write(p, 0, pages, nil); err != nil {
+			if err := d.Write(p, iotrace.Req{}, 0, pages, nil); err != nil {
 				t.Errorf("Write: %v", err)
 			}
-			if err := d.Flush(p); err != nil {
+			if err := d.Flush(p, iotrace.Req{}); err != nil {
 				t.Errorf("Flush: %v", err)
 			}
 			done = p.Now()
@@ -121,7 +122,7 @@ func TestPowerFailLosesTrackCache(t *testing.T) {
 	eng, d := newDisk(t)
 	eng.Go("io", func(p *sim.Proc) {
 		for i := 0; i < 8; i++ {
-			if err := d.Write(p, storage.LPN(i), 1, nil); err != nil {
+			if err := d.Write(p, iotrace.Req{}, storage.LPN(i), 1, nil); err != nil {
 				return
 			}
 		}
@@ -138,11 +139,11 @@ func TestFlushWaitsForDrain(t *testing.T) {
 	var flushDone time.Duration
 	eng.Go("io", func(p *sim.Proc) {
 		for i := 0; i < 10; i++ {
-			if err := d.Write(p, storage.LPN(i*500), 1, nil); err != nil {
+			if err := d.Write(p, iotrace.Req{}, storage.LPN(i*500), 1, nil); err != nil {
 				t.Errorf("Write: %v", err)
 			}
 		}
-		if err := d.Flush(p); err != nil {
+		if err := d.Flush(p, iotrace.Req{}); err != nil {
 			t.Errorf("Flush: %v", err)
 		}
 		flushDone = p.Now()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -20,6 +21,7 @@ import (
 // FS is a minimal filesystem over one device.
 type FS struct {
 	dev     storage.Device
+	reg     *iotrace.Registry
 	barrier bool
 	next    storage.LPN // bump allocator for extents
 	files   map[string]*File
@@ -32,6 +34,7 @@ type FS struct {
 func NewFS(dev storage.Device, barrier bool) *FS {
 	return &FS{
 		dev:      dev,
+		reg:      dev.Registry(),
 		barrier:  barrier,
 		files:    make(map[string]*File),
 		FsyncCPU: 3 * time.Microsecond,
@@ -49,12 +52,13 @@ func (fs *FS) Device() storage.Device { return fs.dev }
 
 // File is a preallocated extent of device pages opened with O_DIRECT.
 type File struct {
-	fs    *FS
-	name  string
-	base  storage.LPN
-	pages int64
-	meta  storage.LPN // the file's inode/metadata page
-	dsync bool        // O_DSYNC: every write is followed by a barrier
+	fs     *FS
+	name   string
+	base   storage.LPN
+	pages  int64
+	meta   storage.LPN // the file's inode/metadata page
+	dsync  bool        // O_DSYNC: every write is followed by a barrier
+	origin iotrace.Origin
 }
 
 // Create preallocates a file of the given size in device pages.
@@ -90,6 +94,13 @@ func (fs *FS) Open(name string) (*File, error) {
 // database in the paper's TPC-C experiment opens its files this way.
 func (f *File) SetODSync(on bool) { f.dsync = on }
 
+// SetOrigin tags every request issued through this file with the given
+// database-level origin (redo log, double-write buffer, data pages, ...).
+func (f *File) SetOrigin(o iotrace.Origin) { f.origin = o }
+
+// Origin returns the file's request origin tag.
+func (f *File) Origin() iotrace.Origin { return f.origin }
+
 // Name returns the file name.
 func (f *File) Name() string { return f.name }
 
@@ -105,11 +116,18 @@ func (f *File) WritePages(p *sim.Proc, off int64, n int, data []byte) error {
 	if off < 0 || off+int64(n) > f.pages {
 		return fmt.Errorf("host: write beyond EOF of %q (off %d, n %d)", f.name, off, n)
 	}
-	if err := f.fs.dev.Write(p, f.base+storage.LPN(off), n, data); err != nil {
+	lpn := f.base + storage.LPN(off)
+	req := f.fs.reg.NewReq(p, iotrace.OpWrite, f.origin, uint64(lpn), n)
+	err := f.fs.dev.Write(p, req, lpn, n, data)
+	req.Finish(p)
+	if err != nil {
 		return err
 	}
 	if f.dsync && f.fs.barrier {
-		return f.fs.dev.Flush(p)
+		freq := f.fs.reg.NewReq(p, iotrace.OpFlush, f.origin, 0, 0)
+		err = f.fs.dev.Flush(p, freq)
+		freq.Finish(p)
+		return err
 	}
 	return nil
 }
@@ -119,7 +137,11 @@ func (f *File) ReadPages(p *sim.Proc, off int64, n int, buf []byte) error {
 	if off < 0 || off+int64(n) > f.pages {
 		return fmt.Errorf("host: read beyond EOF of %q (off %d, n %d)", f.name, off, n)
 	}
-	return f.fs.dev.Read(p, f.base+storage.LPN(off), n, buf)
+	lpn := f.base + storage.LPN(off)
+	req := f.fs.reg.NewReq(p, iotrace.OpRead, f.origin, uint64(lpn), n)
+	err := f.fs.dev.Read(p, req, lpn, n, buf)
+	req.Finish(p)
+	return err
 }
 
 // Fsync persists data and metadata. With barriers on it writes the file's
@@ -133,10 +155,16 @@ func (f *File) Fsync(p *sim.Proc) error {
 	if !f.fs.barrier {
 		return nil
 	}
-	if err := f.fs.dev.Write(p, f.meta, 1, nil); err != nil {
+	mreq := f.fs.reg.NewReq(p, iotrace.OpWrite, iotrace.OriginMeta, uint64(f.meta), 1)
+	err := f.fs.dev.Write(p, mreq, f.meta, 1, nil)
+	mreq.Finish(p)
+	if err != nil {
 		return err
 	}
-	return f.fs.dev.Flush(p)
+	freq := f.fs.reg.NewReq(p, iotrace.OpFlush, f.origin, 0, 0)
+	err = f.fs.dev.Flush(p, freq)
+	freq.Finish(p)
+	return err
 }
 
 // Fdatasync persists data only (no metadata write); with barriers on it
@@ -144,7 +172,10 @@ func (f *File) Fsync(p *sim.Proc) error {
 func (f *File) Fdatasync(p *sim.Proc) error {
 	p.Sleep(f.fs.FsyncCPU)
 	if f.fs.barrier {
-		return f.fs.dev.Flush(p)
+		freq := f.fs.reg.NewReq(p, iotrace.OpFlush, f.origin, 0, 0)
+		err := f.fs.dev.Flush(p, freq)
+		freq.Finish(p)
+		return err
 	}
 	return nil
 }

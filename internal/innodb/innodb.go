@@ -28,6 +28,7 @@ import (
 	"durassd/internal/dbsim/index"
 	"durassd/internal/dbsim/wal"
 	"durassd/internal/host"
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -146,9 +147,11 @@ func Open(eng *sim.Engine, dataFS, logFS *host.FS, cfg Config) (*Engine, error) 
 		return nil, err
 	}
 	e.dataFile.SetODSync(cfg.ODSync)
+	e.dataFile.SetOrigin(iotrace.OriginData)
 	if e.dwbFile, err = dataFS.Create("ib-doublewrite", int64(cfg.DWBBatch*e.perDB)); err != nil {
 		return nil, err
 	}
+	e.dwbFile.SetOrigin(iotrace.OriginDoubleWrite)
 	if e.log, err = wal.New(eng, logFS, wal.Config{FilePages: cfg.LogFilePages, Files: cfg.LogFiles, RealBytes: cfg.RealBytes}); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,61 @@
+package iotrace
+
+import (
+	"testing"
+
+	"durassd/internal/sim"
+)
+
+// TestDisabledPathAllocatesNothing pins the tentpole's zero-allocation
+// guarantee: with tracing off, the whole request lifecycle — NewReq,
+// Begin/End per layer, Finish — must never touch the heap.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	reg := NewRegistry()
+	allocs := testing.AllocsPerRun(1000, func() {
+		q := reg.NewReq(nil, OpWrite, OriginData, 42, 8)
+		sp := q.Begin(nil, LayerHostQueue)
+		inner := q.Begin(nil, LayerNAND)
+		inner.End(nil)
+		sp.End(nil)
+		q.Finish(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %v times per request", allocs)
+	}
+}
+
+// BenchmarkDisabledReq measures the per-request overhead of the tracing
+// plumbing when tracing is off (the default in every benchmark run).
+func BenchmarkDisabledReq(b *testing.B) {
+	reg := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := reg.NewReq(nil, OpWrite, OriginData, uint64(i), 8)
+		sp := q.Begin(nil, LayerHostQueue)
+		inner := q.Begin(nil, LayerNAND)
+		inner.End(nil)
+		sp.End(nil)
+		q.Finish(nil)
+	}
+}
+
+// BenchmarkEnabledReq is the traced counterpart, so the cost of turning
+// -breakdown on is a one-line comparison away.
+func BenchmarkEnabledReq(b *testing.B) {
+	reg := NewRegistry()
+	reg.EnableTracing(true)
+	eng := sim.New()
+	b.ReportAllocs()
+	eng.Go("bench", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := reg.NewReq(p, OpWrite, OriginData, uint64(i), 8)
+			sp := q.Begin(p, LayerHostQueue)
+			inner := q.Begin(p, LayerNAND)
+			inner.End(p)
+			sp.End(p)
+			q.Finish(p)
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,168 @@
+package iotrace_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"durassd/internal/host"
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/ssd"
+)
+
+// driveWorkload runs a seeded mixed read/write/fsync workload against a
+// fresh DuraSSD behind the host filesystem and returns the engine and
+// device for inspection.
+func driveWorkload(t *testing.T, seed int64, tracing bool) (*sim.Engine, *ssd.Device) {
+	t.Helper()
+	eng := sim.New()
+	dev, err := ssd.New(eng, ssd.DuraSSD(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Registry().EnableTracing(tracing)
+	fs := host.NewFS(dev, true)
+	file, err := fs.Create("wl", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file.SetOrigin(iotrace.OriginData)
+	if err := file.Preload(0, 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		rng := rand.New(rand.NewSource(seed + int64(c)*101))
+		eng.Go("client", func(p *sim.Proc) {
+			for i := 0; i < 120; i++ {
+				off := rng.Int63n(4000)
+				switch rng.Intn(10) {
+				case 0, 1:
+					if err := file.ReadPages(p, off, 1, nil); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+				case 2:
+					if err := file.Fsync(p); err != nil {
+						t.Errorf("fsync: %v", err)
+						return
+					}
+				default:
+					n := 1 + rng.Intn(4)
+					if off+int64(n) > 4096 {
+						n = 1
+					}
+					if err := file.WritePages(p, off, n, nil); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				}
+			}
+		})
+	}
+	return eng, dev
+}
+
+// checkNesting verifies one finished request's span tree: spans are
+// reported in begin order, timestamps are monotone, every span closes, and
+// the Depth/interval structure is a proper nesting (children fully inside
+// their parents, exclusive time consistent).
+func checkNesting(t *testing.T, q iotrace.Req, spans []iotrace.SpanRec, now time.Duration) {
+	t.Helper()
+	if !q.WellNested() {
+		t.Fatalf("%v request mis-nested: %+v", q.Op, spans)
+	}
+	type open struct {
+		end   time.Duration
+		child time.Duration
+		rec   iotrace.SpanRec
+	}
+	var stack []open
+	var lastStart time.Duration
+	for _, sp := range spans {
+		if sp.Start < lastStart {
+			t.Fatalf("span starts not monotone: %+v", spans)
+		}
+		lastStart = sp.Start
+		if sp.End < sp.Start || sp.End > now {
+			t.Fatalf("span interval invalid: %+v (now %v)", sp, now)
+		}
+		// Pop ancestors that ended before this span began.
+		for len(stack) > 0 && stack[len(stack)-1].end <= sp.Start {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				stack[len(stack)-1].child += top.end - top.rec.Start
+			}
+		}
+		if sp.Depth != len(stack) {
+			t.Fatalf("span depth %d, expected %d: %+v", sp.Depth, len(stack), spans)
+		}
+		if len(stack) > 0 && sp.End > stack[len(stack)-1].end {
+			t.Fatalf("child span escapes parent: %+v", spans)
+		}
+		if sp.Excl < 0 || sp.Excl > sp.End-sp.Start {
+			t.Fatalf("exclusive time out of range: %+v", sp)
+		}
+		stack = append(stack, open{end: sp.End, child: 0, rec: sp})
+	}
+}
+
+// TestSpanTreesWellNested is the tentpole's property test: every request
+// finished during a concurrent mixed workload yields a well-nested,
+// monotone span tree whose exclusive times are consistent.
+func TestSpanTreesWellNested(t *testing.T) {
+	eng, dev := driveWorkload(t, 42, true)
+	finished := 0
+	dev.Registry().SetSpanSink(func(q iotrace.Req, spans []iotrace.SpanRec) {
+		finished++
+		checkNesting(t, q, spans, eng.Now())
+	})
+	eng.Run()
+	if finished < 400 {
+		t.Fatalf("only %d traced requests finished", finished)
+	}
+	// Exclusive layer times must sum to no more than total request time
+	// (they are a partition of traced wall time minus untraced gaps).
+	reg := dev.Registry()
+	var layerSum time.Duration
+	for l := iotrace.Layer(0); l < iotrace.NumLayers; l++ {
+		layerSum += reg.LayerLatency(l).Sum()
+	}
+	var opSum time.Duration
+	for o := iotrace.Op(0); o < iotrace.NumOps; o++ {
+		opSum += reg.OpLatency(o).Sum()
+	}
+	if layerSum > opSum {
+		t.Fatalf("exclusive layer time %v exceeds end-to-end op time %v", layerSum, opSum)
+	}
+}
+
+// TestTracingDoesNotPerturbSimulation is the determinism guarantee: the
+// same seed must produce bit-identical device stats and the same virtual
+// end time whether tracing is on or off.
+func TestTracingDoesNotPerturbSimulation(t *testing.T) {
+	engOff, devOff := driveWorkload(t, 7, false)
+	engOff.Run()
+	engOn, devOn := driveWorkload(t, 7, true)
+	engOn.Run()
+
+	if engOff.Now() != engOn.Now() {
+		t.Fatalf("virtual end time differs: tracing off %v, on %v", engOff.Now(), engOn.Now())
+	}
+	if !reflect.DeepEqual(*devOff.Stats(), *devOn.Stats()) {
+		t.Fatalf("stats differ:\noff: %+v\non:  %+v", *devOff.Stats(), *devOn.Stats())
+	}
+	for o := iotrace.Origin(0); o < iotrace.NumOrigins; o++ {
+		if *devOff.Registry().Origin(o) != *devOn.Registry().Origin(o) {
+			t.Fatalf("origin %v counters differ", o)
+		}
+	}
+	if devOn.Registry().OpLatency(iotrace.OpWrite).Count() == 0 {
+		t.Fatal("traced run recorded no write latencies")
+	}
+	if devOff.Registry().OpLatency(iotrace.OpWrite).Count() != 0 {
+		t.Fatal("untraced run recorded latencies")
+	}
+}

@@ -1,0 +1,196 @@
+package iotrace
+
+import (
+	"sort"
+	"time"
+
+	"durassd/internal/sim"
+	"durassd/internal/stats"
+)
+
+// Stats holds per-device counters. All fields are cumulative since device
+// creation (they survive power cycles, like a SMART log). The storage
+// package aliases this type as storage.Stats, so existing field accesses
+// compile unchanged; new code should reach it through a Registry.
+type Stats struct {
+	ReadCommands  int64 // host read commands completed
+	WriteCommands int64 // host write commands completed
+	FlushCommands int64 // host flush-cache commands completed
+	PagesRead     int64 // host pages transferred in
+	PagesWritten  int64 // host pages transferred out
+
+	NANDReads    int64 // physical page reads (incl. GC)
+	NANDPrograms int64 // physical page programs (incl. GC, dumps)
+	NANDErases   int64 // block erases
+	GCPrograms   int64 // programs caused by garbage collection
+
+	CacheHits     int64 // host reads served from the device cache
+	CacheEvicts   int64 // cache frames written back
+	CacheOverlaps int64 // stale cached copies discarded on overwrite
+
+	DumpPages     int64 // pages flushed to the dump area on power failure
+	TornPages     int64 // pages torn by power failure mid-program
+	LostPages     int64 // acknowledged pages lost to power failure
+	Recoveries    int64 // successful reboot recoveries
+	MapFlushPages int64 // mapping-table journal pages programmed
+}
+
+// WriteAmplification returns NAND pages programmed per host page written.
+// It returns 0 when no host pages have been written.
+func (s *Stats) WriteAmplification() float64 {
+	if s.PagesWritten == 0 {
+		return 0
+	}
+	return float64(s.NANDPrograms) / float64(s.PagesWritten)
+}
+
+// OriginCounters accumulates per-origin traffic so write amplification can
+// be attributed to the database mechanism that caused it.
+type OriginCounters struct {
+	PagesWritten int64 // host pages written with this origin
+	PagesRead    int64 // host pages read with this origin
+	NANDSlots    int64 // NAND slots programmed on behalf of this origin
+	GCSlots      int64 // of NANDSlots, those relocated by garbage collection
+}
+
+// WriteAmplification returns NAND slots programmed per host page written
+// for this origin, or 0 when the origin wrote nothing.
+func (c *OriginCounters) WriteAmplification() float64 {
+	if c.PagesWritten == 0 {
+		return 0
+	}
+	return float64(c.NANDSlots) / float64(c.PagesWritten)
+}
+
+// Registry is the unified per-device metrics store: the legacy cumulative
+// counters (Stats), per-origin traffic counters, per-layer and per-op
+// latency histograms, and a name → counter map for generic reporting.
+//
+// A Registry is confined to its device's simulation; the engine runs one
+// process at a time, so no locking is needed (the race detector in CI
+// verifies this).
+type Registry struct {
+	s       Stats
+	tracing bool
+	origin  [NumOrigins]OriginCounters
+	layer   [NumLayers]stats.Hist
+	op      [NumOps]stats.Hist
+	named   map[string]*int64
+	sink    func(Req, []SpanRec)
+}
+
+// NewRegistry returns an empty registry with tracing disabled.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	s := &r.s
+	r.named = map[string]*int64{
+		"read_commands":   &s.ReadCommands,
+		"write_commands":  &s.WriteCommands,
+		"flush_commands":  &s.FlushCommands,
+		"pages_read":      &s.PagesRead,
+		"pages_written":   &s.PagesWritten,
+		"nand_reads":      &s.NANDReads,
+		"nand_programs":   &s.NANDPrograms,
+		"nand_erases":     &s.NANDErases,
+		"gc_programs":     &s.GCPrograms,
+		"cache_hits":      &s.CacheHits,
+		"cache_evicts":    &s.CacheEvicts,
+		"cache_overlaps":  &s.CacheOverlaps,
+		"dump_pages":      &s.DumpPages,
+		"torn_pages":      &s.TornPages,
+		"lost_pages":      &s.LostPages,
+		"recoveries":      &s.Recoveries,
+		"map_flush_pages": &s.MapFlushPages,
+	}
+	return r
+}
+
+// Stats returns the registry's live legacy counters. Callers may hold the
+// pointer across operations; it always reflects current values.
+func (r *Registry) Stats() *Stats { return &r.s }
+
+// EnableTracing switches span recording on or off. Requests created while
+// tracing is off stay untraced for their whole lifetime.
+func (r *Registry) EnableTracing(on bool) { r.tracing = on }
+
+// Tracing reports whether span recording is enabled.
+func (r *Registry) Tracing() bool { return r.tracing }
+
+// SetSpanSink installs a callback invoked with every finished traced
+// request and its spans (property tests use this to check nesting).
+func (r *Registry) SetSpanSink(fn func(Req, []SpanRec)) { r.sink = fn }
+
+// NewReq creates a request context. With tracing disabled this allocates
+// nothing and never touches p, so a nil proc is acceptable on that path.
+func (r *Registry) NewReq(p *sim.Proc, op Op, origin Origin, lpn uint64, n int) Req {
+	q := Req{Op: op, Origin: origin, LPN: lpn, N: n}
+	if r != nil && r.tracing {
+		q.tr = &trace{reg: r, start: p.Now()}
+	}
+	return q
+}
+
+// finish folds a completed traced request into the histograms.
+func (r *Registry) finish(q Req, total time.Duration) {
+	if q.Op < NumOps {
+		r.op[q.Op].Record(total)
+	}
+	for _, sp := range q.tr.spans {
+		if sp.Layer < NumLayers {
+			r.layer[sp.Layer].Record(sp.Excl)
+		}
+	}
+	if r.sink != nil {
+		r.sink(q, q.tr.spans)
+	}
+}
+
+// LayerLatency returns the histogram of exclusive time spent in layer l
+// across all finished traced requests.
+func (r *Registry) LayerLatency(l Layer) *stats.Hist { return &r.layer[l] }
+
+// OpLatency returns the end-to-end latency histogram for op kind o.
+func (r *Registry) OpLatency(o Op) *stats.Hist { return &r.op[o] }
+
+// Origin returns the live traffic counters for origin o.
+func (r *Registry) Origin(o Origin) *OriginCounters { return &r.origin[o] }
+
+// OriginWriteAmplification returns the per-origin write amplification,
+// guarded against division by zero.
+func (r *Registry) OriginWriteAmplification(o Origin) float64 {
+	return r.origin[o].WriteAmplification()
+}
+
+// AddOriginWrite credits n host pages written to origin o.
+func (r *Registry) AddOriginWrite(o Origin, n int) {
+	r.origin[o].PagesWritten += int64(n)
+}
+
+// AddOriginRead credits n host pages read to origin o.
+func (r *Registry) AddOriginRead(o Origin, n int) {
+	r.origin[o].PagesRead += int64(n)
+}
+
+// AddOriginNAND credits n NAND slot programs to origin o.
+func (r *Registry) AddOriginNAND(o Origin, n int) {
+	r.origin[o].NANDSlots += int64(n)
+}
+
+// AddOriginGC credits n GC-relocated slot programs to origin o (also
+// counted in NANDSlots by the caller).
+func (r *Registry) AddOriginGC(o Origin, n int) {
+	r.origin[o].GCSlots += int64(n)
+}
+
+// Counter returns the named legacy counter, or nil if unknown.
+func (r *Registry) Counter(name string) *int64 { return r.named[name] }
+
+// CounterNames returns all registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	names := make([]string, 0, len(r.named))
+	for n := range r.named {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -146,17 +147,19 @@ type Array struct {
 	inflight map[PPN][]SlotTag // programs racing a potential power cut
 	powered  bool
 
+	reg   *iotrace.Registry
 	stats *storage.Stats
 }
 
-// New builds an array with the given geometry, attached to eng. The stats
-// pointer (shared with the owning device) may be nil.
-func New(eng *sim.Engine, cfg Config, stats *storage.Stats) (*Array, error) {
+// New builds an array with the given geometry, attached to eng. The
+// registry (shared with the owning device) may be nil, in which case the
+// array keeps private counters.
+func New(eng *sim.Engine, cfg Config, reg *iotrace.Registry) (*Array, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if stats == nil {
-		stats = &storage.Stats{}
+	if reg == nil {
+		reg = iotrace.NewRegistry()
 	}
 	a := &Array{
 		cfg:      cfg,
@@ -167,7 +170,8 @@ func New(eng *sim.Engine, cfg Config, stats *storage.Stats) (*Array, error) {
 		erases:   make([]int64, cfg.Blocks()),
 		inflight: make(map[PPN][]SlotTag),
 		powered:  true,
-		stats:    stats,
+		reg:      reg,
+		stats:    reg.Stats(),
 	}
 	a.channels = make([]*sim.Resource, cfg.Channels)
 	for i := range a.channels {
@@ -185,6 +189,9 @@ func (a *Array) Config() Config { return a.cfg }
 
 // Engine returns the simulation engine the array is attached to.
 func (a *Array) Engine() *sim.Engine { return a.eng }
+
+// Registry returns the metrics registry shared with the owning device.
+func (a *Array) Registry() *iotrace.Registry { return a.reg }
 
 // PlaneOf returns the plane index holding ppn.
 func (a *Array) PlaneOf(ppn PPN) int {
@@ -230,13 +237,15 @@ func (a *Array) xferTime(bytes int) time.Duration {
 // ReadPage reads the physical page ppn, occupying its plane for the cell
 // read and its channel for the data transfer. If buf is non-nil the stored
 // bytes are copied into it (zero-filled when the page was timing-only).
-func (a *Array) ReadPage(p *sim.Proc, ppn PPN, buf []byte) error {
+func (a *Array) ReadPage(p *sim.Proc, req iotrace.Req, ppn PPN, buf []byte) error {
 	if !a.powered {
 		return storage.ErrOffline
 	}
 	if int64(ppn) >= a.cfg.Pages() {
 		return storage.ErrOutOfRange
 	}
+	sp := req.Begin(p, iotrace.LayerNAND)
+	defer sp.End(p)
 	plane := a.planes[a.PlaneOf(ppn)]
 	plane.Acquire(p, 1)
 	p.Sleep(a.cfg.ReadLatency)
@@ -262,7 +271,7 @@ func (a *Array) ReadPage(p *sim.Proc, ppn PPN, buf []byte) error {
 // The page must be free (erase-before-rewrite). The program occupies the
 // channel for the transfer, then the plane for the cell program. If power
 // fails during the cell program, the page is recorded as torn.
-func (a *Array) ProgramPage(p *sim.Proc, ppn PPN, slots []SlotTag, data []byte, dump bool) error {
+func (a *Array) ProgramPage(p *sim.Proc, req iotrace.Req, ppn PPN, slots []SlotTag, data []byte, dump bool) error {
 	if !a.powered {
 		return storage.ErrOffline
 	}
@@ -272,6 +281,8 @@ func (a *Array) ProgramPage(p *sim.Proc, ppn PPN, slots []SlotTag, data []byte, 
 	if a.state[ppn] != PageFree {
 		return fmt.Errorf("nand: program of non-free page %d", ppn)
 	}
+	sp := req.Begin(p, iotrace.LayerNAND)
+	defer sp.End(p)
 	a.channels[a.ChannelOf(ppn)].Use(p, a.xferTime(a.cfg.PageSize))
 	if !a.powered {
 		return storage.ErrPowerFail
@@ -323,10 +334,12 @@ func (a *Array) ProgramPageInstant(ppn PPN, slots []SlotTag, data []byte, dump b
 }
 
 // EraseBlock erases the global block index, returning its pages to PageFree.
-func (a *Array) EraseBlock(p *sim.Proc, block int) error {
+func (a *Array) EraseBlock(p *sim.Proc, req iotrace.Req, block int) error {
 	if !a.powered {
 		return storage.ErrOffline
 	}
+	sp := req.Begin(p, iotrace.LayerNAND)
+	defer sp.End(p)
 	first := a.PageOfBlock(block)
 	plane := a.planes[a.PlaneOf(first)]
 	plane.Acquire(p, 1)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -54,11 +55,11 @@ func TestProgramReadRoundTrip(t *testing.T) {
 	a := newTestArray(t, eng)
 	data := bytes.Repeat([]byte{0xab}, a.Config().PageSize)
 	eng.Go("io", func(p *sim.Proc) {
-		if err := a.ProgramPage(p, 0, []SlotTag{{LPN: 7}, {LPN: 8}}, data, false); err != nil {
+		if err := a.ProgramPage(p, iotrace.Req{}, 0, []SlotTag{{LPN: 7}, {LPN: 8}}, data, false); err != nil {
 			t.Errorf("ProgramPage: %v", err)
 		}
 		buf := make([]byte, a.Config().PageSize)
-		if err := a.ReadPage(p, 0, buf); err != nil {
+		if err := a.ReadPage(p, iotrace.Req{}, 0, buf); err != nil {
 			t.Errorf("ReadPage: %v", err)
 		}
 		if !bytes.Equal(buf, data) {
@@ -79,16 +80,16 @@ func TestProgramRequiresErase(t *testing.T) {
 	eng := sim.New()
 	a := newTestArray(t, eng)
 	eng.Go("io", func(p *sim.Proc) {
-		if err := a.ProgramPage(p, 3, []SlotTag{{LPN: 1}}, nil, false); err != nil {
+		if err := a.ProgramPage(p, iotrace.Req{}, 3, []SlotTag{{LPN: 1}}, nil, false); err != nil {
 			t.Errorf("first program: %v", err)
 		}
-		if err := a.ProgramPage(p, 3, []SlotTag{{LPN: 2}}, nil, false); err == nil {
+		if err := a.ProgramPage(p, iotrace.Req{}, 3, []SlotTag{{LPN: 2}}, nil, false); err == nil {
 			t.Error("expected rewrite without erase to fail")
 		}
-		if err := a.EraseBlock(p, a.BlockOf(3)); err != nil {
+		if err := a.EraseBlock(p, iotrace.Req{}, a.BlockOf(3)); err != nil {
 			t.Errorf("erase: %v", err)
 		}
-		if err := a.ProgramPage(p, 3, []SlotTag{{LPN: 2}}, nil, false); err != nil {
+		if err := a.ProgramPage(p, iotrace.Req{}, 3, []SlotTag{{LPN: 2}}, nil, false); err != nil {
 			t.Errorf("program after erase: %v", err)
 		}
 	})
@@ -104,11 +105,11 @@ func TestEraseClearsBlock(t *testing.T) {
 	ppb := a.Config().PagesPerBlock
 	eng.Go("io", func(p *sim.Proc) {
 		for i := 0; i < ppb; i++ {
-			if err := a.ProgramPage(p, PPN(i), []SlotTag{{LPN: storage.LPN(i)}}, nil, false); err != nil {
+			if err := a.ProgramPage(p, iotrace.Req{}, PPN(i), []SlotTag{{LPN: storage.LPN(i)}}, nil, false); err != nil {
 				t.Errorf("program %d: %v", i, err)
 			}
 		}
-		if err := a.EraseBlock(p, 0); err != nil {
+		if err := a.EraseBlock(p, iotrace.Req{}, 0); err != nil {
 			t.Errorf("erase: %v", err)
 		}
 	})
@@ -137,7 +138,7 @@ func TestParallelProgramsAcrossPlanes(t *testing.T) {
 		planesPerChannel := cfg.PackagesPerChannel * cfg.ChipsPerPackage * cfg.PlanesPerChip
 		ppn := PPN(i * planesPerChannel * pagesPerPlane)
 		eng.Go("prog", func(p *sim.Proc) {
-			if err := a.ProgramPage(p, ppn, []SlotTag{{LPN: 1}}, nil, false); err != nil {
+			if err := a.ProgramPage(p, iotrace.Req{}, ppn, []SlotTag{{LPN: 1}}, nil, false); err != nil {
 				t.Errorf("program: %v", err)
 			}
 			if p.Now() > finish {
@@ -160,7 +161,7 @@ func TestSameplaneProgramsSerialize(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		ppn := PPN(i) // same block, same plane
 		eng.Go("prog", func(p *sim.Proc) {
-			if err := a.ProgramPage(p, ppn, []SlotTag{{LPN: 1}}, nil, false); err != nil {
+			if err := a.ProgramPage(p, iotrace.Req{}, ppn, []SlotTag{{LPN: 1}}, nil, false); err != nil {
 				t.Errorf("program: %v", err)
 			}
 			if p.Now() > finish {
@@ -180,7 +181,7 @@ func TestPowerFailTearsInflightProgram(t *testing.T) {
 	data := bytes.Repeat([]byte{0x11}, a.Config().PageSize)
 	var progErr error
 	eng.Go("prog", func(p *sim.Proc) {
-		progErr = a.ProgramPage(p, 5, []SlotTag{{LPN: 42}}, data, false)
+		progErr = a.ProgramPage(p, iotrace.Req{}, 5, []SlotTag{{LPN: 42}}, data, false)
 	})
 	// Cut power in the middle of the cell program (transfer ~29us, program 900us).
 	eng.Schedule(200*time.Microsecond, func() { a.PowerFail() })
@@ -207,7 +208,7 @@ func TestPowerFailBeforeTransferReturnsOffline(t *testing.T) {
 	a.PowerFail()
 	var err error
 	eng.Go("prog", func(p *sim.Proc) {
-		err = a.ProgramPage(p, 5, []SlotTag{{LPN: 42}}, nil, false)
+		err = a.ProgramPage(p, iotrace.Req{}, 5, []SlotTag{{LPN: 42}}, nil, false)
 	})
 	eng.Run()
 	if err != storage.ErrOffline {
@@ -241,7 +242,7 @@ func TestSequenceNumbersMonotonic(t *testing.T) {
 	a := newTestArray(t, eng)
 	eng.Go("io", func(p *sim.Proc) {
 		for i := 0; i < 5; i++ {
-			if err := a.ProgramPage(p, PPN(i), []SlotTag{{LPN: storage.LPN(i)}}, nil, false); err != nil {
+			if err := a.ProgramPage(p, iotrace.Req{}, PPN(i), []SlotTag{{LPN: storage.LPN(i)}}, nil, false); err != nil {
 				t.Errorf("program: %v", err)
 			}
 		}
@@ -259,15 +260,16 @@ func TestSequenceNumbersMonotonic(t *testing.T) {
 
 func TestStatsCounters(t *testing.T) {
 	eng := sim.New()
-	stats := &storage.Stats{}
-	a, err := New(eng, testConfig(), stats)
+	reg := iotrace.NewRegistry()
+	stats := reg.Stats()
+	a, err := New(eng, testConfig(), reg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng.Go("io", func(p *sim.Proc) {
-		_ = a.ProgramPage(p, 0, []SlotTag{{LPN: 1}}, nil, false)
-		_ = a.ReadPage(p, 0, nil)
-		_ = a.EraseBlock(p, 0)
+		_ = a.ProgramPage(p, iotrace.Req{}, 0, []SlotTag{{LPN: 1}}, nil, false)
+		_ = a.ReadPage(p, iotrace.Req{}, 0, nil)
+		_ = a.EraseBlock(p, iotrace.Req{}, 0)
 	})
 	eng.Run()
 	if stats.NANDPrograms != 1 || stats.NANDReads != 1 || stats.NANDErases != 1 {
@@ -280,7 +282,7 @@ func TestReadOutOfRange(t *testing.T) {
 	a := newTestArray(t, eng)
 	var err error
 	eng.Go("io", func(p *sim.Proc) {
-		err = a.ReadPage(p, PPN(a.Config().Pages()), nil)
+		err = a.ReadPage(p, iotrace.Req{}, PPN(a.Config().Pages()), nil)
 	})
 	eng.Run()
 	if err != storage.ErrOutOfRange {
@@ -292,11 +294,11 @@ func TestTimingOnlyReadZeroFills(t *testing.T) {
 	eng := sim.New()
 	a := newTestArray(t, eng)
 	eng.Go("io", func(p *sim.Proc) {
-		if err := a.ProgramPage(p, 0, []SlotTag{{LPN: 1}}, nil, false); err != nil {
+		if err := a.ProgramPage(p, iotrace.Req{}, 0, []SlotTag{{LPN: 1}}, nil, false); err != nil {
 			t.Errorf("program: %v", err)
 		}
 		buf := bytes.Repeat([]byte{0xff}, a.Config().PageSize)
-		if err := a.ReadPage(p, 0, buf); err != nil {
+		if err := a.ReadPage(p, iotrace.Req{}, 0, buf); err != nil {
 			t.Errorf("read: %v", err)
 		}
 		for _, b := range buf {

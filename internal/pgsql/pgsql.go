@@ -20,6 +20,7 @@ import (
 	"durassd/internal/dbsim/index"
 	"durassd/internal/dbsim/wal"
 	"durassd/internal/host"
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -147,6 +148,7 @@ func open(eng *sim.Engine, dataFS, logFS *host.FS, cfg Config, reopen bool) (*En
 			return nil, err
 		}
 	}
+	e.dataFile.SetOrigin(iotrace.OriginData)
 	e.pool, err = buffer.New(eng, buffer.Config{
 		Frames:          int(cfg.BufferBytes / int64(cfg.PageBytes)),
 		PageBytes:       cfg.PageBytes,

@@ -34,7 +34,7 @@ func Endurance(cfg LinkBenchConfig) (*EnduranceResult, error) {
 		var basePrograms int64
 		var st *storage.Stats
 		c.onMeasureStart = func() { basePrograms = st.NANDPrograms }
-		res, e, err := runLinkBenchInnerWithStats(c, &st)
+		res, e, err := runLinkBenchInnerWithStats(c, &st, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -55,7 +55,9 @@ func Endurance(cfg LinkBenchConfig) (*EnduranceResult, error) {
 	}
 	res := &EnduranceResult{
 		FlashBytesPerTx: map[string]float64{"default": def, "durassd": dura},
-		Reduction:       1 - dura/def,
+	}
+	if def > 0 {
+		res.Reduction = 1 - dura/def
 	}
 	tbl := stats.NewTable("Endurance: NAND bytes programmed per LinkBench request",
 		"Config", "KB/request")

@@ -6,6 +6,7 @@ import (
 
 	"durassd/internal/host"
 	"durassd/internal/innodb"
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/ssd"
 	"durassd/internal/stats"
@@ -70,12 +71,13 @@ func RunLinkBench(cfg LinkBenchConfig) (*linkbench.Result, error) {
 }
 
 func runLinkBenchInner(cfg LinkBenchConfig) (*linkbench.Result, *innodb.Engine, error) {
-	return runLinkBenchInnerWithStats(cfg, nil)
+	return runLinkBenchInnerWithStats(cfg, nil, nil)
 }
 
 // runLinkBenchInnerWithStats additionally publishes the data device's stats
-// pointer before the run starts (for counter snapshots in hooks).
-func runLinkBenchInnerWithStats(cfg LinkBenchConfig, stPtr **storage.Stats) (*linkbench.Result, *innodb.Engine, error) {
+// pointer and metrics registry before the run starts (for counter snapshots
+// in hooks and per-origin reporting).
+func runLinkBenchInnerWithStats(cfg LinkBenchConfig, stPtr **storage.Stats, regPtr **iotrace.Registry) (*linkbench.Result, *innodb.Engine, error) {
 	eng := sim.New()
 	dataDev, err := ssd.New(eng, ssd.DuraSSD(2))
 	if err != nil {
@@ -83,6 +85,9 @@ func runLinkBenchInnerWithStats(cfg LinkBenchConfig, stPtr **storage.Stats) (*li
 	}
 	if stPtr != nil {
 		*stPtr = dataDev.Stats()
+	}
+	if regPtr != nil {
+		*regPtr = dataDev.Registry()
 	}
 	logDev, err := ssd.New(eng, ssd.DuraSSD(16))
 	if err != nil {
@@ -123,9 +128,12 @@ func runLinkBenchInnerWithStats(cfg LinkBenchConfig, stPtr **storage.Stats) (*li
 
 // Fig5Result holds Figure 5's TPS grid: TPS[config][pageBytes], where
 // config is "barrier/doublewrite" ("ON/ON", "ON/OFF", "OFF/ON", "OFF/OFF").
+// Origins attributes the data device's write amplification per request
+// origin (data pages vs double-write buffer) for the 16 KB runs.
 type Fig5Result struct {
-	Table *stats.Table
-	TPS   map[string]map[int]float64
+	Table   *stats.Table
+	Origins *stats.Table
+	TPS     map[string]map[int]float64
 }
 
 // Fig5Configs lists the barrier/double-write combinations in paper order.
@@ -147,6 +155,8 @@ func Fig5(cfg LinkBenchConfig) (*Fig5Result, error) {
 	res := &Fig5Result{TPS: make(map[string]map[int]float64)}
 	tbl := stats.NewTable("Figure 5: LinkBench TPS (write-barrier / double-write-buffer)",
 		"Config", "16KB", "8KB", "4KB")
+	ot := stats.NewTable("Figure 5 addendum: data-device write amplification by origin (16KB pages)",
+		"Config", "Origin", "PagesWritten", "NANDSlots", "GCSlots", "WA")
 	for _, fc := range Fig5Configs {
 		cells := make(map[int]float64, len(PageSizes))
 		row := []any{fc.Name}
@@ -155,17 +165,30 @@ func Fig5(cfg LinkBenchConfig) (*Fig5Result, error) {
 			c.PageBytes = ps
 			c.Barrier = fc.Barrier
 			c.DoubleWrite = fc.DoubleWrite
-			r, err := RunLinkBench(c)
+			var reg *iotrace.Registry
+			r, _, err := runLinkBenchInnerWithStats(c, nil, &reg)
 			if err != nil {
 				return nil, fmt.Errorf("fig5 %s %dKB: %w", fc.Name, ps/storage.KB, err)
 			}
 			cells[ps] = r.TPS()
 			row = append(row, r.TPS())
+			if ps == 16*storage.KB {
+				for o := iotrace.Origin(0); o < iotrace.NumOrigins; o++ {
+					oc := reg.Origin(o)
+					if oc.PagesWritten == 0 && oc.NANDSlots == 0 {
+						continue
+					}
+					ot.AddRow(fc.Name, o.String(), oc.PagesWritten, oc.NANDSlots,
+						oc.GCSlots, oc.WriteAmplification())
+				}
+			}
 		}
 		res.TPS[fc.Name] = cells
 		tbl.AddRow(row...)
 	}
+	ot.AddComment("WA: NAND slots programmed per host page written, per origin")
 	res.Table = tbl
+	res.Origins = ot
 	return res, nil
 }
 
@@ -189,7 +212,7 @@ func Fig6(cfg LinkBenchConfig) (*Fig6Result, error) {
 		Miss: make(map[int]map[int]float64),
 		TPS:  make(map[int]map[int]float64),
 	}
-	mt := stats.NewTable("Figure 6(a): LinkBench buffer miss ratio %% (OFF/OFF)",
+	mt := stats.NewTable("Figure 6(a): LinkBench buffer miss ratio % (OFF/OFF)",
 		"Buffer(GB)", "16KB", "8KB", "4KB")
 	tt := stats.NewTable("Figure 6(b): LinkBench TPS (OFF/OFF)",
 		"Buffer(GB)", "16KB", "8KB", "4KB")

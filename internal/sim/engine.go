@@ -14,6 +14,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -149,12 +150,14 @@ func (e *Engine) resume(p *Proc) {
 }
 
 // Blocked returns the names of processes that are parked with no pending
-// wakeup event. Useful for diagnosing simulation deadlocks in tests.
+// wakeup event, in sorted order so the result is deterministic across runs.
+// Useful for diagnosing simulation deadlocks in tests.
 func (e *Engine) Blocked() []string {
 	var names []string
 	for p := range e.blocked {
 		names = append(names, p.name)
 	}
+	sort.Strings(names)
 	return names
 }
 

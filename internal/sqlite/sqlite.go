@@ -18,6 +18,7 @@ import (
 
 	"durassd/internal/btree"
 	"durassd/internal/host"
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -87,6 +88,8 @@ func Open(p *sim.Proc, fs *host.FS, cfg Config) (*Store, error) {
 	} else if journal, err = fs.Open("sqlite.journal"); err != nil {
 		return nil, err
 	}
+	db.SetOrigin(iotrace.OriginData)
+	journal.SetOrigin(iotrace.OriginJournal)
 	st.db = &jfile{db: db, journal: journal, cfg: &st.cfg, perTree: cfg.PageBytes / devPage}
 	st.db.bypass = true
 	defer func() { st.db.bypass = false }()

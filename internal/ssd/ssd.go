@@ -18,6 +18,7 @@ import (
 
 	"durassd/internal/core"
 	"durassd/internal/ftl"
+	"durassd/internal/iotrace"
 	"durassd/internal/nand"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
@@ -117,6 +118,7 @@ type Device struct {
 	link      *sim.Resource
 	ncq       *sim.Resource
 	flushLock *sim.Resource // flush-cache commands serialize at the device
+	reg       *iotrace.Registry
 	stats     *storage.Stats
 
 	cacheOn bool
@@ -125,12 +127,12 @@ type Device struct {
 
 // New builds a powered-on, empty device from the profile.
 func New(eng *sim.Engine, prof Profile) (*Device, error) {
-	stats := &storage.Stats{}
-	arr, err := nand.New(eng, prof.NAND, stats)
+	reg := iotrace.NewRegistry()
+	arr, err := nand.New(eng, prof.NAND, reg)
 	if err != nil {
 		return nil, err
 	}
-	f, err := ftl.New(arr, prof.FTL, stats)
+	f, err := ftl.New(arr, prof.FTL, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -145,10 +147,11 @@ func New(eng *sim.Engine, prof Profile) (*Device, error) {
 		link:      sim.NewResource(eng, 1),
 		ncq:       sim.NewResource(eng, prof.NCQDepth),
 		flushLock: sim.NewResource(eng, 1),
-		stats:     stats,
+		reg:       reg,
+		stats:     reg.Stats(),
 		cacheOn:   true,
 	}
-	d.ctrl = core.NewController(f, prof.Cache, stats)
+	d.ctrl = core.NewController(f, prof.Cache, reg)
 	f.StartBackgroundGC() // no-op unless the profile configures a watermark
 	return d, nil
 }
@@ -181,12 +184,15 @@ func (d *Device) Pages() int64 { return d.f.LogicalSlots() }
 // Stats returns the device counters.
 func (d *Device) Stats() *storage.Stats { return d.stats }
 
+// Registry returns the device's unified metrics registry.
+func (d *Device) Registry() *iotrace.Registry { return d.reg }
+
 func (d *Device) xfer(bytes int, overhead time.Duration) time.Duration {
 	return overhead + time.Duration(float64(bytes)/float64(d.prof.LinkMBps*storage.MB)*float64(time.Second))
 }
 
 // Write submits one write command covering n mapping units from lpn.
-func (d *Device) Write(p *sim.Proc, lpn storage.LPN, n int, data []byte) error {
+func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, data []byte) error {
 	if d.offline {
 		return storage.ErrOffline
 	}
@@ -197,13 +203,19 @@ func (d *Device) Write(p *sim.Proc, lpn storage.LPN, n int, data []byte) error {
 	if data != nil && len(data) != n*ss {
 		return fmt.Errorf("ssd: write data length %d != %d", len(data), n*ss)
 	}
+	qsp := req.Begin(p, iotrace.LayerHostQueue)
 	d.ncq.Acquire(p, 1)
+	qsp.End(p)
 	defer d.ncq.Release(1)
 
 	// Serialized host-link occupancy: protocol overhead + data transfer.
+	lsp := req.Begin(p, iotrace.LayerLink)
 	d.link.Use(p, d.xfer(n*ss, d.prof.WriteCmdOverhead))
+	lsp.End(p)
 	// Firmware command handling overlaps across queued commands.
+	fsp := req.Begin(p, iotrace.LayerFirmware)
 	p.Sleep(d.prof.FirmwareWrite)
+	fsp.End(p)
 	if d.offline {
 		return storage.ErrPowerFail
 	}
@@ -211,13 +223,14 @@ func (d *Device) Write(p *sim.Proc, lpn storage.LPN, n int, data []byte) error {
 	slots := make([]ftl.SlotWrite, n)
 	for i := 0; i < n; i++ {
 		slots[i].LPN = lpn + storage.LPN(i)
+		slots[i].Origin = req.Origin
 		if data != nil {
 			slots[i].Data = data[i*ss : (i+1)*ss]
 		}
 	}
 	var err error
 	if d.cacheOn {
-		err = d.ctrl.Write(p, slots)
+		err = d.ctrl.Write(p, req, slots)
 	} else {
 		// Write-through: program slot pairs directly (a lone 4 KB slot
 		// still consumes a full physical page — §3.1.2's pairing only
@@ -228,7 +241,7 @@ func (d *Device) Write(p *sim.Proc, lpn storage.LPN, n int, data []byte) error {
 			if end > n {
 				end = n
 			}
-			err = d.f.Program(p, slots[start:end])
+			err = d.f.Program(p, req, slots[start:end])
 		}
 	}
 	if err != nil {
@@ -236,11 +249,12 @@ func (d *Device) Write(p *sim.Proc, lpn storage.LPN, n int, data []byte) error {
 	}
 	d.stats.WriteCommands++
 	d.stats.PagesWritten += int64(n)
+	d.reg.AddOriginWrite(req.Origin, n)
 	return nil
 }
 
 // Read submits one read command covering n mapping units from lpn.
-func (d *Device) Read(p *sim.Proc, lpn storage.LPN, n int, buf []byte) error {
+func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf []byte) error {
 	if d.offline {
 		return storage.ErrOffline
 	}
@@ -251,10 +265,14 @@ func (d *Device) Read(p *sim.Proc, lpn storage.LPN, n int, buf []byte) error {
 	if buf != nil && len(buf) != n*ss {
 		return fmt.Errorf("ssd: read buffer length %d != %d", len(buf), n*ss)
 	}
+	qsp := req.Begin(p, iotrace.LayerHostQueue)
 	d.ncq.Acquire(p, 1)
+	qsp.End(p)
 	defer d.ncq.Release(1)
 
+	fsp := req.Begin(p, iotrace.LayerFirmware)
 	p.Sleep(d.prof.FirmwareRead)
+	fsp.End(p)
 	if d.offline {
 		return storage.ErrPowerFail
 	}
@@ -266,25 +284,28 @@ func (d *Device) Read(p *sim.Proc, lpn storage.LPN, n int, buf []byte) error {
 			if buf != nil {
 				sb = buf[i*ss : (i+1)*ss]
 			}
-			err = d.ctrl.Read(p, lpn+storage.LPN(i), sb)
+			err = d.ctrl.Read(p, req, lpn+storage.LPN(i), sb)
 		}
 	} else {
 		lpns := make([]storage.LPN, n)
 		for i := range lpns {
 			lpns[i] = lpn + storage.LPN(i)
 		}
-		err = d.f.ReadSlots(p, lpns, buf)
+		err = d.f.ReadSlots(p, req, lpns, buf)
 	}
 	if err != nil {
 		return err
 	}
 	// Data transfer back to the host.
+	lsp := req.Begin(p, iotrace.LayerLink)
 	d.link.Use(p, d.xfer(n*ss, d.prof.ReadCmdOverhead))
+	lsp.End(p)
 	if d.offline {
 		return storage.ErrPowerFail
 	}
 	d.stats.ReadCommands++
 	d.stats.PagesRead += int64(n)
+	d.reg.AddOriginRead(req.Origin, n)
 	return nil
 }
 
@@ -292,26 +313,30 @@ func (d *Device) Read(p *sim.Proc, lpn storage.LPN, n int, buf []byte) error {
 // Flush-cache is a non-queued command: concurrent flushes serialize at the
 // device, which is exactly why fsync storms crater throughput (Table 1) and
 // inflate tail latency (Table 3) on every drive that must honor them.
-func (d *Device) Flush(p *sim.Proc) error {
+func (d *Device) Flush(p *sim.Proc, req iotrace.Req) error {
 	if d.offline {
 		return storage.ErrOffline
 	}
+	lsp := req.Begin(p, iotrace.LayerLink)
 	d.link.Use(p, d.prof.WriteCmdOverhead)
+	lsp.End(p)
+	qsp := req.Begin(p, iotrace.LayerHostQueue)
 	d.flushLock.Acquire(p, 1)
 	defer d.flushLock.Release(1)
 	// Flush-cache is a non-queued command: the device drains the NCQ
 	// before executing it, and every command arriving meanwhile waits
 	// behind it. This is how fsync storms poison *read* latency (§1-2).
 	d.ncq.Acquire(p, d.prof.NCQDepth)
+	qsp.End(p)
 	defer d.ncq.Release(d.prof.NCQDepth)
 	if d.offline {
 		return storage.ErrPowerFail
 	}
 	var err error
 	if d.cacheOn {
-		err = d.ctrl.FlushCache(p)
+		err = d.ctrl.FlushCache(p, req)
 	} else {
-		err = d.f.FlushMapJournal(p)
+		err = d.f.FlushMapJournal(p, req)
 	}
 	if err != nil {
 		return err
@@ -351,7 +376,7 @@ func (d *Device) Reboot(p *sim.Proc) error {
 	}
 	// Fresh controller over the same FTL: the old cache state died with
 	// the power (its content, if durable, was replayed above).
-	d.ctrl = core.NewController(d.f, d.prof.Cache, d.stats)
+	d.ctrl = core.NewController(d.f, d.prof.Cache, d.reg)
 	d.offline = false
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
 )
@@ -39,11 +40,11 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	eng, d := newDura(t)
 	data := bytes.Repeat([]byte{0xcd}, 2*d.PageSize())
 	eng.Go("io", func(p *sim.Proc) {
-		if err := d.Write(p, 10, 2, data); err != nil {
+		if err := d.Write(p, iotrace.Req{}, 10, 2, data); err != nil {
 			t.Errorf("Write: %v", err)
 		}
 		buf := make([]byte, 2*d.PageSize())
-		if err := d.Read(p, 10, 2, buf); err != nil {
+		if err := d.Read(p, iotrace.Req{}, 10, 2, buf); err != nil {
 			t.Errorf("Read: %v", err)
 		}
 		if !bytes.Equal(buf, data) {
@@ -61,7 +62,7 @@ func TestWriteAckFasterThanNAND(t *testing.T) {
 	eng, d := newDura(t)
 	var ack time.Duration
 	eng.Go("io", func(p *sim.Proc) {
-		if err := d.Write(p, 0, 1, nil); err != nil {
+		if err := d.Write(p, iotrace.Req{}, 0, 1, nil); err != nil {
 			t.Errorf("Write: %v", err)
 		}
 		ack = p.Now()
@@ -77,7 +78,7 @@ func TestCacheOffWritePaysNAND(t *testing.T) {
 	d.SetWriteCache(false)
 	var ack time.Duration
 	eng.Go("io", func(p *sim.Proc) {
-		if err := d.Write(p, 0, 1, nil); err != nil {
+		if err := d.Write(p, iotrace.Req{}, 0, 1, nil); err != nil {
 			t.Errorf("Write: %v", err)
 		}
 		ack = p.Now()
@@ -92,11 +93,11 @@ func TestFlushDrains(t *testing.T) {
 	eng, d := newDura(t)
 	eng.Go("io", func(p *sim.Proc) {
 		for i := 0; i < 16; i++ {
-			if err := d.Write(p, storage.LPN(i), 1, nil); err != nil {
+			if err := d.Write(p, iotrace.Req{}, storage.LPN(i), 1, nil); err != nil {
 				t.Errorf("Write: %v", err)
 			}
 		}
-		if err := d.Flush(p); err != nil {
+		if err := d.Flush(p, iotrace.Req{}); err != nil {
 			t.Errorf("Flush: %v", err)
 		}
 		if d.Controller().DirtySlots() != 0 {
@@ -116,10 +117,10 @@ func TestConcurrentFlushesSerialize(t *testing.T) {
 	for i := 0; i < n; i++ {
 		lpn := storage.LPN(i)
 		eng.Go("io", func(p *sim.Proc) {
-			if err := d.Write(p, lpn, 1, nil); err != nil {
+			if err := d.Write(p, iotrace.Req{}, lpn, 1, nil); err != nil {
 				t.Errorf("Write: %v", err)
 			}
-			if err := d.Flush(p); err != nil {
+			if err := d.Flush(p, iotrace.Req{}); err != nil {
 				t.Errorf("Flush: %v", err)
 			}
 			if p.Now() > done {
@@ -137,10 +138,10 @@ func TestConcurrentFlushesSerialize(t *testing.T) {
 func TestOutOfRange(t *testing.T) {
 	eng, d := newDura(t)
 	eng.Go("io", func(p *sim.Proc) {
-		if err := d.Write(p, storage.LPN(d.Pages()), 1, nil); err != storage.ErrOutOfRange {
+		if err := d.Write(p, iotrace.Req{}, storage.LPN(d.Pages()), 1, nil); err != storage.ErrOutOfRange {
 			t.Errorf("Write OOR = %v", err)
 		}
-		if err := d.Read(p, storage.LPN(d.Pages()-1), 2, nil); err != storage.ErrOutOfRange {
+		if err := d.Read(p, iotrace.Req{}, storage.LPN(d.Pages()-1), 2, nil); err != storage.ErrOutOfRange {
 			t.Errorf("Read OOR = %v", err)
 		}
 	})
@@ -151,12 +152,12 @@ func TestPowerCycleKeepsFlushedData(t *testing.T) {
 	eng, d := newDura(t)
 	data := bytes.Repeat([]byte{0x42}, d.PageSize())
 	eng.Go("io", func(p *sim.Proc) {
-		if err := d.Write(p, 5, 1, data); err != nil {
+		if err := d.Write(p, iotrace.Req{}, 5, 1, data); err != nil {
 			t.Errorf("Write: %v", err)
 			return
 		}
 		d.PowerFail()
-		if err := d.Write(p, 6, 1, nil); err != storage.ErrOffline {
+		if err := d.Write(p, iotrace.Req{}, 6, 1, nil); err != storage.ErrOffline {
 			t.Errorf("write while offline = %v", err)
 		}
 		if err := d.Reboot(p); err != nil {
@@ -164,7 +165,7 @@ func TestPowerCycleKeepsFlushedData(t *testing.T) {
 			return
 		}
 		buf := make([]byte, d.PageSize())
-		if err := d.Read(p, 5, 1, buf); err != nil {
+		if err := d.Read(p, iotrace.Req{}, 5, 1, buf); err != nil {
 			t.Errorf("Read after reboot: %v", err)
 			return
 		}
@@ -186,7 +187,7 @@ func TestVolatilePowerCycleLosesCache(t *testing.T) {
 	}
 	eng.Go("io", func(p *sim.Proc) {
 		for i := 0; i < 64; i++ {
-			if err := d.Write(p, storage.LPN(i), 1, nil); err != nil {
+			if err := d.Write(p, iotrace.Req{}, storage.LPN(i), 1, nil); err != nil {
 				return
 			}
 		}

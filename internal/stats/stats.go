@@ -67,6 +67,9 @@ func (h *Hist) Record(d time.Duration) {
 // Count returns the number of observations.
 func (h *Hist) Count() int64 { return h.count }
 
+// Sum returns the total of all observations.
+func (h *Hist) Sum() time.Duration { return h.sum }
+
 // Mean returns the average observation.
 func (h *Hist) Mean() time.Duration {
 	if h.count == 0 {
@@ -191,7 +194,9 @@ func formatDuration(d time.Duration) string {
 	case ms >= 1:
 		return fmt.Sprintf("%.1fms", ms)
 	default:
-		return fmt.Sprintf("%.2fms", ms)
+		// Sub-millisecond values rendered as "0.00ms" lose the detail that
+		// matters most at device-cache speeds; print microseconds instead.
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
 	}
 }
 

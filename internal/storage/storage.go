@@ -8,6 +8,7 @@ import (
 	"errors"
 	"hash/crc32"
 
+	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 )
 
@@ -50,17 +51,22 @@ type Device interface {
 	Pages() int64
 	// Read reads n consecutive pages starting at lpn as one command.
 	// If buf is non-nil it must be n*PageSize bytes and receives the data.
-	Read(p *sim.Proc, lpn LPN, n int, buf []byte) error
+	// req carries the request's tracing context and origin tag; pass
+	// iotrace.Req{} for untraced, origin-unknown access.
+	Read(p *sim.Proc, req iotrace.Req, lpn LPN, n int, buf []byte) error
 	// Write writes n consecutive pages starting at lpn as one command.
 	// If data is non-nil it must be n*PageSize bytes.
-	Write(p *sim.Proc, lpn LPN, n int, data []byte) error
+	Write(p *sim.Proc, req iotrace.Req, lpn LPN, n int, data []byte) error
 	// Flush executes a flush-cache command: on return, every previously
 	// acknowledged write is on stable media (for devices with volatile
 	// caches) or already guaranteed (durable caches treat this as a cheap
 	// ordering point).
-	Flush(p *sim.Proc) error
+	Flush(p *sim.Proc, req iotrace.Req) error
 	// Stats returns the device's live counters.
 	Stats() *Stats
+	// Registry returns the device's unified metrics registry (counters,
+	// per-origin traffic, latency histograms, tracing switch).
+	Registry() *iotrace.Registry
 }
 
 // PowerCycler is implemented by devices that support power-fault injection.
@@ -74,39 +80,10 @@ type PowerCycler interface {
 	Reboot(p *sim.Proc) error
 }
 
-// Stats holds per-device counters. All fields are cumulative since device
-// creation (they survive power cycles, like a SMART log).
-type Stats struct {
-	ReadCommands  int64 // host read commands completed
-	WriteCommands int64 // host write commands completed
-	FlushCommands int64 // host flush-cache commands completed
-	PagesRead     int64 // host pages transferred in
-	PagesWritten  int64 // host pages transferred out
-
-	NANDReads    int64 // physical page reads (incl. GC)
-	NANDPrograms int64 // physical page programs (incl. GC, dumps)
-	NANDErases   int64 // block erases
-	GCPrograms   int64 // programs caused by garbage collection
-
-	CacheHits     int64 // host reads served from the device cache
-	CacheEvicts   int64 // cache frames written back
-	CacheOverlaps int64 // stale cached copies discarded on overwrite
-
-	DumpPages     int64 // pages flushed to the dump area on power failure
-	TornPages     int64 // pages torn by power failure mid-program
-	LostPages     int64 // acknowledged pages lost to power failure
-	Recoveries    int64 // successful reboot recoveries
-	MapFlushPages int64 // mapping-table journal pages programmed
-}
-
-// WriteAmplification returns NAND pages programmed per host page written.
-// It returns 0 when no host pages have been written.
-func (s *Stats) WriteAmplification() float64 {
-	if s.PagesWritten == 0 {
-		return 0
-	}
-	return float64(s.NANDPrograms) / float64(s.PagesWritten)
-}
+// Stats holds per-device counters. It is an alias of iotrace.Stats — the
+// counters now live inside each device's iotrace.Registry, and Device.Stats
+// remains a compatibility view of the same memory.
+type Stats = iotrace.Stats
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
