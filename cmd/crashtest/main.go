@@ -9,6 +9,10 @@
 // Expected output: DuraSSD is safe in every configuration (including
 // barriers off + double-write off, the fast one); the volatile-cache SSD-A
 // is only safe in the slow barriers-on + double-write-on configuration.
+// The volume scenarios extend the claim to arrays: striped and mirrored
+// DuraSSD volumes stay safe in the fast configuration, while a mirror of
+// volatile-cache drives is NOT safe — the power cut hits both copies at
+// the same instant, so redundancy cannot stand in for a durable cache.
 package main
 
 import (
@@ -38,6 +42,9 @@ func main() {
 		{Device: faults.SSDA, Barrier: false, DoubleWrite: false},
 		{Device: faults.SSDA, Barrier: false, DoubleWrite: true},
 		{Device: faults.SSDA, Barrier: true, DoubleWrite: true},
+		{Device: faults.DuraSSD, Layout: faults.Striped, Width: 4, Barrier: false, DoubleWrite: false},
+		{Device: faults.DuraSSD, Layout: faults.Mirror, Width: 2, Barrier: false, DoubleWrite: false},
+		{Device: faults.SSDA, Layout: faults.Mirror, Width: 2, Barrier: false, DoubleWrite: false},
 	} {
 		var acked, lost, torn int
 		var origins [iotrace.NumOrigins]iotrace.OriginCounters

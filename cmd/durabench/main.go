@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	durabench [-table 1|2|0] [-scale N] [-ops N] [-seed N]
+//	durabench [-table 1|2|0] [-scale N] [-ops N] [-seed N] [-json path]
 //
 // -table 0 (default) runs both. Larger -scale shrinks device capacity and
-// speeds the run; -ops sets operations per table cell.
+// speeds the run; -ops sets operations per table cell. -volume sweeps
+// multi-device volume geometries (striped / mirrored arrays) and reports
+// the scaling each device's cache discipline allows. -json writes the
+// results as a machine-readable report ("-" for stdout).
 package main
 
 import (
@@ -28,7 +31,14 @@ func main() {
 	endurance := flag.Bool("endurance", false, "also measure NAND bytes per transaction (paper's >50% reduction claim)")
 	tail := flag.Bool("tail", false, "also measure read-latency percentiles under mixed load with and without barriers")
 	breakdown := flag.Bool("breakdown", false, "trace requests and print the per-layer latency breakdown and per-origin traffic")
+	volume := flag.Bool("volume", false, "sweep striped/mirrored volume geometries (4KB random-write IOPS vs single drive)")
+	jsonPath := flag.String("json", "", "write results as a JSON report to this path (\"-\" = stdout)")
 	flag.Parse()
+
+	rep := repro.NewJSONReport("durabench")
+	rep.SetConfig("scale", *scale)
+	rep.SetConfig("ops", *ops)
+	rep.SetConfig("seed", *seed)
 
 	if *table == 0 || *table == 1 {
 		res, err := repro.Table1(repro.Table1Config{Scale: *scale, OpsPerCell: *ops, Seed: *seed})
@@ -36,6 +46,12 @@ func main() {
 			log.Fatalf("table 1: %v", err)
 		}
 		fmt.Fprintln(os.Stdout, res.Table)
+		rep.AddTable(res.Table)
+		for row, cells := range res.IOPS {
+			for every, iops := range cells {
+				rep.AddMetric(fmt.Sprintf("table1/%s/fsync=%d", row, every), iops)
+			}
+		}
 	}
 	if *table == 0 || *table == 2 {
 		res, err := repro.Table2(repro.Table2Config{Scale: *scale, OpsPerCell: *ops, Seed: *seed})
@@ -44,6 +60,13 @@ func main() {
 		}
 		fmt.Fprintln(os.Stdout, res.DuraSSD)
 		fmt.Fprintln(os.Stdout, res.HDD)
+		rep.AddTable(res.DuraSSD)
+		rep.AddTable(res.HDD)
+		for row, cells := range res.IOPS {
+			for page, iops := range cells {
+				rep.AddMetric(fmt.Sprintf("table2/%s/page=%d", row, page), iops)
+			}
+		}
 	}
 	if *endurance {
 		res, err := repro.Endurance(repro.LinkBenchConfig{Scale: 512, Seed: *seed})
@@ -51,6 +74,9 @@ func main() {
 			log.Fatalf("endurance: %v", err)
 		}
 		fmt.Fprintln(os.Stdout, res.Table)
+		rep.AddTable(res.Table)
+		rep.AddMetricMap("endurance/flash-bytes-per-tx", res.FlashBytesPerTx)
+		rep.AddMetric("endurance/reduction", res.Reduction)
 	}
 	if *breakdown {
 		res, err := repro.Breakdown(repro.BreakdownConfig{Scale: *scale, Ops: *ops, Seed: *seed})
@@ -59,6 +85,7 @@ func main() {
 		}
 		for _, t := range res.Tables {
 			fmt.Fprintln(os.Stdout, t)
+			rep.AddTable(t)
 		}
 	}
 	if *tail {
@@ -67,5 +94,20 @@ func main() {
 			log.Fatalf("tail latency: %v", err)
 		}
 		fmt.Fprintln(os.Stdout, res.Table)
+		rep.AddTable(res.Table)
+	}
+	if *volume {
+		res, err := repro.VolumeSweep(repro.VolumeSweepConfig{Scale: *scale, OpsPerCell: *ops, Seed: *seed})
+		if err != nil {
+			log.Fatalf("volume sweep: %v", err)
+		}
+		fmt.Fprintln(os.Stdout, res.Table)
+		rep.AddTable(res.Table)
+		rep.AddMetricMap("volume", res.IOPS)
+	}
+	if *jsonPath != "" {
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	linkbench [-figure 5|6] [-table 3] [-all] [-scale N] [-requests N]
+//	linkbench [-figure 5|6] [-table 3] [-all] [-scale N] [-requests N] [-json path]
 package main
 
 import (
@@ -24,7 +24,13 @@ func main() {
 	scale := flag.Int("scale", 256, "divide paper-scale DB and buffer sizes")
 	requests := flag.Int("requests", 0, "measured requests per run (0 = default)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jsonPath := flag.String("json", "", "write results as a JSON report to this path (\"-\" = stdout)")
 	flag.Parse()
+
+	rep := repro.NewJSONReport("linkbench")
+	rep.SetConfig("scale", *scale)
+	rep.SetConfig("requests", *requests)
+	rep.SetConfig("seed", *seed)
 
 	cfg := repro.LinkBenchConfig{Scale: *scale, Requests: *requests, Seed: *seed}
 	if *all || *figure == 5 {
@@ -34,6 +40,13 @@ func main() {
 		}
 		fmt.Println(res.Table)
 		fmt.Println(res.Origins)
+		rep.AddTable(res.Table)
+		rep.AddTable(res.Origins)
+		for config, cells := range res.TPS {
+			for page, tps := range cells {
+				rep.AddMetric(fmt.Sprintf("fig5/%s/page=%d", config, page), tps)
+			}
+		}
 	}
 	if *all || *figure == 6 {
 		res, err := repro.Fig6(cfg)
@@ -42,6 +55,8 @@ func main() {
 		}
 		fmt.Println(res.MissTable)
 		fmt.Println(res.TPSTable)
+		rep.AddTable(res.MissTable)
+		rep.AddTable(res.TPSTable)
 	}
 	if *all || *table == 3 {
 		res, err := repro.Table3(cfg)
@@ -49,8 +64,14 @@ func main() {
 			log.Fatalf("table 3: %v", err)
 		}
 		fmt.Println(res.Table)
+		rep.AddTable(res.Table)
 	}
 	if !*all && *figure == 0 && *table == 0 {
 		log.Fatal("nothing to do: pass -figure 5, -figure 6, -table 3 or -all")
+	}
+	if *jsonPath != "" {
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

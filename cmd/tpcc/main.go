@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tpcc [-scale N] [-requests N] [-seed N]
+//	tpcc [-scale N] [-requests N] [-seed N] [-json path]
 package main
 
 import (
@@ -21,6 +21,7 @@ func main() {
 	scale := flag.Int("scale", 256, "divide paper-scale warehouse count and buffer size")
 	requests := flag.Int("requests", 0, "measured transactions per cell (0 = default)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jsonPath := flag.String("json", "", "write results as a JSON report to this path (\"-\" = stdout)")
 	flag.Parse()
 
 	res, err := repro.Table4(repro.TPCCConfig{Scale: *scale, Requests: *requests, Seed: *seed})
@@ -28,4 +29,20 @@ func main() {
 		log.Fatalf("table 4: %v", err)
 	}
 	fmt.Println(res.Table)
+
+	if *jsonPath != "" {
+		rep := repro.NewJSONReport("tpcc")
+		rep.SetConfig("scale", *scale)
+		rep.SetConfig("requests", *requests)
+		rep.SetConfig("seed", *seed)
+		rep.AddTable(res.Table)
+		for barrier, cells := range res.TpmC {
+			for page, tpmc := range cells {
+				rep.AddMetric(fmt.Sprintf("table4/barrier=%s/page=%d", barrier, page), tpmc)
+			}
+		}
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

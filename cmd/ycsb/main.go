@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ycsb [-ops N] [-docs N] [-seed N]
+//	ycsb [-ops N] [-docs N] [-seed N] [-json path]
 package main
 
 import (
@@ -21,6 +21,7 @@ func main() {
 	ops := flag.Int("ops", 0, "operations per cell (0 = default 100k; paper used 200k)")
 	docs := flag.Int64("docs", 0, "documents in the bucket (0 = default 2M)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jsonPath := flag.String("json", "", "write results as a JSON report to this path (\"-\" = stdout)")
 	flag.Parse()
 
 	res, err := repro.Table5(repro.YCSBConfig{Operations: *ops, Docs: *docs, Seed: *seed})
@@ -29,4 +30,23 @@ func main() {
 	}
 	fmt.Println(res.On)
 	fmt.Println(res.Off)
+
+	if *jsonPath != "" {
+		rep := repro.NewJSONReport("ycsb")
+		rep.SetConfig("ops", *ops)
+		rep.SetConfig("docs", *docs)
+		rep.SetConfig("seed", *seed)
+		rep.AddTable(res.On)
+		rep.AddTable(res.Off)
+		for barrier, workloads := range res.OPS {
+			for workload, cells := range workloads {
+				for batch, opsec := range cells {
+					rep.AddMetric(fmt.Sprintf("table5/barrier=%s/%s/batch=%d", barrier, workload, batch), opsec)
+				}
+			}
+		}
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

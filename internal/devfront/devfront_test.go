@@ -1,0 +1,148 @@
+package devfront
+
+import (
+	"testing"
+	"time"
+
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+func TestCheckRange(t *testing.T) {
+	const pages = 1000
+	cases := []struct {
+		lpn  storage.LPN
+		n    int
+		want error
+	}{
+		{0, 1, nil},
+		{999, 1, nil},
+		{0, 1000, nil},
+		{0, 0, storage.ErrOutOfRange},    // zero-length
+		{5, -3, storage.ErrOutOfRange},   // negative length
+		{1000, 1, storage.ErrOutOfRange}, // starts past the end
+		{999, 2, storage.ErrOutOfRange},  // starts in range, runs past the end
+		{990, 1000, storage.ErrOutOfRange},
+		// Addresses beyond 2^63 must not wrap into the valid range when
+		// compared against an int64 capacity.
+		{storage.LPN(1) << 63, 1, storage.ErrOutOfRange},
+		{^storage.LPN(0), 1, storage.ErrOutOfRange},
+		{^storage.LPN(0) - 5, 10, storage.ErrOutOfRange},
+	}
+	for _, c := range cases {
+		if got := CheckRange(c.lpn, c.n, pages); got != c.want {
+			t.Errorf("CheckRange(%d, %d, %d) = %v, want %v", c.lpn, c.n, pages, got, c.want)
+		}
+	}
+}
+
+func TestCheckBuf(t *testing.T) {
+	if err := CheckBuf("dev: write", nil, 4, 4096); err != nil {
+		t.Errorf("nil buffer: %v", err)
+	}
+	if err := CheckBuf("dev: write", make([]byte, 4*4096), 4, 4096); err != nil {
+		t.Errorf("exact buffer: %v", err)
+	}
+	if err := CheckBuf("dev: write", make([]byte, 4096), 4, 4096); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestPowerGating(t *testing.T) {
+	eng := sim.New()
+	f := New(eng, Config{Depth: 4}, iotrace.NewRegistry())
+	if err := f.Admit(); err != nil {
+		t.Fatalf("online Admit: %v", err)
+	}
+	if err := f.Interrupted(); err != nil {
+		t.Fatalf("online Interrupted: %v", err)
+	}
+	if !f.PowerFail() {
+		t.Fatal("first PowerFail reported no-op")
+	}
+	if f.PowerFail() {
+		t.Fatal("second PowerFail not a no-op")
+	}
+	if err := f.Admit(); err != storage.ErrOffline {
+		t.Fatalf("offline Admit = %v", err)
+	}
+	if err := f.Interrupted(); err != storage.ErrPowerFail {
+		t.Fatalf("offline Interrupted = %v", err)
+	}
+	f.PowerOn()
+	if err := f.Admit(); err != nil {
+		t.Fatalf("Admit after PowerOn: %v", err)
+	}
+}
+
+// TestFlushDrainsQueue verifies the non-queued command semantics: a flush
+// waits for every outstanding queued command and blocks new ones while it
+// runs.
+func TestFlushDrainsQueue(t *testing.T) {
+	eng := sim.New()
+	f := New(eng, Config{Depth: 2, WriteOverhead: time.Microsecond}, iotrace.NewRegistry())
+
+	var cmdDone, flushStart, lateStart time.Duration
+	release := make([]func(), 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		eng.Go("cmd", func(p *sim.Proc) {
+			release[i] = f.Enqueue(p, iotrace.Req{})
+			p.Sleep(100 * time.Microsecond)
+			cmdDone = p.Now()
+			release[i]()
+		})
+	}
+	eng.Go("flush", func(p *sim.Proc) {
+		p.Sleep(time.Microsecond) // let both commands occupy the queue
+		rel, err := f.FlushEnter(p, iotrace.Req{})
+		if err != nil {
+			t.Errorf("FlushEnter: %v", err)
+			return
+		}
+		flushStart = p.Now()
+		p.Sleep(50 * time.Microsecond)
+		rel()
+	})
+	eng.Go("late", func(p *sim.Proc) {
+		p.Sleep(10 * time.Microsecond) // arrives while the flush is pending
+		rel := f.Enqueue(p, iotrace.Req{})
+		lateStart = p.Now()
+		rel()
+	})
+	eng.Run()
+
+	if flushStart < cmdDone {
+		t.Fatalf("flush admitted at %v before outstanding commands finished at %v", flushStart, cmdDone)
+	}
+	if lateStart < flushStart+50*time.Microsecond {
+		t.Fatalf("command admitted at %v while the flush held the queue until %v", lateStart, flushStart+50*time.Microsecond)
+	}
+}
+
+// TestConcurrentFlushesSerialize: flush-cache commands serialize with each
+// other even when the queue is idle.
+func TestConcurrentFlushesSerialize(t *testing.T) {
+	eng := sim.New()
+	f := New(eng, Config{Depth: 2}, iotrace.NewRegistry())
+	var last time.Duration
+	for i := 0; i < 3; i++ {
+		eng.Go("flush", func(p *sim.Proc) {
+			rel, err := f.FlushEnter(p, iotrace.Req{})
+			if err != nil {
+				t.Errorf("FlushEnter: %v", err)
+				return
+			}
+			p.Sleep(time.Millisecond)
+			rel()
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	eng.Run()
+	if last < 3*time.Millisecond {
+		t.Fatalf("3 flushes finished at %v; they must serialize past 3ms", last)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"durassd/internal/sim"
 	"durassd/internal/ssd"
 	"durassd/internal/storage"
+	"durassd/internal/vol"
 )
 
 // DeviceKind selects the drive under test.
@@ -42,9 +43,24 @@ const (
 	SSDA    DeviceKind = "SSD-A"
 )
 
+// Layout selects the volume geometry under test.
+type Layout string
+
+// Volume geometries. The interesting cases are the composed ones: a power
+// cut hits every member of a volume at the same instant, so striping or
+// mirroring volatile-cache drives does not buy back durability — while
+// DuraSSD members keep their guarantees in any geometry.
+const (
+	Single  Layout = ""        // one drive (default)
+	Striped Layout = "striped" // RAID-0 over Width members
+	Mirror  Layout = "mirror"  // RAID-1 over Width members
+)
+
 // Scenario describes one crash experiment.
 type Scenario struct {
 	Device      DeviceKind
+	Layout      Layout // volume geometry (default: single drive)
+	Width       int    // volume member count (default 2)
 	Barrier     bool
 	DoubleWrite bool
 	Clients     int
@@ -60,6 +76,9 @@ func (s *Scenario) defaults() {
 	if s.Updates <= 0 {
 		s.Updates = 400
 	}
+	if s.Layout != Single && s.Width <= 0 {
+		s.Width = 2
+	}
 }
 
 // Name summarizes the configuration.
@@ -71,7 +90,15 @@ func (s Scenario) Name() string {
 	if s.DoubleWrite {
 		d = "on"
 	}
-	return fmt.Sprintf("%s barrier=%s dwb=%s", s.Device, b, d)
+	dev := string(s.Device)
+	if s.Layout != Single {
+		w := s.Width
+		if w <= 0 {
+			w = 2
+		}
+		dev = fmt.Sprintf("%s %s-%d", s.Device, s.Layout, w)
+	}
+	return fmt.Sprintf("%s barrier=%s dwb=%s", dev, b, d)
 }
 
 // Verdict is the audited outcome of one crash.
@@ -111,7 +138,7 @@ func Run(s Scenario) (*Verdict, error) {
 	default:
 		return nil, fmt.Errorf("faults: unknown device %q", s.Device)
 	}
-	dev, err := ssd.New(eng, prof)
+	dev, err := buildDevice(eng, prof, s)
 	if err != nil {
 		return nil, err
 	}
@@ -169,18 +196,21 @@ func Run(s Scenario) (*Verdict, error) {
 		rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
 		cut = time.Duration(1+rng.Intn(29)) * time.Millisecond
 	}
-	eng.Schedule(cut, func() { dev.PowerFail() })
+	cycler := dev.(storage.PowerCycler)
+	eng.Schedule(cut, func() { cycler.PowerFail() })
 	eng.Run()
 	e.Close()
 	v.AckedCommits = ackedCount
-	v.DumpPages = dev.Stats().DumpPages
-	v.LostDevPages = dev.Stats().LostPages
+	for _, m := range memberDevices(dev) {
+		v.DumpPages += m.Stats().DumpPages
+		v.LostDevPages += m.Stats().LostPages
+	}
 
 	// Reboot the device (firmware recovery) and the engine (DWB + redo).
 	var rep *innodb.RecoveryReport
 	var auditErr error
 	eng.Go("recovery", func(p *sim.Proc) {
-		if err := dev.Reboot(p); err != nil {
+		if err := cycler.Reboot(p); err != nil {
 			auditErr = fmt.Errorf("device reboot: %w", err)
 			return
 		}
@@ -208,8 +238,14 @@ func Run(s Scenario) (*Verdict, error) {
 		}
 	})
 	eng.Run()
-	for o := iotrace.Origin(0); o < iotrace.NumOrigins; o++ {
-		v.Origins[o] = *dev.Registry().Origin(o)
+	for _, m := range memberDevices(dev) {
+		for o := iotrace.Origin(0); o < iotrace.NumOrigins; o++ {
+			c := m.Registry().Origin(o)
+			v.Origins[o].PagesWritten += c.PagesWritten
+			v.Origins[o].PagesRead += c.PagesRead
+			v.Origins[o].NANDSlots += c.NANDSlots
+			v.Origins[o].GCSlots += c.GCSlots
+		}
 	}
 	if auditErr != nil {
 		v.Err = auditErr
@@ -218,4 +254,37 @@ func Run(s Scenario) (*Verdict, error) {
 	v.TornPages = rep.TornUnrepaired
 	v.RedoApplied = rep.RedoApplied
 	return v, nil
+}
+
+// buildDevice assembles the device under test: a single drive, or a volume
+// of identical drives per the scenario's layout.
+func buildDevice(eng *sim.Engine, prof ssd.Profile, s Scenario) (storage.Device, error) {
+	if s.Layout == Single {
+		return ssd.New(eng, prof)
+	}
+	members := make([]storage.Device, s.Width)
+	for i := range members {
+		m, err := ssd.New(eng, prof)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = m
+	}
+	switch s.Layout {
+	case Striped:
+		return vol.NewStriped(eng, members, 0)
+	case Mirror:
+		return vol.NewMirror(eng, members)
+	}
+	return nil, fmt.Errorf("faults: unknown layout %q", s.Layout)
+}
+
+// memberDevices returns the physical drives behind dev: the volume members
+// when dev is composed, dev itself otherwise. Firmware-level counters
+// (dump pages, lost pages, per-origin NAND traffic) live on the members.
+func memberDevices(dev storage.Device) []storage.Device {
+	if m, ok := dev.(interface{ Members() []storage.Device }); ok {
+		return m.Members()
+	}
+	return []storage.Device{dev}
 }

@@ -57,6 +57,43 @@ func TestVolatileSSDFastConfigLosesData(t *testing.T) {
 	}
 }
 
+func TestDuraSSDVolumesStaySafe(t *testing.T) {
+	// Composing DuraSSDs into a stripe or mirror must not weaken the
+	// guarantee: the power cut hits every member, and every member's
+	// durable cache holds.
+	for _, layout := range []struct {
+		layout Layout
+		width  int
+	}{{Striped, 4}, {Mirror, 2}} {
+		lost, torn, acked := runTrials(t, Scenario{
+			Device: DuraSSD, Layout: layout.layout, Width: layout.width,
+			Barrier: false, DoubleWrite: false,
+		}, 5)
+		if acked == 0 {
+			t.Fatalf("%s-%d: no commits acknowledged before the cut", layout.layout, layout.width)
+		}
+		if lost != 0 || torn != 0 {
+			t.Fatalf("DuraSSD %s-%d OFF/OFF lost %d commits, %d torn pages", layout.layout, layout.width, lost, torn)
+		}
+	}
+}
+
+func TestVolatileMirrorIsNotDurable(t *testing.T) {
+	// Redundancy is orthogonal to cache durability: both mirror copies
+	// lose their volatile caches at the same instant, so acknowledged
+	// commits still disappear.
+	lost, _, acked := runTrials(t, Scenario{
+		Device: SSDA, Layout: Mirror, Width: 2,
+		Barrier: false, DoubleWrite: false,
+	}, 10)
+	if acked == 0 {
+		t.Fatal("no commits acknowledged before the cut")
+	}
+	if lost == 0 {
+		t.Fatal("mirrored volatile SSDs lost nothing across 10 power cuts — mirroring must not substitute for a durable cache")
+	}
+}
+
 func TestVolatileSSDSafeConfigKeepsCommits(t *testing.T) {
 	// Barriers on + double-write on protects even the volatile drive.
 	lost, torn, _ := runTrials(t, Scenario{

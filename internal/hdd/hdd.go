@@ -20,6 +20,7 @@ import (
 	"math"
 	"time"
 
+	"durassd/internal/devfront"
 	"durassd/internal/iotrace"
 	"durassd/internal/sim"
 	"durassd/internal/storage"
@@ -62,13 +63,16 @@ func Cheetah15K(scale int) Config {
 }
 
 // Device is the disk. It implements storage.Device and storage.PowerCycler.
+// The host interface (serialized link, non-queued flush admission, power
+// gating, range checks) comes from the shared devfront layer; the disk has
+// no host-visible command queue (Depth 0) — its reordering happens at the
+// mechanical arm.
 type Device struct {
 	cfg Config
 	eng *sim.Engine
 
-	arm     *sim.Resource // the mechanical arm: one access at a time
-	armQ    int           // accesses waiting or in service (for reordering)
-	link    *sim.Resource
+	arm     *sim.Resource          // the mechanical arm: one access at a time
+	armQ    int                    // accesses waiting or in service (for reordering)
 	platter map[storage.LPN][]byte // real-bytes mode storage
 
 	cacheOn    bool
@@ -81,9 +85,9 @@ type Device struct {
 	space      *sim.Queue
 	drained    *sim.Queue
 
-	offline bool
-	reg     *iotrace.Registry
-	stats   *storage.Stats
+	front *devfront.Front
+	reg   *iotrace.Registry
+	stats *storage.Stats
 }
 
 // New builds a powered-on disk and starts its cache drainer.
@@ -96,7 +100,6 @@ func New(eng *sim.Engine, cfg Config) (*Device, error) {
 		cfg:      cfg,
 		eng:      eng,
 		arm:      sim.NewResource(eng, 1),
-		link:     sim.NewResource(eng, 1),
 		platter:  make(map[storage.LPN][]byte),
 		cacheOn:  true,
 		frames:   make(map[storage.LPN][]byte),
@@ -104,8 +107,13 @@ func New(eng *sim.Engine, cfg Config) (*Device, error) {
 		hasDirty: sim.NewQueue(eng),
 		space:    sim.NewQueue(eng),
 		drained:  sim.NewQueue(eng),
-		reg:      reg,
-		stats:    reg.Stats(),
+		front: devfront.New(eng, devfront.Config{
+			LinkMBps:      cfg.LinkMBps,
+			ReadOverhead:  cfg.CmdOverhead,
+			WriteOverhead: cfg.CmdOverhead,
+		}, reg),
+		reg:   reg,
+		stats: reg.Stats(),
 	}
 	eng.Go("hdd-drain", d.drainer)
 	return d, nil
@@ -161,34 +169,25 @@ func (d *Device) service(p *sim.Proc, req iotrace.Req, n, depth int) {
 	d.armQ--
 }
 
-func (d *Device) xfer(bytes int) time.Duration {
-	return d.cfg.CmdOverhead + time.Duration(float64(bytes)/float64(d.cfg.LinkMBps*storage.MB)*float64(time.Second))
-}
-
 // Write submits one write command of n pages starting at lpn.
 func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, data []byte) error {
-	if d.offline {
-		return storage.ErrOffline
+	if err := d.front.AdmitRange(lpn, n, d.cfg.Pages); err != nil {
+		return err
 	}
-	if n <= 0 || int64(lpn)+int64(n) > d.cfg.Pages {
-		return storage.ErrOutOfRange
+	if err := devfront.CheckBuf("hdd: write", data, n, d.cfg.PageSize); err != nil {
+		return err
 	}
-	if data != nil && len(data) != n*d.cfg.PageSize {
-		return fmt.Errorf("hdd: write data length %d != %d", len(data), n*d.cfg.PageSize)
-	}
-	lsp := req.Begin(p, iotrace.LayerLink)
-	d.link.Use(p, d.xfer(n*d.cfg.PageSize))
-	lsp.End(p)
-	if d.offline {
-		return storage.ErrPowerFail
+	d.front.TransferIn(p, req, n*d.cfg.PageSize)
+	if err := d.front.Interrupted(); err != nil {
+		return err
 	}
 	if d.cacheOn {
 		csp := req.Begin(p, iotrace.LayerCache)
 		for d.dirtyPages+d.inFlight+n > d.cfg.CacheFrames {
 			d.space.Wait(p)
-			if d.offline {
+			if err := d.front.Interrupted(); err != nil {
 				csp.End(p)
-				return storage.ErrPowerFail
+				return err
 			}
 		}
 		csp.End(p)
@@ -210,14 +209,12 @@ func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, dat
 		d.hasDirty.WakeOne()
 	} else {
 		d.service(p, req, n, 0)
-		if d.offline {
-			return storage.ErrPowerFail // in-place write may be torn
+		if err := d.front.Interrupted(); err != nil {
+			return err // in-place write may be torn
 		}
 		d.commit(lpn, n, data)
 	}
-	d.stats.WriteCommands++
-	d.stats.PagesWritten += int64(n)
-	d.reg.AddOriginWrite(req.Origin, n)
+	d.front.CompleteWrite(req, n)
 	return nil
 }
 
@@ -242,7 +239,7 @@ type extent struct {
 // seek per command regardless of its size.
 func (d *Device) drainer(p *sim.Proc) {
 	for {
-		if d.offline {
+		if d.front.Offline() {
 			return
 		}
 		if len(d.dirtyq) == 0 {
@@ -261,7 +258,7 @@ func (d *Device) drainer(p *sim.Proc) {
 		d.service(p, req, ext.n, d.dirtyPages+1)
 		req.Finish(p)
 		d.inFlight -= ext.n
-		if d.offline {
+		if d.front.Offline() {
 			return
 		}
 		for i := 0; i < ext.n; i++ {
@@ -296,14 +293,11 @@ func (d *Device) stillQueued(l storage.LPN) bool {
 
 // Read submits one read command of n pages starting at lpn.
 func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf []byte) error {
-	if d.offline {
-		return storage.ErrOffline
+	if err := d.front.AdmitRange(lpn, n, d.cfg.Pages); err != nil {
+		return err
 	}
-	if n <= 0 || int64(lpn)+int64(n) > d.cfg.Pages {
-		return storage.ErrOutOfRange
-	}
-	if buf != nil && len(buf) != n*d.cfg.PageSize {
-		return fmt.Errorf("hdd: read buffer length %d != %d", len(buf), n*d.cfg.PageSize)
+	if err := devfront.CheckBuf("hdd: read", buf, n, d.cfg.PageSize); err != nil {
+		return err
 	}
 	allCached := true
 	for i := 0; i < n; i++ {
@@ -316,8 +310,8 @@ func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf 
 		d.stats.CacheHits += int64(n)
 	} else {
 		d.service(p, req, n, 0)
-		if d.offline {
-			return storage.ErrPowerFail
+		if err := d.front.Interrupted(); err != nil {
+			return err
 		}
 	}
 	if buf != nil {
@@ -337,45 +331,45 @@ func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf 
 			}
 		}
 	}
-	lsp := req.Begin(p, iotrace.LayerLink)
-	d.link.Use(p, d.xfer(n*d.cfg.PageSize))
-	lsp.End(p)
-	if d.offline {
-		return storage.ErrPowerFail
+	d.front.TransferOut(p, req, n*d.cfg.PageSize)
+	if err := d.front.Interrupted(); err != nil {
+		return err
 	}
-	d.stats.ReadCommands++
-	d.stats.PagesRead += int64(n)
-	d.reg.AddOriginRead(req.Origin, n)
+	d.front.CompleteRead(req, n)
 	return nil
 }
 
-// Flush drains the track cache to the platter and settles.
+// Flush drains the track cache to the platter and settles. Like every
+// flush-cache command it is non-queued: the devfront admission serializes
+// concurrent flushes at the device.
 func (d *Device) Flush(p *sim.Proc, req iotrace.Req) error {
-	if d.offline {
-		return storage.ErrOffline
+	release, err := d.front.FlushEnter(p, req)
+	if err != nil {
+		return err
 	}
+	defer release()
 	sp := req.Begin(p, iotrace.LayerFlushDrain)
 	defer sp.End(p)
 	if d.cacheOn {
 		for d.dirtyPages > 0 || d.inFlight > 0 {
 			d.drained.Wait(p)
-			if d.offline {
-				return storage.ErrPowerFail
+			if err := d.front.Interrupted(); err != nil {
+				return err
 			}
 		}
 	}
 	p.Sleep(d.cfg.FlushOverhead)
-	if d.offline {
-		return storage.ErrPowerFail
+	if err := d.front.Interrupted(); err != nil {
+		return err
 	}
-	d.stats.FlushCommands++
+	d.front.CompleteFlush()
 	return nil
 }
 
 // PreloadPages installs n pages instantly starting at lpn (bulk load).
 // Timing-only preloads store nothing: disk reads need no mapping.
 func (d *Device) PreloadPages(lpn storage.LPN, n int64, data []byte) error {
-	if int64(lpn)+n > d.cfg.Pages {
+	if n < 0 || uint64(lpn) > uint64(d.cfg.Pages) || uint64(n) > uint64(d.cfg.Pages)-uint64(lpn) {
 		return storage.ErrOutOfRange
 	}
 	if data != nil {
@@ -389,10 +383,9 @@ func (d *Device) PreloadPages(lpn storage.LPN, n int64, data []byte) error {
 
 // PowerFail cuts power: the volatile track cache is lost.
 func (d *Device) PowerFail() {
-	if d.offline {
+	if !d.front.PowerFail() {
 		return
 	}
-	d.offline = true
 	for l := range d.dirty {
 		_ = l
 		d.stats.LostPages++
@@ -409,11 +402,11 @@ func (d *Device) PowerFail() {
 
 // Reboot restores power (disks need no recovery beyond spin-up).
 func (d *Device) Reboot(p *sim.Proc) error {
-	if !d.offline {
+	if !d.front.Offline() {
 		return nil
 	}
 	p.Sleep(10 * time.Second) // spin-up
-	d.offline = false
+	d.front.PowerOn()
 	d.eng.Go("hdd-drain", d.drainer)
 	return nil
 }

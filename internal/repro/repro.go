@@ -76,12 +76,10 @@ func NewRig(kind DeviceKind, scale int, barrier bool) (*Rig, error) {
 	return &Rig{Eng: eng, FS: host.NewFS(dev, barrier), Dev: dev}, nil
 }
 
-// setWriteCache toggles the device write cache regardless of kind.
+// setWriteCache toggles the device write cache regardless of kind (SSDs,
+// disks and volumes all expose the same knob).
 func (r *Rig) setWriteCache(on bool) {
-	switch d := r.Dev.(type) {
-	case *ssd.Device:
-		d.SetWriteCache(on)
-	case *hdd.Device:
+	if d, ok := r.Dev.(interface{ SetWriteCache(bool) }); ok {
 		d.SetWriteCache(on)
 	}
 }

@@ -13,10 +13,10 @@
 package ssd
 
 import (
-	"fmt"
 	"time"
 
 	"durassd/internal/core"
+	"durassd/internal/devfront"
 	"durassd/internal/ftl"
 	"durassd/internal/iotrace"
 	"durassd/internal/nand"
@@ -108,21 +108,20 @@ func SSDB(scale int) Profile {
 }
 
 // Device is a complete SSD. It implements storage.Device and
-// storage.PowerCycler.
+// storage.PowerCycler. The host-interface machinery (NCQ, serialized link,
+// non-queued flush admission, power gating) lives in the shared devfront
+// layer; this type composes it with the flash back-end (cache, FTL, NAND).
 type Device struct {
-	prof      Profile
-	eng       *sim.Engine
-	arr       *nand.Array
-	f         *ftl.FTL
-	ctrl      *core.Controller
-	link      *sim.Resource
-	ncq       *sim.Resource
-	flushLock *sim.Resource // flush-cache commands serialize at the device
-	reg       *iotrace.Registry
-	stats     *storage.Stats
+	prof  Profile
+	eng   *sim.Engine
+	arr   *nand.Array
+	f     *ftl.FTL
+	ctrl  *core.Controller
+	front *devfront.Front
+	reg   *iotrace.Registry
+	stats *storage.Stats
 
 	cacheOn bool
-	offline bool
 }
 
 // New builds a powered-on, empty device from the profile.
@@ -140,16 +139,20 @@ func New(eng *sim.Engine, prof Profile) (*Device, error) {
 		prof.NCQDepth = 32
 	}
 	d := &Device{
-		prof:      prof,
-		eng:       eng,
-		arr:       arr,
-		f:         f,
-		link:      sim.NewResource(eng, 1),
-		ncq:       sim.NewResource(eng, prof.NCQDepth),
-		flushLock: sim.NewResource(eng, 1),
-		reg:       reg,
-		stats:     reg.Stats(),
-		cacheOn:   true,
+		prof: prof,
+		eng:  eng,
+		arr:  arr,
+		f:    f,
+		front: devfront.New(eng, devfront.Config{
+			LinkMBps:      prof.LinkMBps,
+			ReadOverhead:  prof.ReadCmdOverhead,
+			WriteOverhead: prof.WriteCmdOverhead,
+			FlushOverhead: prof.WriteCmdOverhead, // flush issues as a write-class command
+			Depth:         prof.NCQDepth,
+		}, reg),
+		reg:     reg,
+		stats:   reg.Stats(),
+		cacheOn: true,
 	}
 	d.ctrl = core.NewController(f, prof.Cache, reg)
 	f.StartBackgroundGC() // no-op unless the profile configures a watermark
@@ -187,37 +190,26 @@ func (d *Device) Stats() *storage.Stats { return d.stats }
 // Registry returns the device's unified metrics registry.
 func (d *Device) Registry() *iotrace.Registry { return d.reg }
 
-func (d *Device) xfer(bytes int, overhead time.Duration) time.Duration {
-	return overhead + time.Duration(float64(bytes)/float64(d.prof.LinkMBps*storage.MB)*float64(time.Second))
-}
-
 // Write submits one write command covering n mapping units from lpn.
 func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, data []byte) error {
-	if d.offline {
-		return storage.ErrOffline
-	}
-	if n <= 0 || int64(lpn)+int64(n) > d.f.LogicalSlots() {
-		return storage.ErrOutOfRange
+	if err := d.front.AdmitRange(lpn, n, d.f.LogicalSlots()); err != nil {
+		return err
 	}
 	ss := d.f.SlotSize()
-	if data != nil && len(data) != n*ss {
-		return fmt.Errorf("ssd: write data length %d != %d", len(data), n*ss)
+	if err := devfront.CheckBuf("ssd: write", data, n, ss); err != nil {
+		return err
 	}
-	qsp := req.Begin(p, iotrace.LayerHostQueue)
-	d.ncq.Acquire(p, 1)
-	qsp.End(p)
-	defer d.ncq.Release(1)
+	release := d.front.Enqueue(p, req)
+	defer release()
 
 	// Serialized host-link occupancy: protocol overhead + data transfer.
-	lsp := req.Begin(p, iotrace.LayerLink)
-	d.link.Use(p, d.xfer(n*ss, d.prof.WriteCmdOverhead))
-	lsp.End(p)
+	d.front.TransferIn(p, req, n*ss)
 	// Firmware command handling overlaps across queued commands.
 	fsp := req.Begin(p, iotrace.LayerFirmware)
 	p.Sleep(d.prof.FirmwareWrite)
 	fsp.End(p)
-	if d.offline {
-		return storage.ErrPowerFail
+	if err := d.front.Interrupted(); err != nil {
+		return err
 	}
 
 	slots := make([]ftl.SlotWrite, n)
@@ -247,34 +239,27 @@ func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, dat
 	if err != nil {
 		return err
 	}
-	d.stats.WriteCommands++
-	d.stats.PagesWritten += int64(n)
-	d.reg.AddOriginWrite(req.Origin, n)
+	d.front.CompleteWrite(req, n)
 	return nil
 }
 
 // Read submits one read command covering n mapping units from lpn.
 func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf []byte) error {
-	if d.offline {
-		return storage.ErrOffline
-	}
-	if n <= 0 || int64(lpn)+int64(n) > d.f.LogicalSlots() {
-		return storage.ErrOutOfRange
+	if err := d.front.AdmitRange(lpn, n, d.f.LogicalSlots()); err != nil {
+		return err
 	}
 	ss := d.f.SlotSize()
-	if buf != nil && len(buf) != n*ss {
-		return fmt.Errorf("ssd: read buffer length %d != %d", len(buf), n*ss)
+	if err := devfront.CheckBuf("ssd: read", buf, n, ss); err != nil {
+		return err
 	}
-	qsp := req.Begin(p, iotrace.LayerHostQueue)
-	d.ncq.Acquire(p, 1)
-	qsp.End(p)
-	defer d.ncq.Release(1)
+	release := d.front.Enqueue(p, req)
+	defer release()
 
 	fsp := req.Begin(p, iotrace.LayerFirmware)
 	p.Sleep(d.prof.FirmwareRead)
 	fsp.End(p)
-	if d.offline {
-		return storage.ErrPowerFail
+	if err := d.front.Interrupted(); err != nil {
+		return err
 	}
 	var err error
 	if d.cacheOn {
@@ -297,42 +282,25 @@ func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf 
 		return err
 	}
 	// Data transfer back to the host.
-	lsp := req.Begin(p, iotrace.LayerLink)
-	d.link.Use(p, d.xfer(n*ss, d.prof.ReadCmdOverhead))
-	lsp.End(p)
-	if d.offline {
-		return storage.ErrPowerFail
+	d.front.TransferOut(p, req, n*ss)
+	if err := d.front.Interrupted(); err != nil {
+		return err
 	}
-	d.stats.ReadCommands++
-	d.stats.PagesRead += int64(n)
-	d.reg.AddOriginRead(req.Origin, n)
+	d.front.CompleteRead(req, n)
 	return nil
 }
 
 // Flush submits a flush-cache command (fsync with write barriers on).
-// Flush-cache is a non-queued command: concurrent flushes serialize at the
-// device, which is exactly why fsync storms crater throughput (Table 1) and
-// inflate tail latency (Table 3) on every drive that must honor them.
+// Flush-cache is a non-queued command — the devfront admission serializes
+// it against other flushes and drains the NCQ first — which is exactly why
+// fsync storms crater throughput (Table 1) and inflate tail latency
+// (Table 3) on every drive that must honor them.
 func (d *Device) Flush(p *sim.Proc, req iotrace.Req) error {
-	if d.offline {
-		return storage.ErrOffline
+	release, err := d.front.FlushEnter(p, req)
+	if err != nil {
+		return err
 	}
-	lsp := req.Begin(p, iotrace.LayerLink)
-	d.link.Use(p, d.prof.WriteCmdOverhead)
-	lsp.End(p)
-	qsp := req.Begin(p, iotrace.LayerHostQueue)
-	d.flushLock.Acquire(p, 1)
-	defer d.flushLock.Release(1)
-	// Flush-cache is a non-queued command: the device drains the NCQ
-	// before executing it, and every command arriving meanwhile waits
-	// behind it. This is how fsync storms poison *read* latency (§1-2).
-	d.ncq.Acquire(p, d.prof.NCQDepth)
-	qsp.End(p)
-	defer d.ncq.Release(d.prof.NCQDepth)
-	if d.offline {
-		return storage.ErrPowerFail
-	}
-	var err error
+	defer release()
 	if d.cacheOn {
 		err = d.ctrl.FlushCache(p, req)
 	} else {
@@ -341,16 +309,15 @@ func (d *Device) Flush(p *sim.Proc, req iotrace.Req) error {
 	if err != nil {
 		return err
 	}
-	d.stats.FlushCommands++
+	d.front.CompleteFlush()
 	return nil
 }
 
 // PowerFail cuts power instantly (storage.PowerCycler).
 func (d *Device) PowerFail() {
-	if d.offline {
+	if !d.front.PowerFail() {
 		return
 	}
-	d.offline = true
 	d.arr.PowerFail()
 	d.ctrl.PowerFail()
 }
@@ -359,7 +326,7 @@ func (d *Device) PowerFail() {
 // recharge plus dump replay; for volatile drives, a mapping rebuild from
 // the OOB metadata already on flash.
 func (d *Device) Reboot(p *sim.Proc) error {
-	if !d.offline {
+	if !d.front.Offline() {
 		return nil
 	}
 	d.arr.PowerOn()
@@ -377,7 +344,7 @@ func (d *Device) Reboot(p *sim.Proc) error {
 	// Fresh controller over the same FTL: the old cache state died with
 	// the power (its content, if durable, was replayed above).
 	d.ctrl = core.NewController(d.f, d.prof.Cache, d.reg)
-	d.offline = false
+	d.front.PowerOn()
 	return nil
 }
 

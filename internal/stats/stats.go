@@ -229,6 +229,15 @@ func commafy(s string) string {
 	return b.String()
 }
 
+// Header returns the column headers.
+func (t *Table) Header() []string { return t.header }
+
+// Rows returns the formatted rows (callers must not mutate them).
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Comments returns the footnote lines.
+func (t *Table) Comments() []string { return t.comment }
+
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))

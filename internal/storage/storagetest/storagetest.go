@@ -1,0 +1,213 @@
+// Package storagetest is a conformance suite for storage.Device
+// implementations. Every device in this repository — flash SSDs, the disk,
+// and composed volumes — must present the same host-visible contract:
+// uniform ErrOutOfRange for commands that touch any page beyond capacity
+// (with no partial side effects), ErrOffline after a power cut, durability
+// of acknowledged writes once Flush returns, and live Stats/Registry.
+//
+// Device packages use it as:
+//
+//	storagetest.Run(t, func(t *testing.T) storagetest.Harness {
+//		eng := sim.New()
+//		d, err := ssd.New(eng, ssd.DuraSSD(16))
+//		...
+//		return storagetest.Harness{Eng: eng, Dev: d}
+//	})
+package storagetest
+
+import (
+	"bytes"
+	"testing"
+
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// Harness bundles one fresh device on its own engine.
+type Harness struct {
+	Eng *sim.Engine
+	Dev storage.Device
+}
+
+// Factory builds a fresh powered-on device for one subtest.
+type Factory func(t *testing.T) Harness
+
+// Run executes the full conformance suite against devices built by f.
+func Run(t *testing.T, f Factory) {
+	t.Run("Bounds", func(t *testing.T) { testBounds(t, f(t)) })
+	t.Run("OverrunNoSideEffects", func(t *testing.T) { testOverrun(t, f(t)) })
+	t.Run("StatsRegistry", func(t *testing.T) { testStatsRegistry(t, f(t)) })
+	t.Run("FlushDurability", func(t *testing.T) { testFlushDurability(t, f(t)) })
+	t.Run("OfflineAfterPowerFail", func(t *testing.T) { testOffline(t, f(t)) })
+}
+
+// drive runs fn as one simulated process and drains the engine.
+func drive(t *testing.T, h Harness, fn func(p *sim.Proc)) {
+	t.Helper()
+	h.Eng.Go("storagetest", fn)
+	h.Eng.Run()
+}
+
+// testBounds: commands with zero/negative length, starting past the end,
+// or addressed beyond 2^63 must fail with ErrOutOfRange.
+func testBounds(t *testing.T, h Harness) {
+	d := h.Dev
+	pages := d.Pages()
+	if pages <= 0 {
+		t.Fatalf("Pages() = %d", pages)
+	}
+	cases := []struct {
+		name string
+		lpn  storage.LPN
+		n    int
+	}{
+		{"zero length", 0, 0},
+		{"negative length", 0, -1},
+		{"start at capacity", storage.LPN(pages), 1},
+		{"start far past capacity", storage.LPN(pages) + 100, 1},
+		{"address beyond 2^63", storage.LPN(1) << 63, 1},
+		{"address wraps", ^storage.LPN(0), 2},
+	}
+	drive(t, h, func(p *sim.Proc) {
+		for _, c := range cases {
+			if err := d.Write(p, iotrace.Req{}, c.lpn, c.n, nil); err != storage.ErrOutOfRange {
+				t.Errorf("%s: Write = %v, want ErrOutOfRange", c.name, err)
+			}
+			if err := d.Read(p, iotrace.Req{}, c.lpn, c.n, nil); err != storage.ErrOutOfRange {
+				t.Errorf("%s: Read = %v, want ErrOutOfRange", c.name, err)
+			}
+		}
+	})
+	if s := d.Stats(); s.WriteCommands != 0 || s.ReadCommands != 0 {
+		t.Errorf("rejected commands counted: %d writes, %d reads", s.WriteCommands, s.ReadCommands)
+	}
+}
+
+// testOverrun: a multi-page command that starts in range but runs past the
+// end must fail whole — ErrOutOfRange and no partial write of the in-range
+// prefix. (Regression: per-device checks used to overflow for n near the
+// end, admitting partial effects.)
+func testOverrun(t *testing.T, h Harness) {
+	d := h.Dev
+	last := storage.LPN(d.Pages() - 1)
+	before := bytes.Repeat([]byte{0x11}, d.PageSize())
+	after := bytes.Repeat([]byte{0x22}, 2*d.PageSize())
+	drive(t, h, func(p *sim.Proc) {
+		if err := d.Write(p, iotrace.Req{}, last, 1, before); err != nil {
+			t.Fatalf("seed write: %v", err)
+		}
+		if err := d.Flush(p, iotrace.Req{}); err != nil {
+			t.Fatalf("seed flush: %v", err)
+		}
+		if err := d.Write(p, iotrace.Req{}, last, 2, after); err != storage.ErrOutOfRange {
+			t.Fatalf("overrun Write = %v, want ErrOutOfRange", err)
+		}
+		buf := make([]byte, d.PageSize())
+		if err := d.Read(p, iotrace.Req{}, last, 1, buf); err != nil {
+			t.Fatalf("readback: %v", err)
+		}
+		if !bytes.Equal(buf, before) {
+			t.Error("overrun command left a partial side effect on the in-range page")
+		}
+	})
+}
+
+// testStatsRegistry: Stats and Registry are non-nil, live, and count
+// completed commands.
+func testStatsRegistry(t *testing.T, h Harness) {
+	d := h.Dev
+	if d.Stats() == nil {
+		t.Fatal("Stats() = nil")
+	}
+	if d.Registry() == nil {
+		t.Fatal("Registry() = nil")
+	}
+	if d.Registry().Stats() != d.Stats() {
+		t.Error("Registry().Stats() and Stats() disagree")
+	}
+	drive(t, h, func(p *sim.Proc) {
+		if err := d.Write(p, iotrace.Req{Op: iotrace.OpWrite, Origin: iotrace.OriginData}, 0, 1, nil); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := d.Read(p, iotrace.Req{Op: iotrace.OpRead, Origin: iotrace.OriginData}, 0, 1, nil); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if err := d.Flush(p, iotrace.Req{}); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+	})
+	s := d.Stats()
+	if s.WriteCommands != 1 || s.PagesWritten != 1 {
+		t.Errorf("write counters = %d commands / %d pages, want 1/1", s.WriteCommands, s.PagesWritten)
+	}
+	if s.ReadCommands != 1 || s.PagesRead != 1 {
+		t.Errorf("read counters = %d commands / %d pages, want 1/1", s.ReadCommands, s.PagesRead)
+	}
+	if s.FlushCommands != 1 {
+		t.Errorf("flush counter = %d, want 1", s.FlushCommands)
+	}
+	if got := d.Registry().Origin(iotrace.OriginData).PagesWritten; got != 1 {
+		t.Errorf("origin write counter = %d, want 1", got)
+	}
+}
+
+// testFlushDurability: data acknowledged before a Flush must read back
+// intact after a power cut and reboot, on every device that supports power
+// cycling.
+func testFlushDurability(t *testing.T, h Harness) {
+	d := h.Dev
+	pc, ok := d.(storage.PowerCycler)
+	if !ok {
+		t.Skip("device does not implement storage.PowerCycler")
+	}
+	data := bytes.Repeat([]byte{0x5a}, 3*d.PageSize())
+	drive(t, h, func(p *sim.Proc) {
+		if err := d.Write(p, iotrace.Req{}, 10, 3, data); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := d.Flush(p, iotrace.Req{}); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		pc.PowerFail()
+		if err := pc.Reboot(p); err != nil {
+			t.Fatalf("Reboot: %v", err)
+		}
+		buf := make([]byte, 3*d.PageSize())
+		if err := d.Read(p, iotrace.Req{}, 10, 3, buf); err != nil {
+			t.Fatalf("Read after reboot: %v", err)
+		}
+		if !bytes.Equal(buf, data) {
+			t.Error("flushed data lost across power cycle")
+		}
+	})
+}
+
+// testOffline: after PowerFail every command fails with ErrOffline until
+// Reboot, and a second PowerFail is harmless.
+func testOffline(t *testing.T, h Harness) {
+	d := h.Dev
+	pc, ok := d.(storage.PowerCycler)
+	if !ok {
+		t.Skip("device does not implement storage.PowerCycler")
+	}
+	drive(t, h, func(p *sim.Proc) {
+		pc.PowerFail()
+		pc.PowerFail() // idempotent
+		if err := d.Write(p, iotrace.Req{}, 0, 1, nil); err != storage.ErrOffline {
+			t.Errorf("offline Write = %v, want ErrOffline", err)
+		}
+		if err := d.Read(p, iotrace.Req{}, 0, 1, nil); err != storage.ErrOffline {
+			t.Errorf("offline Read = %v, want ErrOffline", err)
+		}
+		if err := d.Flush(p, iotrace.Req{}); err != storage.ErrOffline {
+			t.Errorf("offline Flush = %v, want ErrOffline", err)
+		}
+		if err := pc.Reboot(p); err != nil {
+			t.Fatalf("Reboot: %v", err)
+		}
+		if err := d.Write(p, iotrace.Req{}, 0, 1, nil); err != nil {
+			t.Errorf("Write after Reboot: %v", err)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package vol
+
+import (
+	"durassd/internal/devfront"
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// Concat is a linear concatenation (JBOD/linear-LVM) volume: member 0
+// serves the first member-0-capacity pages, member 1 the next span, and so
+// on. Commands crossing a member boundary split into one sub-command per
+// member.
+type Concat struct {
+	volume
+	starts []int64 // cumulative start page of each member
+	total  int64
+}
+
+// NewConcat builds a linear volume over members in order.
+func NewConcat(eng *sim.Engine, members []storage.Device) (*Concat, error) {
+	base, err := newVolume(eng, "concat", members)
+	if err != nil {
+		return nil, err
+	}
+	starts := make([]int64, len(members))
+	var total int64
+	for i, m := range members {
+		starts[i] = total
+		total += m.Pages()
+	}
+	return &Concat{volume: base, starts: starts, total: total}, nil
+}
+
+// Pages returns the summed capacity of the members.
+func (v *Concat) Pages() int64 { return v.total }
+
+// mapRange splits a volume command at member boundaries.
+func (v *Concat) mapRange(lpn storage.LPN, n int) []segment {
+	segs := make([]segment, 0, 2)
+	addr := int64(lpn)
+	left := int64(n)
+	off := 0
+	m := 0
+	for v.starts[m]+v.members[m].Pages() <= addr {
+		m++
+	}
+	for left > 0 {
+		mlpn := addr - v.starts[m]
+		cnt := v.members[m].Pages() - mlpn
+		if cnt > left {
+			cnt = left
+		}
+		segs = append(segs, segment{member: m, lpn: storage.LPN(mlpn), n: int(cnt), off: off})
+		addr += cnt
+		left -= cnt
+		off += int(cnt)
+		m++
+	}
+	return segs
+}
+
+// Read reads n pages starting at lpn.
+func (v *Concat) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf []byte) error {
+	if err := v.front.AdmitRange(lpn, n, v.total); err != nil {
+		return err
+	}
+	if err := devfront.CheckBuf("vol: concat read", buf, n, v.pageSize); err != nil {
+		return err
+	}
+	segs := v.mapRange(lpn, n)
+	err := v.fanout(p, segs, func(q *sim.Proc, s segment) error {
+		r := req
+		if len(segs) > 1 {
+			r = child(req, s)
+		}
+		return v.members[s.member].Read(q, r, s.lpn, s.n, s.slice(buf, v.pageSize))
+	})
+	if err != nil {
+		return err
+	}
+	v.front.CompleteRead(req, n)
+	return nil
+}
+
+// Write writes n pages starting at lpn.
+func (v *Concat) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, data []byte) error {
+	if err := v.front.AdmitRange(lpn, n, v.total); err != nil {
+		return err
+	}
+	if err := devfront.CheckBuf("vol: concat write", data, n, v.pageSize); err != nil {
+		return err
+	}
+	segs := v.mapRange(lpn, n)
+	err := v.fanout(p, segs, func(q *sim.Proc, s segment) error {
+		r := req
+		if len(segs) > 1 {
+			r = child(req, s)
+		}
+		return v.members[s.member].Write(q, r, s.lpn, s.n, s.slice(data, v.pageSize))
+	})
+	if err != nil {
+		return err
+	}
+	v.front.CompleteWrite(req, n)
+	return nil
+}
+
+// Flush issues flush-cache on every member concurrently.
+func (v *Concat) Flush(p *sim.Proc, req iotrace.Req) error {
+	if err := flushAll(&v.volume, p, req); err != nil {
+		return err
+	}
+	v.front.CompleteFlush()
+	return nil
+}
+
+// PowerFail cuts power to every member at once.
+func (v *Concat) PowerFail() {
+	if !v.front.PowerFail() {
+		return
+	}
+	v.powerFailMembers()
+}
+
+// Reboot powers the members back up in parallel.
+func (v *Concat) Reboot(p *sim.Proc) error {
+	if !v.front.Offline() {
+		return nil
+	}
+	if err := v.rebootMembers(p); err != nil {
+		return err
+	}
+	v.front.PowerOn()
+	return nil
+}
+
+// PreloadPages installs page images instantly across the members.
+func (v *Concat) PreloadPages(lpn storage.LPN, n int64, data []byte) error {
+	if err := checkPreload(lpn, n, v.total); err != nil {
+		return err
+	}
+	for _, s := range v.mapRange(lpn, int(n)) {
+		if err := v.preloadSegment(s, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

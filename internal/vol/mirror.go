@@ -1,0 +1,193 @@
+package vol
+
+import (
+	"durassd/internal/devfront"
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// Mirror is a RAID-1 volume: every write lands on all members, reads
+// rotate round-robin across them. A mirror does NOT protect against power
+// loss — the cut hits both copies at the same instant, so a mirror of
+// volatile-cache SSDs can still lose or tear acknowledged writes (both
+// members drop their caches together), while a mirror of DuraSSDs cannot.
+//
+// After a power cycle the copies may legitimately diverge: each member's
+// firmware recovered whatever its own cache state allowed, so page images
+// can differ between members. The mirror therefore reboots into a degraded
+// mode in which all reads are served from member 0 (the primary) and, when
+// the read carries real bytes, the primary's image is re-written onto the
+// secondaries ("read-repair"). Once every page of a range has been
+// repaired, reads of that range resume round-robin fan-out.
+type Mirror struct {
+	volume
+	next     int // round-robin read cursor
+	degraded bool
+	repaired map[storage.LPN]bool // pages reconciled since the last reboot
+}
+
+// NewMirror builds a RAID-1 volume over members; member 0 is the primary
+// copy used for post-crash reconciliation.
+func NewMirror(eng *sim.Engine, members []storage.Device) (*Mirror, error) {
+	base, err := newVolume(eng, "mirror", members)
+	if err != nil {
+		return nil, err
+	}
+	return &Mirror{volume: base}, nil
+}
+
+// Pages returns the volume capacity: the smallest member's.
+func (v *Mirror) Pages() int64 { return minPages(v.members) }
+
+// Degraded reports whether the mirror is reconciling after a power cycle.
+func (v *Mirror) Degraded() bool { return v.degraded }
+
+// writeSegs returns one same-range segment per member (the whole payload
+// goes to everyone).
+func (v *Mirror) writeSegs(lpn storage.LPN, n int) []segment {
+	segs := make([]segment, len(v.members))
+	for i := range segs {
+		segs[i] = segment{member: i, lpn: lpn, n: n}
+	}
+	return segs
+}
+
+// Write stores n pages on every member; it acknowledges when the slowest
+// copy has acknowledged.
+func (v *Mirror) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, data []byte) error {
+	if err := v.front.AdmitRange(lpn, n, v.Pages()); err != nil {
+		return err
+	}
+	if err := devfront.CheckBuf("vol: mirror write", data, n, v.pageSize); err != nil {
+		return err
+	}
+	err := v.fanout(p, v.writeSegs(lpn, n), func(q *sim.Proc, s segment) error {
+		return v.members[s.member].Write(q, child(req, s), s.lpn, s.n, data)
+	})
+	if err != nil {
+		return err
+	}
+	if v.degraded {
+		// A fresh write overwrites any divergence on all copies at once.
+		v.markRepaired(lpn, n)
+	}
+	v.front.CompleteWrite(req, n)
+	return nil
+}
+
+// Read serves n pages from one copy: round-robin when the mirror is clean,
+// from the primary (with read-repair onto the secondaries) while degraded.
+func (v *Mirror) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf []byte) error {
+	if err := v.front.AdmitRange(lpn, n, v.Pages()); err != nil {
+		return err
+	}
+	if err := devfront.CheckBuf("vol: mirror read", buf, n, v.pageSize); err != nil {
+		return err
+	}
+	if v.degraded && !v.rangeRepaired(lpn, n) {
+		if err := v.readRepair(p, req, lpn, n, buf); err != nil {
+			return err
+		}
+	} else {
+		m := v.next
+		v.next = (v.next + 1) % len(v.members)
+		if err := v.members[m].Read(p, req, lpn, n, buf); err != nil {
+			return err
+		}
+	}
+	v.front.CompleteRead(req, n)
+	return nil
+}
+
+// readRepair serves a degraded read from the primary and, when the caller
+// supplied a real buffer, pushes the primary's image onto the secondaries
+// so the copies reconverge. Timing-only reads (nil buf) cannot repair —
+// there are no bytes to copy — so they leave the range degraded.
+func (v *Mirror) readRepair(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf []byte) error {
+	if err := v.members[0].Read(p, req, lpn, n, buf); err != nil {
+		return err
+	}
+	if buf == nil {
+		return nil
+	}
+	segs := make([]segment, 0, len(v.members)-1)
+	for i := 1; i < len(v.members); i++ {
+		segs = append(segs, segment{member: i, lpn: lpn, n: n})
+	}
+	err := v.fanout(p, segs, func(q *sim.Proc, s segment) error {
+		r := iotrace.Req{Op: iotrace.OpWrite, Origin: req.Origin, LPN: uint64(s.lpn), N: s.n}
+		return v.members[s.member].Write(q, r, s.lpn, s.n, buf)
+	})
+	if err != nil {
+		return err
+	}
+	v.markRepaired(lpn, n)
+	return nil
+}
+
+func (v *Mirror) markRepaired(lpn storage.LPN, n int) {
+	for i := 0; i < n; i++ {
+		v.repaired[lpn+storage.LPN(i)] = true
+	}
+	if int64(len(v.repaired)) == v.Pages() {
+		v.degraded = false
+		v.repaired = nil
+	}
+}
+
+func (v *Mirror) rangeRepaired(lpn storage.LPN, n int) bool {
+	for i := 0; i < n; i++ {
+		if !v.repaired[lpn+storage.LPN(i)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Flush issues flush-cache on every member concurrently.
+func (v *Mirror) Flush(p *sim.Proc, req iotrace.Req) error {
+	if err := flushAll(&v.volume, p, req); err != nil {
+		return err
+	}
+	v.front.CompleteFlush()
+	return nil
+}
+
+// PowerFail cuts power to both copies at the same instant — the scenario a
+// mirror cannot defend against.
+func (v *Mirror) PowerFail() {
+	if !v.front.PowerFail() {
+		return
+	}
+	v.powerFailMembers()
+}
+
+// Reboot powers the members back up in parallel, then enters degraded mode:
+// the copies may have recovered different page images, so reads reconcile
+// against the primary until every page has been repaired or rewritten.
+func (v *Mirror) Reboot(p *sim.Proc) error {
+	if !v.front.Offline() {
+		return nil
+	}
+	if err := v.rebootMembers(p); err != nil {
+		return err
+	}
+	v.degraded = true
+	v.repaired = make(map[storage.LPN]bool)
+	v.front.PowerOn()
+	return nil
+}
+
+// PreloadPages installs page images instantly on every member.
+func (v *Mirror) PreloadPages(lpn storage.LPN, n int64, data []byte) error {
+	if err := checkPreload(lpn, n, v.Pages()); err != nil {
+		return err
+	}
+	for i := range v.members {
+		if err := v.preloadSegment(segment{member: i, lpn: lpn, n: int(n)}, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

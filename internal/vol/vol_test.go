@@ -1,0 +1,321 @@
+package vol
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/ssd"
+	"durassd/internal/storage"
+)
+
+func newMembers(t *testing.T, eng *sim.Engine, prof func(int) ssd.Profile, n int) []storage.Device {
+	t.Helper()
+	members := make([]storage.Device, n)
+	for i := range members {
+		d, err := ssd.New(eng, prof(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = d
+	}
+	return members
+}
+
+func run(t *testing.T, eng *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	eng.Go("test", fn)
+	eng.Run()
+}
+
+func TestStripedMapping(t *testing.T) {
+	eng := sim.New()
+	v, err := NewStriped(eng, newMembers(t, eng, ssd.DuraSSD, 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Pages() % (4 * 4); got != 0 {
+		t.Fatalf("capacity %d not a whole number of stripes", v.Pages())
+	}
+	// One chunk, fully inside member 1's first chunk.
+	segs := v.mapRange(4, 4)
+	if len(segs) != 1 || segs[0].member != 1 || segs[0].lpn != 0 || segs[0].n != 4 {
+		t.Fatalf("chunk-aligned map = %+v", segs)
+	}
+	// Crossing three chunk boundaries: pages 2..13 touch members 0,1,2,3.
+	segs = v.mapRange(2, 12)
+	want := []segment{
+		{member: 0, lpn: 2, n: 2, off: 0},
+		{member: 1, lpn: 0, n: 4, off: 2},
+		{member: 2, lpn: 0, n: 4, off: 6},
+		{member: 3, lpn: 0, n: 2, off: 10},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("map(2,12) = %+v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Errorf("seg %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+	// Second stripe row lands at member-local chunk 1.
+	segs = v.mapRange(16, 1)
+	if len(segs) != 1 || segs[0].member != 0 || segs[0].lpn != 4 {
+		t.Fatalf("second-row map = %+v", segs)
+	}
+}
+
+func TestStripedRoundTrip(t *testing.T) {
+	eng := sim.New()
+	v, err := NewStriped(eng, newMembers(t, eng, ssd.DuraSSD, 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lpn, n = 2, 12 // spans all four members
+	data := make([]byte, n*v.PageSize())
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	run(t, eng, func(p *sim.Proc) {
+		if err := v.Write(p, iotrace.Req{}, lpn, n, data); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		buf := make([]byte, n*v.PageSize())
+		if err := v.Read(p, iotrace.Req{}, lpn, n, buf); err != nil {
+			t.Errorf("Read: %v", err)
+			return
+		}
+		if !bytes.Equal(buf, data) {
+			t.Error("striped round trip mismatch")
+		}
+	})
+	for i, m := range v.Members() {
+		if m.Stats().PagesWritten == 0 {
+			t.Errorf("member %d received no pages — stripe not fanning out", i)
+		}
+	}
+	if v.Stats().WriteCommands != 1 || v.Stats().PagesWritten != n {
+		t.Errorf("volume stats = %+v", v.Stats())
+	}
+}
+
+// TestStripedParallelism: a stripe-spanning write should complete in far
+// less time than the same pages written through a single member, because
+// the members program concurrently.
+func TestStripedParallelism(t *testing.T) {
+	const pages = 64
+
+	single := func() time.Duration {
+		eng := sim.New()
+		d := newMembers(t, eng, ssd.DuraSSD, 1)[0]
+		var done time.Duration
+		run(t, eng, func(p *sim.Proc) {
+			if err := d.Write(p, iotrace.Req{}, 0, pages, nil); err != nil {
+				t.Errorf("single write: %v", err)
+			}
+			done = p.Now()
+		})
+		return done
+	}()
+
+	striped := func() time.Duration {
+		eng := sim.New()
+		v, err := NewStriped(eng, newMembers(t, eng, ssd.DuraSSD, 4), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done time.Duration
+		run(t, eng, func(p *sim.Proc) {
+			if err := v.Write(p, iotrace.Req{}, 0, pages, nil); err != nil {
+				t.Errorf("striped write: %v", err)
+			}
+			done = p.Now()
+		})
+		return done
+	}()
+
+	if striped >= single {
+		t.Fatalf("4-way stripe (%v) not faster than single member (%v)", striped, single)
+	}
+}
+
+func TestMirrorFanoutAndRoundRobin(t *testing.T) {
+	eng := sim.New()
+	v, err := NewMirror(eng, newMembers(t, eng, ssd.DuraSSD, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			if err := v.Write(p, iotrace.Req{}, storage.LPN(i), 1, nil); err != nil {
+				t.Errorf("Write: %v", err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if err := v.Read(p, iotrace.Req{}, storage.LPN(i), 1, nil); err != nil {
+				t.Errorf("Read: %v", err)
+			}
+		}
+	})
+	for i, m := range v.Members() {
+		if got := m.Stats().PagesWritten; got != 4 {
+			t.Errorf("member %d wrote %d pages, want 4 (mirror writes everywhere)", i, got)
+		}
+		if got := m.Stats().ReadCommands; got != 2 {
+			t.Errorf("member %d served %d reads, want 2 (round-robin)", i, got)
+		}
+	}
+}
+
+func TestMirrorCrashRepair(t *testing.T) {
+	eng := sim.New()
+	v, err := NewMirror(eng, newMembers(t, eng, ssd.DuraSSD, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := bytes.Repeat([]byte{0xa5}, v.PageSize())
+	run(t, eng, func(p *sim.Proc) {
+		if err := v.Write(p, iotrace.Req{}, 7, 1, page); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		v.PowerFail()
+		if err := v.Write(p, iotrace.Req{}, 7, 1, page); err != storage.ErrOffline {
+			t.Errorf("offline Write = %v, want ErrOffline", err)
+		}
+		if err := v.Reboot(p); err != nil {
+			t.Errorf("Reboot: %v", err)
+			return
+		}
+		if !v.Degraded() {
+			t.Error("mirror not degraded after power cycle")
+		}
+		// Degraded read: served from the primary, repaired onto the
+		// secondary. DuraSSD members recover acked writes, so the data
+		// must come back intact.
+		buf := make([]byte, v.PageSize())
+		if err := v.Read(p, iotrace.Req{}, 7, 1, buf); err != nil {
+			t.Errorf("degraded Read: %v", err)
+			return
+		}
+		if !bytes.Equal(buf, page) {
+			t.Error("acked write lost across power cycle on DuraSSD mirror")
+		}
+		if !v.rangeRepaired(7, 1) {
+			t.Error("read did not repair the range")
+		}
+		// The secondary now holds the primary's image.
+		sec := make([]byte, v.PageSize())
+		if err := v.Members()[1].Read(p, iotrace.Req{}, 7, 1, sec); err != nil {
+			t.Errorf("secondary Read: %v", err)
+			return
+		}
+		if !bytes.Equal(sec, page) {
+			t.Error("read-repair did not converge the secondary")
+		}
+		// A fresh write also repairs its range.
+		if err := v.Write(p, iotrace.Req{}, 9, 1, page); err != nil {
+			t.Errorf("post-crash Write: %v", err)
+			return
+		}
+		if !v.rangeRepaired(9, 1) {
+			t.Error("write did not mark its range repaired")
+		}
+	})
+}
+
+func TestConcatMappingAndRoundTrip(t *testing.T) {
+	eng := sim.New()
+	members := newMembers(t, eng, ssd.DuraSSD, 2)
+	v, err := NewConcat(eng, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pages() != members[0].Pages()+members[1].Pages() {
+		t.Fatalf("concat capacity %d != member sum", v.Pages())
+	}
+	boundary := storage.LPN(members[0].Pages())
+	segs := v.mapRange(boundary-1, 2)
+	if len(segs) != 2 || segs[0].member != 0 || segs[1].member != 1 || segs[1].lpn != 0 {
+		t.Fatalf("boundary map = %+v", segs)
+	}
+	data := make([]byte, 2*v.PageSize())
+	for i := range data {
+		data[i] = byte(i % 249)
+	}
+	run(t, eng, func(p *sim.Proc) {
+		if err := v.Write(p, iotrace.Req{}, boundary-1, 2, data); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		buf := make([]byte, 2*v.PageSize())
+		if err := v.Read(p, iotrace.Req{}, boundary-1, 2, buf); err != nil {
+			t.Errorf("Read: %v", err)
+			return
+		}
+		if !bytes.Equal(buf, data) {
+			t.Error("concat boundary round trip mismatch")
+		}
+	})
+}
+
+func TestVolumeBounds(t *testing.T) {
+	eng := sim.New()
+	v, err := NewStriped(eng, newMembers(t, eng, ssd.DuraSSD, 2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, func(p *sim.Proc) {
+		cases := []struct {
+			lpn storage.LPN
+			n   int
+		}{
+			{storage.LPN(v.Pages()), 1},     // starts past the end
+			{storage.LPN(v.Pages() - 1), 2}, // runs past the end
+			{0, 0},                          // zero length
+			{storage.LPN(1) << 63, 1},       // overflow address
+		}
+		for _, c := range cases {
+			if err := v.Write(p, iotrace.Req{}, c.lpn, c.n, nil); err != storage.ErrOutOfRange {
+				t.Errorf("Write(%d,%d) = %v, want ErrOutOfRange", c.lpn, c.n, err)
+			}
+			if err := v.Read(p, iotrace.Req{}, c.lpn, c.n, nil); err != storage.ErrOutOfRange {
+				t.Errorf("Read(%d,%d) = %v, want ErrOutOfRange", c.lpn, c.n, err)
+			}
+		}
+		// No member saw any traffic from the rejected commands.
+		for i, m := range v.Members() {
+			if m.Stats().WriteCommands+m.Stats().ReadCommands != 0 {
+				t.Errorf("member %d saw traffic from out-of-range commands", i)
+			}
+		}
+	})
+}
+
+func TestVolumePreload(t *testing.T) {
+	eng := sim.New()
+	v, err := NewStriped(eng, newMembers(t, eng, ssd.DuraSSD, 2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 8*v.PageSize())
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := v.PreloadPages(0, 8, data); err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, func(p *sim.Proc) {
+		buf := make([]byte, 8*v.PageSize())
+		if err := v.Read(p, iotrace.Req{}, 0, 8, buf); err != nil {
+			t.Errorf("Read: %v", err)
+			return
+		}
+		if !bytes.Equal(buf, data) {
+			t.Error("preloaded data mismatch")
+		}
+	})
+}
