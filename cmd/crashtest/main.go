@@ -5,6 +5,15 @@
 // Usage:
 //
 //	crashtest [-trials N] [-seed N]
+//	crashtest -explore [-points N] [-updates N] [-seed N]
+//
+// The default mode cuts power at random instants. With -explore, the
+// systematic mode runs instead: for each engine × device × configuration
+// cell, a probe run records the device command schedule, crash points are
+// derived from it (after every sampled ack, mid program, mid erase, mid
+// flush drain, mid capacitor dump), and each point is replayed as its own
+// deterministic trial. The schedule digest printed per cell is reproducible
+// across runs with the same seed.
 //
 // Expected output: DuraSSD is safe in every configuration (including
 // barriers off + double-write off, the fast one); the volatile-cache SSD-A
@@ -13,13 +22,19 @@
 // DuraSSD volumes stay safe in the fast configuration, while a mirror of
 // volatile-cache drives is NOT safe — the power cut hits both copies at
 // the same instant, so redundancy cannot stand in for a durable cache.
+//
+// Failing trials are collected and reported together at the end; any
+// failure (or any lost commit / torn page in a configuration expected to
+// be safe) makes the process exit non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"durassd/internal/crashpoint"
 	"durassd/internal/faults"
 	"durassd/internal/iotrace"
 	"durassd/internal/stats"
@@ -27,10 +42,32 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	trials := flag.Int("trials", 10, "power cuts per configuration")
+	trials := flag.Int("trials", 10, "power cuts per configuration (random mode)")
 	seed := flag.Int64("seed", 1, "base seed")
+	explore := flag.Bool("explore", false, "systematic crash-point exploration instead of random cuts")
+	points := flag.Int("points", 12, "max crash points per configuration (-explore)")
+	updates := flag.Int("updates", 160, "updates per workload (-explore)")
 	flag.Parse()
 
+	var failures []string
+	if *explore {
+		failures = exploreCampaign(*points, *updates, *seed)
+	} else {
+		failures = randomCampaign(*trials, *seed)
+	}
+	if len(failures) > 0 {
+		log.Printf("%d failing trial(s):", len(failures))
+		for _, f := range failures {
+			log.Printf("  FAIL %s", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// randomCampaign is the classic mode: N random-instant cuts per
+// configuration. Returns descriptions of failing trials.
+func randomCampaign(trials int, seed int64) []string {
+	var failures []string
 	tbl := stats.NewTable("Power-fault campaign: acked-commit durability and page atomicity",
 		"Config", "Trials", "Acked", "LostCommits", "TornPages", "Verdict")
 	wa := stats.NewTable("Per-origin write amplification (summed over trials)",
@@ -48,14 +85,16 @@ func main() {
 	} {
 		var acked, lost, torn int
 		var origins [iotrace.NumOrigins]iotrace.OriginCounters
-		for i := 0; i < *trials; i++ {
-			sc.Seed = *seed + int64(i)
+		for i := 0; i < trials; i++ {
+			sc.Seed = seed + int64(i)
 			v, err := faults.Run(sc)
 			if err != nil {
-				log.Fatalf("%s trial %d: %v", sc.Name(), i, err)
+				failures = append(failures, fmt.Sprintf("%s trial %d: %v", sc.Name(), i, err))
+				continue
 			}
 			if v.Err != nil {
-				log.Fatalf("%s trial %d audit: %v", sc.Name(), i, v.Err)
+				failures = append(failures, fmt.Sprintf("%s trial %d audit: %v", sc.Name(), i, v.Err))
+				continue
 			}
 			acked += v.AckedCommits
 			lost += v.LostCommits
@@ -71,7 +110,7 @@ func main() {
 		if lost > 0 || torn > 0 {
 			verdict = "UNSAFE"
 		}
-		tbl.AddRow(sc.Name(), *trials, acked, lost, torn, verdict)
+		tbl.AddRow(sc.Name(), trials, acked, lost, torn, verdict)
 		for o := range origins {
 			c := &origins[o]
 			if c.PagesWritten == 0 && c.NANDSlots == 0 {
@@ -85,4 +124,53 @@ func main() {
 	tbl.AddComment("TornPages: pages failing checksum validation with no double-write copy")
 	fmt.Println(tbl)
 	fmt.Println(wa)
+	return failures
+}
+
+// exploreCampaign runs the systematic crash-point matrix: both engines,
+// both devices, fast and safe host configurations. Returns descriptions of
+// failing explorations.
+func exploreCampaign(points, updates int, seed int64) []string {
+	var failures []string
+	tbl := stats.NewTable("Systematic crash-point exploration (engine × device × config)",
+		"Config", "Points", "AfterAck", "MidProg", "MidDump", "Lost", "Torn", "Unsafe", "Digest")
+	for _, eng := range []faults.EngineKind{faults.EngineInnoDB, faults.EnginePgSQL} {
+		for _, cell := range []struct {
+			dev              faults.DeviceKind
+			barrier, protect bool
+		}{
+			{faults.DuraSSD, false, false},
+			{faults.SSDA, false, false},
+			{faults.SSDA, true, true},
+		} {
+			c := crashpoint.Campaign{
+				Scenario: faults.Scenario{
+					Device: cell.dev, Engine: eng,
+					Barrier: cell.barrier, DoubleWrite: cell.protect,
+					Clients: 4, Updates: updates, Seed: seed,
+				},
+				MaxPoints: points,
+				DumpTears: 2,
+			}
+			res, err := crashpoint.Explore(c)
+			if err != nil {
+				failures = append(failures, fmt.Sprintf("%s: %v", c.Scenario.Name(), err))
+				continue
+			}
+			counts := res.KindCounts()
+			tbl.AddRow(c.Scenario.Name(), len(res.Points),
+				counts[crashpoint.AfterAck], counts[crashpoint.MidProgram], counts[crashpoint.MidDump],
+				res.Lost, res.Torn, res.Unsafe, res.Digest[:12])
+			for _, o := range res.Outcomes {
+				if o.Verdict.Err != nil {
+					failures = append(failures, fmt.Sprintf("%s %s at %v: %v",
+						c.Scenario.Name(), o.Point.Kind, o.Point.At, o.Verdict.Err))
+				}
+			}
+		}
+	}
+	tbl.AddComment("Each point is one deterministic replay with the cut pinned to that instant")
+	tbl.AddComment("Digest: SHA-256 prefix of the canonical schedule (same seed => same digest)")
+	fmt.Println(tbl)
+	return failures
 }

@@ -452,12 +452,20 @@ func (c *Controller) dump() {
 	}
 
 	// Mapping entries first: without them the buffered pages could not be
-	// reintegrated idempotently.
+	// reintegrated idempotently. A program that fails with bad status (the
+	// partial-dump fault: the dying supply tears the page) is retried on the
+	// next pre-erased dump page while budget and area remain — the margin
+	// the paper sizes the dump area for.
 	mapPages := c.f.MapJournalPages()
-	for i := 0; i < mapPages && budget > 0; i++ {
+	for done := 0; done < mapPages && budget > 0; {
+		budget--
 		if area.programMapPage() {
-			budget--
+			done++
 			c.stats.DumpPages++
+		} else if area.capacity() == 0 {
+			break
+		} else {
+			c.stats.DumpRetries++
 		}
 	}
 	c.f.ClearMapDirty()
@@ -468,13 +476,19 @@ func (c *Controller) dump() {
 		if len(pending) == 0 {
 			return true
 		}
-		if budget <= 0 || !area.programSlots(pending) {
-			return false
+		for budget > 0 {
+			budget--
+			if area.programSlots(pending) {
+				c.stats.DumpPages++
+				pending = nil
+				return true
+			}
+			if area.capacity() == 0 {
+				return false
+			}
+			c.stats.DumpRetries++ // torn dump page: retry on the next one
 		}
-		budget--
-		c.stats.DumpPages++
-		pending = nil
-		return true
+		return false
 	}
 	seen := make(map[storage.LPN]bool)
 	emit := func(fr *frame) bool {

@@ -130,7 +130,10 @@ func Recover(p *sim.Proc, f *ftl.FTL, recharge time.Duration, stats *storage.Sta
 			}
 			dp := dumpPage{seq: meta.Seq}
 			for si, tag := range meta.Slots {
-				if tag.LPN == nand.InvalidLPN {
+				// Torn dump pages (a program the dying capacitors failed to
+				// finish) are detectable and must not be replayed — the dump
+				// logic already re-programmed their slots at a higher seq.
+				if tag.LPN == nand.InvalidLPN || tag.Torn {
 					continue
 				}
 				var d []byte

@@ -1,0 +1,324 @@
+// Package crashpoint explores power-failure schedules systematically
+// instead of sampling them.
+//
+// The random-instant campaign in internal/faults answers "does a typical
+// cut hurt?". This package answers the stronger question the paper's §5.2
+// actually claims: does *any* cut hurt? A probe run records the device
+// command schedule (every write acknowledgment, flush drain, NAND program
+// and erase window), the recorder derives the adversarial instants from
+// it — right after an ack, mid cell-program, mid erase pulse, mid flush
+// drain, and mid capacitor dump — and each derived point is replayed as
+// its own deterministic trial with the power cut pinned to that instant.
+//
+// Because the simulation is deterministic for a given seed, the replayed
+// prefix is bit-identical to the probe's, so the cut lands exactly where
+// the schedule says. Two explorations with the same campaign produce the
+// same schedule digest and the same verdicts; the digest is part of the
+// result so harnesses can assert it.
+package crashpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"durassd/internal/faults"
+	"durassd/internal/iotrace"
+)
+
+// Kind classifies a crash point by the schedule feature it attacks.
+type Kind uint8
+
+// Crash-point kinds.
+const (
+	// AfterAck cuts power immediately after a host write command was
+	// acknowledged — the durability contract's sharpest edge.
+	AfterAck Kind = iota
+	// MidProgram cuts power inside a NAND cell-program window, tearing the
+	// in-flight page (the FAST'13 "shorn write").
+	MidProgram
+	// InFlushDrain cuts power midway through a queued flush-cache drain.
+	InFlushDrain
+	// MidErase cuts power inside a block-erase pulse (with the
+	// interrupted-erase fault armed, the block is left indeterminate).
+	MidErase
+	// MidDump lets the workload cut land normally, then tears the Nth
+	// capacitor-powered dump program — power dying mid-dump-block.
+	MidDump
+	numKinds
+)
+
+// String returns a short stable label (used in schedule digests).
+func (k Kind) String() string {
+	switch k {
+	case AfterAck:
+		return "after-ack"
+	case MidProgram:
+		return "mid-program"
+	case InFlushDrain:
+		return "in-flush-drain"
+	case MidErase:
+		return "mid-erase"
+	case MidDump:
+		return "mid-dump"
+	}
+	return "unknown"
+}
+
+// Point is one enumerated crash point.
+type Point struct {
+	Kind Kind
+	// At is the virtual instant the power cut is scheduled for.
+	At time.Duration
+	// DumpTear, for MidDump points, is the 1-based index of the dump
+	// program that the dying supply tears (0 otherwise).
+	DumpTear int
+}
+
+// Campaign describes one systematic exploration.
+type Campaign struct {
+	// Scenario is the workload and device configuration to explore. Its
+	// CutAfter is ignored: the exploration chooses the cut instants.
+	Scenario faults.Scenario
+	// MaxPoints caps the number of replayed crash points (default 24). The
+	// cap is split evenly across the kinds present in the schedule, and
+	// each kind's points are sampled evenly across its timeline, so the
+	// exploration stays representative when it cannot be exhaustive.
+	MaxPoints int
+	// DumpTears is how many mid-dump tear indices to enumerate (default 3;
+	// < 0 disables mid-dump points). Only meaningful on devices that dump
+	// (DuraSSD); drives without a dump area get no MidDump points.
+	DumpTears int
+}
+
+// Outcome pairs a crash point with its audited verdict.
+type Outcome struct {
+	Point   Point
+	Verdict *faults.Verdict
+}
+
+// Result is the outcome of one exploration.
+type Result struct {
+	Scenario faults.Scenario
+	// Points are the enumerated crash points, in execution order.
+	Points []Point
+	// Digest is the SHA-256 of the canonical schedule serialization: the
+	// same seed yields the same digest, byte for byte.
+	Digest string
+	// Outcomes holds one verdict per point, aligned with Points.
+	Outcomes []Outcome
+	// Unsafe counts outcomes that lost an acked commit, exposed a torn
+	// page, or failed to recover at all.
+	Unsafe int
+	// Lost and Torn total the losses across all outcomes.
+	Lost, Torn int
+}
+
+// KindCounts tallies the enumerated points by kind.
+func (r *Result) KindCounts() [int(numKinds)]int {
+	var c [int(numKinds)]int
+	for _, p := range r.Points {
+		c[p.Kind]++
+	}
+	return c
+}
+
+// event is one recorded device event.
+type event struct {
+	member int
+	kind   iotrace.EventKind
+	at     time.Duration
+}
+
+// Explore runs the campaign: one probe run to record the schedule, one
+// probe cut to size the dump, then one deterministic replay per point.
+func Explore(c Campaign) (*Result, error) {
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = 24
+	}
+	if c.DumpTears == 0 {
+		c.DumpTears = 3
+	}
+	s := c.Scenario
+	s.CutAfter = 0
+
+	// Probe: run the workload to completion, recording the schedule.
+	var events []event
+	_, err := faults.RunWith(s, faults.Options{
+		NoCut: true,
+		EventFn: func(member int, kind iotrace.EventKind, at time.Duration) {
+			events = append(events, event{member, kind, at})
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crashpoint: probe run: %w", err)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("crashpoint: probe run recorded no device events")
+	}
+
+	prof, err := faults.Profile(s.Device)
+	if err != nil {
+		return nil, err
+	}
+	points, lastAck := derivePoints(events, prof.NAND.ProgramLatency, prof.NAND.EraseLatency)
+	points = samplePoints(points, c.MaxPoints)
+
+	// Mid-dump points: cut at the latest acknowledged write (maximal dirty
+	// state), count the dump the firmware performs, then enumerate tears.
+	if c.DumpTears > 0 && prof.Cache.Durable && lastAck > 0 {
+		s2 := s
+		s2.CutAfter = lastAck
+		probe, err := faults.RunWith(s2, faults.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("crashpoint: dump probe: %w", err)
+		}
+		n := int(probe.DumpPages)
+		tears := c.DumpTears
+		if tears > n {
+			tears = n
+		}
+		for i := 0; i < tears; i++ {
+			// Evenly spaced 1-based indices across the dump, last included.
+			k := 1 + i*(n-1)/max(1, tears-1)
+			if tears == 1 {
+				k = n
+			}
+			points = append(points, Point{Kind: MidDump, At: lastAck, DumpTear: k})
+		}
+	}
+	sortPoints(points)
+	points = dedupePoints(points)
+
+	res := &Result{Scenario: s, Points: points, Digest: digest(s, len(events), points)}
+
+	// Replay: one deterministic trial per point. The interrupted-erase
+	// fault is armed in every trial — it only changes behaviour when an
+	// erase pulse is actually in flight at the cut, and arming it uniformly
+	// keeps the fault surface maximal.
+	for _, pt := range points {
+		s2 := s
+		s2.CutAfter = pt.At
+		v, err := faults.RunWith(s2, faults.Options{
+			DumpTearAfter:    pt.DumpTear,
+			InterruptedErase: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("crashpoint: %s at %v: %w", pt.Kind, pt.At, err)
+		}
+		res.Outcomes = append(res.Outcomes, Outcome{Point: pt, Verdict: v})
+		if !v.Safe() {
+			res.Unsafe++
+		}
+		res.Lost += v.LostCommits
+		res.Torn += v.TornPages
+	}
+	return res, nil
+}
+
+// derivePoints turns the recorded schedule into candidate crash points and
+// also returns the latest write-ack cut instant (0 if none).
+func derivePoints(events []event, progLat, eraseLat time.Duration) ([]Point, time.Duration) {
+	var pts []Point
+	var lastAck time.Duration
+	flushStart := make(map[int]time.Duration)
+	for _, ev := range events {
+		switch ev.kind {
+		case iotrace.EvWriteAck:
+			// +1ns: the scheduler fires cut events before same-instant
+			// device events, so cutting exactly at the ack timestamp would
+			// land *before* the acknowledgment in the replay.
+			at := ev.at + time.Nanosecond
+			pts = append(pts, Point{Kind: AfterAck, At: at})
+			if at > lastAck {
+				lastAck = at
+			}
+		case iotrace.EvProgram:
+			pts = append(pts, Point{Kind: MidProgram, At: ev.at + progLat/2})
+		case iotrace.EvErase:
+			pts = append(pts, Point{Kind: MidErase, At: ev.at + eraseLat/2})
+		case iotrace.EvFlushStart:
+			flushStart[ev.member] = ev.at
+		case iotrace.EvFlushEnd:
+			if st, ok := flushStart[ev.member]; ok && ev.at > st {
+				pts = append(pts, Point{Kind: InFlushDrain, At: st + (ev.at-st)/2})
+				delete(flushStart, ev.member)
+			}
+		}
+	}
+	return pts, lastAck
+}
+
+// samplePoints enforces the MaxPoints cap: the budget is split evenly over
+// the kinds present, and each kind keeps an even spread over its sorted
+// timeline (first and last always included).
+func samplePoints(pts []Point, maxPoints int) []Point {
+	byKind := make(map[Kind][]Point)
+	var kinds []Kind
+	for _, p := range pts {
+		if _, ok := byKind[p.Kind]; !ok {
+			kinds = append(kinds, p.Kind)
+		}
+		byKind[p.Kind] = append(byKind[p.Kind], p)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	quota := maxPoints / len(kinds)
+	if quota < 1 {
+		quota = 1
+	}
+	var out []Point
+	for _, k := range kinds {
+		group := byKind[k]
+		sortPoints(group)
+		group = dedupePoints(group)
+		if len(group) <= quota {
+			out = append(out, group...)
+			continue
+		}
+		if quota == 1 {
+			out = append(out, group[len(group)-1])
+			continue
+		}
+		for i := 0; i < quota; i++ {
+			out = append(out, group[i*(len(group)-1)/(quota-1)])
+		}
+	}
+	return out
+}
+
+func sortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].At != pts[j].At {
+			return pts[i].At < pts[j].At
+		}
+		if pts[i].Kind != pts[j].Kind {
+			return pts[i].Kind < pts[j].Kind
+		}
+		return pts[i].DumpTear < pts[j].DumpTear
+	})
+}
+
+func dedupePoints(pts []Point) []Point {
+	out := pts[:0]
+	for i, p := range pts {
+		if i > 0 && p == pts[i-1] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// digest serializes the schedule canonically and hashes it.
+func digest(s faults.Scenario, eventCount int, pts []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario=%s engine=%s seed=%d events=%d\n", s.Name(), s.Engine, s.Seed, eventCount)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s@%d tear=%d\n", p.Kind, int64(p.At), p.DumpTear)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

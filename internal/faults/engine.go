@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"fmt"
+
+	"durassd/internal/dbsim/buffer"
+	"durassd/internal/dbsim/index"
+	"durassd/internal/host"
+	"durassd/internal/innodb"
+	"durassd/internal/pgsql"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// EngineKind selects the database engine under test.
+type EngineKind string
+
+// Engines under test. Both implement torn-page protection in software —
+// InnoDB with the double-write buffer, PostgreSQL with full-page writes —
+// and both can switch it off, which is only safe on a device with atomic
+// page writes (the paper's §2.1).
+const (
+	EngineInnoDB EngineKind = "innodb" // default
+	EnginePgSQL  EngineKind = "pgsql"
+)
+
+// engineHarness abstracts the two database engines over the surface a crash
+// experiment needs: open + load, committed updates, crash-recover, and a
+// raw page-version audit.
+type engineHarness interface {
+	// open creates the engine on fs, creates the table and bulk-loads it.
+	open(eng *sim.Engine, fs *host.FS) error
+	// update runs one committed single-row update and returns the page
+	// versions the acknowledged transaction touched.
+	update(p *sim.Proc, rank int64) (map[buffer.PageID]uint64, error)
+	// close releases the pre-crash engine (stops its background procs).
+	close()
+	// recoverCrashed reopens a fresh engine over the same files (after the
+	// device rebooted) and runs crash recovery, reporting redo progress and
+	// unrepairable torn pages.
+	recoverCrashed(p *sim.Proc, eng *sim.Engine, fs *host.FS) (redoApplied, tornUnrepaired int, err error)
+	// pageVersionOnDisk audits one page against the recovered engine.
+	pageVersionOnDisk(p *sim.Proc, id buffer.PageID) (uint64, bool, error)
+	// closeRecovered releases the post-crash engine.
+	closeRecovered()
+}
+
+const (
+	tableRows = 4_000
+	rowBytes  = 200
+	maxRows   = 8_000
+)
+
+func newHarness(s Scenario) (engineHarness, error) {
+	switch s.Engine {
+	case EngineInnoDB:
+		return &innodbHarness{cfg: innodb.Config{
+			PageBytes:    4 * storage.KB,
+			BufferBytes:  256 * storage.KB, // tiny pool: changes reach the device fast
+			DoubleWrite:  s.DoubleWrite,
+			DataPages:    20_000,
+			LogFilePages: 4_000,
+			LogFiles:     1,
+			RealBytes:    true,
+		}}, nil
+	case EnginePgSQL:
+		return &pgsqlHarness{cfg: pgsql.Config{
+			PageBytes:      8 * storage.KB, // PostgreSQL page over two 4 KB device slots
+			BufferBytes:    256 * storage.KB,
+			FullPageWrites: s.DoubleWrite,
+			DataPages:      10_000,
+			LogFilePages:   4_000,
+			LogFiles:       1,
+			RealBytes:      true,
+		}}, nil
+	}
+	return nil, fmt.Errorf("faults: unknown engine %q", s.Engine)
+}
+
+type innodbHarness struct {
+	cfg   innodb.Config
+	e, e2 *innodb.Engine
+	table *innodb.Table
+}
+
+func (h *innodbHarness) open(eng *sim.Engine, fs *host.FS) error {
+	e, err := innodb.Open(eng, fs, fs, h.cfg)
+	if err != nil {
+		return err
+	}
+	h.e = e
+	h.table, err = e.CreateTable("t", index.Config{RowBytes: rowBytes, MaxRows: maxRows})
+	if err != nil {
+		return err
+	}
+	return h.table.BulkLoad(tableRows)
+}
+
+func (h *innodbHarness) update(p *sim.Proc, rank int64) (map[buffer.PageID]uint64, error) {
+	tx := h.e.Begin()
+	if err := tx.Update(p, h.table, rank); err != nil {
+		return nil, err
+	}
+	if err := tx.Commit(p); err != nil {
+		return nil, err
+	}
+	return tx.Touched(), nil
+}
+
+func (h *innodbHarness) close() { h.e.Close() }
+
+func (h *innodbHarness) recoverCrashed(p *sim.Proc, eng *sim.Engine, fs *host.FS) (int, int, error) {
+	e2, err := innodb.Reopen(eng, fs, fs, h.cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	h.e2 = e2
+	rep, err := e2.Recover(p)
+	if err != nil {
+		e2.Close()
+		return 0, 0, err
+	}
+	return rep.RedoApplied, rep.TornUnrepaired, nil
+}
+
+func (h *innodbHarness) pageVersionOnDisk(p *sim.Proc, id buffer.PageID) (uint64, bool, error) {
+	return h.e2.PageVersionOnDisk(p, id)
+}
+
+func (h *innodbHarness) closeRecovered() { h.e2.Close() }
+
+type pgsqlHarness struct {
+	cfg   pgsql.Config
+	e, e2 *pgsql.Engine
+	table *pgsql.Table
+}
+
+func (h *pgsqlHarness) open(eng *sim.Engine, fs *host.FS) error {
+	e, err := pgsql.Open(eng, fs, fs, h.cfg)
+	if err != nil {
+		return err
+	}
+	h.e = e
+	h.table, err = e.CreateTable("t", index.Config{RowBytes: rowBytes, MaxRows: maxRows})
+	if err != nil {
+		return err
+	}
+	return h.table.BulkLoad(tableRows)
+}
+
+func (h *pgsqlHarness) update(p *sim.Proc, rank int64) (map[buffer.PageID]uint64, error) {
+	tx := h.e.Begin()
+	if err := tx.Update(p, h.table, rank); err != nil {
+		return nil, err
+	}
+	if err := tx.Commit(p); err != nil {
+		return nil, err
+	}
+	return tx.Touched(), nil
+}
+
+func (h *pgsqlHarness) close() { h.e.Close() }
+
+func (h *pgsqlHarness) recoverCrashed(p *sim.Proc, eng *sim.Engine, fs *host.FS) (int, int, error) {
+	e2, err := pgsql.Reopen(eng, fs, fs, h.cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	h.e2 = e2
+	rep, err := e2.Recover(p)
+	if err != nil {
+		e2.Close()
+		return 0, 0, err
+	}
+	return rep.RedoApplied, rep.TornUnrepaired, nil
+}
+
+func (h *pgsqlHarness) pageVersionOnDisk(p *sim.Proc, id buffer.PageID) (uint64, bool, error) {
+	return h.e2.PageVersionOnDisk(p, id)
+}
+
+func (h *pgsqlHarness) closeRecovered() { h.e2.Close() }

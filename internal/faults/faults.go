@@ -11,11 +11,15 @@
 //     protects even the volatile drive — at the throughput cost Tables 1–5
 //     quantify.
 //
-// A scenario runs an InnoDB engine in RealBytes mode (checksummed page
-// images, real redo records) on a simulated device, cuts power at a random
-// instant under load, reboots the device (running its firmware recovery),
-// reopens the engine, runs DWB + redo recovery, and then audits every
-// acknowledged transaction.
+// A scenario runs a database engine (InnoDB or PostgreSQL) in RealBytes
+// mode (checksummed page images, real redo records) on a simulated device,
+// cuts power at a chosen or random instant under load, reboots the device
+// (running its firmware recovery), reopens the engine, runs torn-page +
+// redo recovery, and then audits every acknowledged transaction.
+//
+// RunWith extends Run with the knobs crash-point exploration needs: an
+// event recorder for the command schedule, NAND-level fault injection
+// (partial dump, interrupted erase), and probe runs without a cut.
 package faults
 
 import (
@@ -24,10 +28,9 @@ import (
 	"time"
 
 	"durassd/internal/dbsim/buffer"
-	"durassd/internal/dbsim/index"
 	"durassd/internal/host"
-	"durassd/internal/innodb"
 	"durassd/internal/iotrace"
+	"durassd/internal/nand"
 	"durassd/internal/sim"
 	"durassd/internal/ssd"
 	"durassd/internal/storage"
@@ -59,10 +62,11 @@ const (
 // Scenario describes one crash experiment.
 type Scenario struct {
 	Device      DeviceKind
-	Layout      Layout // volume geometry (default: single drive)
-	Width       int    // volume member count (default 2)
+	Engine      EngineKind // database engine (default: InnoDB)
+	Layout      Layout     // volume geometry (default: single drive)
+	Width       int        // volume member count (default 2)
 	Barrier     bool
-	DoubleWrite bool
+	DoubleWrite bool // InnoDB double-write buffer / PostgreSQL full-page writes
 	Clients     int
 	Updates     int           // updates attempted before/while power fails
 	CutAfter    time.Duration // power-cut instant; 0 = random in [1ms, 30ms]
@@ -70,6 +74,9 @@ type Scenario struct {
 }
 
 func (s *Scenario) defaults() {
+	if s.Engine == "" {
+		s.Engine = EngineInnoDB
+	}
 	if s.Clients <= 0 {
 		s.Clients = 8
 	}
@@ -98,7 +105,30 @@ func (s Scenario) Name() string {
 		}
 		dev = fmt.Sprintf("%s %s-%d", s.Device, s.Layout, w)
 	}
-	return fmt.Sprintf("%s barrier=%s dwb=%s", dev, b, d)
+	prot := "dwb" // torn-page protection knob: DWB (InnoDB) or FPW (PostgreSQL)
+	if s.Engine == EnginePgSQL {
+		prot = "fpw"
+	}
+	if s.Engine != "" && s.Engine != EngineInnoDB {
+		dev = fmt.Sprintf("%s %s", dev, s.Engine)
+	}
+	return fmt.Sprintf("%s barrier=%s %s=%s", dev, b, prot, d)
+}
+
+// Options are the extra knobs crash-point exploration layers on a Scenario.
+type Options struct {
+	// NoCut runs the workload to completion without a power cut: the probe
+	// run that records the command schedule.
+	NoCut bool
+	// EventFn, when set, observes device events (write acks, flush drains,
+	// NAND programs and erases) on every volume member during the workload
+	// phase. The member index disambiguates flush start/end pairing.
+	EventFn func(member int, kind iotrace.EventKind, at time.Duration)
+	// DumpTearAfter arms the partial-dump fault on member 0: the Nth
+	// capacitor-powered dump program tears its page (see nand.Faults).
+	DumpTearAfter int
+	// InterruptedErase arms the interrupted-erase fault on every member.
+	InterruptedErase bool
 }
 
 // Verdict is the audited outcome of one crash.
@@ -109,6 +139,7 @@ type Verdict struct {
 	TornPages    int // unrepairable torn pages found by recovery
 	RedoApplied  int
 	DumpPages    int64
+	DumpRetries  int64 // dump programs retried after a torn dump page
 	LostDevPages int64
 	Err          error
 
@@ -123,45 +154,61 @@ func (v *Verdict) Safe() bool {
 	return v.Err == nil && v.LostCommits == 0 && v.TornPages == 0
 }
 
+// Profile returns the ssd.Profile behind a device kind (exploration reads
+// program/erase latencies from it to place mid-operation crash points).
+func Profile(k DeviceKind) (ssd.Profile, error) {
+	switch k {
+	case DuraSSD:
+		return ssd.DuraSSD(16), nil
+	case SSDA:
+		return ssd.SSDA(16), nil
+	}
+	return ssd.Profile{}, fmt.Errorf("faults: unknown device %q", k)
+}
+
 // Run executes the scenario and audits the aftermath.
-func Run(s Scenario) (*Verdict, error) {
+func Run(s Scenario) (*Verdict, error) { return RunWith(s, Options{}) }
+
+// RunWith executes the scenario with exploration options and audits the
+// aftermath.
+func RunWith(s Scenario, o Options) (*Verdict, error) {
 	s.defaults()
 	v := &Verdict{Scenario: s}
 	eng := sim.New()
 
-	var prof ssd.Profile
-	switch s.Device {
-	case DuraSSD:
-		prof = ssd.DuraSSD(16)
-	case SSDA:
-		prof = ssd.SSDA(16)
-	default:
-		return nil, fmt.Errorf("faults: unknown device %q", s.Device)
+	prof, err := Profile(s.Device)
+	if err != nil {
+		return nil, err
 	}
 	dev, err := buildDevice(eng, prof, s)
 	if err != nil {
 		return nil, err
 	}
+	members := memberDevices(dev)
+	for i, m := range members {
+		arr, hasArr := m.(interface{ Array() *nand.Array })
+		if hasArr {
+			fl := arr.Array().Faults()
+			fl.InterruptedErase = o.InterruptedErase
+			if i == 0 {
+				fl.DumpTearAfter = o.DumpTearAfter
+			}
+			arr.Array().SetFaults(fl)
+		}
+		if o.EventFn != nil {
+			member := i
+			m.Registry().SetEventFn(func(kind iotrace.EventKind, at time.Duration) {
+				o.EventFn(member, kind, at)
+			})
+		}
+	}
 	fs := host.NewFS(dev, s.Barrier)
 
-	ecfg := innodb.Config{
-		PageBytes:    4 * storage.KB,
-		BufferBytes:  256 * storage.KB, // tiny pool: changes reach the device fast
-		DoubleWrite:  s.DoubleWrite,
-		DataPages:    20_000,
-		LogFilePages: 4_000,
-		LogFiles:     1,
-		RealBytes:    true,
-	}
-	e, err := innodb.Open(eng, fs, fs, ecfg)
+	h, err := newHarness(s)
 	if err != nil {
 		return nil, err
 	}
-	table, err := e.CreateTable("t", index.Config{RowBytes: 200, MaxRows: 8_000})
-	if err != nil {
-		return nil, err
-	}
-	if err := table.BulkLoad(4_000); err != nil {
+	if err := h.open(eng, fs); err != nil {
 		return nil, err
 	}
 
@@ -173,15 +220,12 @@ func Run(s Scenario) (*Verdict, error) {
 		rng := rand.New(rand.NewSource(s.Seed + int64(c)*7_919))
 		eng.Go(fmt.Sprintf("writer-%d", c), func(p *sim.Proc) {
 			for i := 0; i < perClient; i++ {
-				tx := e.Begin()
-				if err := tx.Update(p, table, rng.Int63n(4_000)); err != nil {
+				touched, err := h.update(p, rng.Int63n(tableRows))
+				if err != nil {
 					return // power failed mid-operation
 				}
-				if err := tx.Commit(p); err != nil {
-					return
-				}
 				// The commit was acknowledged: its versions must survive.
-				for id, ver := range tx.Touched() {
+				for id, ver := range touched {
 					if ver > acked[id] {
 						acked[id] = ver
 					}
@@ -191,43 +235,46 @@ func Run(s Scenario) (*Verdict, error) {
 		})
 	}
 
-	cut := s.CutAfter
-	if cut == 0 {
-		rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
-		cut = time.Duration(1+rng.Intn(29)) * time.Millisecond
-	}
 	cycler := dev.(storage.PowerCycler)
-	eng.Schedule(cut, func() { cycler.PowerFail() })
+	if !o.NoCut {
+		cut := s.CutAfter
+		if cut == 0 {
+			rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+			cut = time.Duration(1+rng.Intn(29)) * time.Millisecond
+		}
+		eng.Schedule(cut, func() { cycler.PowerFail() })
+	}
 	eng.Run()
-	e.Close()
+	h.close()
+	for _, m := range members {
+		m.Registry().SetEventFn(nil) // the schedule covers the workload only
+	}
 	v.AckedCommits = ackedCount
-	for _, m := range memberDevices(dev) {
+	for _, m := range members {
 		v.DumpPages += m.Stats().DumpPages
+		v.DumpRetries += m.Stats().DumpRetries
 		v.LostDevPages += m.Stats().LostPages
 	}
 
-	// Reboot the device (firmware recovery) and the engine (DWB + redo).
-	var rep *innodb.RecoveryReport
+	// Reboot the device (firmware recovery) and the engine (torn-page
+	// repair + redo).
 	var auditErr error
 	eng.Go("recovery", func(p *sim.Proc) {
 		if err := cycler.Reboot(p); err != nil {
 			auditErr = fmt.Errorf("device reboot: %w", err)
 			return
 		}
-		e2, err := innodb.Reopen(eng, fs, fs, ecfg)
-		if err != nil {
-			auditErr = fmt.Errorf("engine reopen: %w", err)
-			return
-		}
-		defer e2.Close()
-		rep, err = e2.Recover(p)
+		redo, torn, err := h.recoverCrashed(p, eng, fs)
 		if err != nil {
 			auditErr = fmt.Errorf("engine recovery: %w", err)
 			return
 		}
+		defer h.closeRecovered()
+		v.TornPages = torn
+		v.RedoApplied = redo
 		// Audit: every acked page version must be present (or newer).
 		for id, want := range acked {
-			got, ok, err := e2.PageVersionOnDisk(p, id)
+			got, ok, err := h.pageVersionOnDisk(p, id)
 			if err != nil {
 				auditErr = err
 				return
@@ -238,7 +285,7 @@ func Run(s Scenario) (*Verdict, error) {
 		}
 	})
 	eng.Run()
-	for _, m := range memberDevices(dev) {
+	for _, m := range members {
 		for o := iotrace.Origin(0); o < iotrace.NumOrigins; o++ {
 			c := m.Registry().Origin(o)
 			v.Origins[o].PagesWritten += c.PagesWritten
@@ -249,10 +296,9 @@ func Run(s Scenario) (*Verdict, error) {
 	}
 	if auditErr != nil {
 		v.Err = auditErr
+		v.TornPages, v.RedoApplied = 0, 0
 		return v, nil
 	}
-	v.TornPages = rep.TornUnrepaired
-	v.RedoApplied = rep.RedoApplied
 	return v, nil
 }
 

@@ -94,6 +94,41 @@ func TestVolatileMirrorIsNotDurable(t *testing.T) {
 	}
 }
 
+func TestPgSQLDuraSSDFastConfigIsSafe(t *testing.T) {
+	// The same headline holds for PostgreSQL: full-page writes off,
+	// barriers off, and the durable cache still loses nothing.
+	lost, torn, acked := runTrials(t, Scenario{
+		Device: DuraSSD, Engine: EnginePgSQL, Barrier: false, DoubleWrite: false,
+	}, 6)
+	if acked == 0 {
+		t.Fatal("no commits acknowledged before the cut")
+	}
+	if lost != 0 || torn != 0 {
+		t.Fatalf("pgsql DuraSSD OFF/OFF lost %d commits, %d torn pages", lost, torn)
+	}
+}
+
+func TestPgSQLVolatileSSDFastConfigLosesData(t *testing.T) {
+	lost, _, acked := runTrials(t, Scenario{
+		Device: SSDA, Engine: EnginePgSQL, Barrier: false, DoubleWrite: false,
+	}, 8)
+	if acked == 0 {
+		t.Fatal("no commits acknowledged before the cut")
+	}
+	if lost == 0 {
+		t.Fatal("pgsql on a volatile SSD with barriers off lost nothing across 8 power cuts")
+	}
+}
+
+func TestPgSQLVolatileSSDSafeConfigKeepsCommits(t *testing.T) {
+	lost, torn, _ := runTrials(t, Scenario{
+		Device: SSDA, Engine: EnginePgSQL, Barrier: true, DoubleWrite: true,
+	}, 4)
+	if lost != 0 || torn != 0 {
+		t.Fatalf("pgsql safe config lost %d commits, %d torn pages", lost, torn)
+	}
+}
+
 func TestVolatileSSDSafeConfigKeepsCommits(t *testing.T) {
 	// Barriers on + double-write on protects even the volatile drive.
 	lost, torn, _ := runTrials(t, Scenario{

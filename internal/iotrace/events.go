@@ -1,0 +1,51 @@
+package iotrace
+
+import "time"
+
+// EventKind labels a schedule-relevant device event. Crash-point exploration
+// records these during a probe run to enumerate the instants at which a
+// power cut is adversarial: right after an acknowledgment, inside a flush
+// drain, or while a NAND cell program or block erase is in flight.
+type EventKind uint8
+
+// Device events observable by a crash-point recorder.
+const (
+	EvWriteAck   EventKind = iota // host write command acknowledged
+	EvFlushStart                  // flush-cache command admitted; drain begins
+	EvFlushEnd                    // flush-cache command completed
+	EvProgram                     // NAND cell-program window opened
+	EvErase                       // NAND block-erase window opened
+	NumEvents
+)
+
+// String returns a short stable label (used in schedule digests).
+func (k EventKind) String() string {
+	switch k {
+	case EvWriteAck:
+		return "write-ack"
+	case EvFlushStart:
+		return "flush-start"
+	case EvFlushEnd:
+		return "flush-end"
+	case EvProgram:
+		return "program"
+	case EvErase:
+		return "erase"
+	}
+	return "unknown"
+}
+
+// EventFn receives device events as they happen, stamped with virtual time.
+type EventFn func(kind EventKind, at time.Duration)
+
+// SetEventFn installs (or, with nil, removes) the registry's event observer.
+// At most one observer is supported; the emission path is a single nil check
+// so devices pay nothing when no recorder is attached.
+func (r *Registry) SetEventFn(fn EventFn) { r.ev = fn }
+
+// Emit delivers an event to the observer, if any.
+func (r *Registry) Emit(kind EventKind, at time.Duration) {
+	if r.ev != nil {
+		r.ev(kind, at)
+	}
+}

@@ -148,7 +148,7 @@ func TestTracingTogglePerRequest(t *testing.T) {
 func TestNamedCounters(t *testing.T) {
 	reg := NewRegistry()
 	names := reg.CounterNames()
-	if len(names) != 17 {
+	if len(names) != 19 {
 		t.Fatalf("%d counter names", len(names))
 	}
 	c := reg.Counter("nand_programs")

@@ -33,6 +33,9 @@ type Stats struct {
 	LostPages     int64 // acknowledged pages lost to power failure
 	Recoveries    int64 // successful reboot recoveries
 	MapFlushPages int64 // mapping-table journal pages programmed
+
+	DumpRetries       int64 // dump programs retried after a torn dump page
+	InterruptedErases int64 // block erases interrupted by power failure
 }
 
 // WriteAmplification returns NAND pages programmed per host page written.
@@ -77,6 +80,7 @@ type Registry struct {
 	op      [NumOps]stats.Hist
 	named   map[string]*int64
 	sink    func(Req, []SpanRec)
+	ev      EventFn
 }
 
 // NewRegistry returns an empty registry with tracing disabled.
@@ -101,6 +105,9 @@ func NewRegistry() *Registry {
 		"lost_pages":      &s.LostPages,
 		"recoveries":      &s.Recoveries,
 		"map_flush_pages": &s.MapFlushPages,
+
+		"dump_retries":       &s.DumpRetries,
+		"interrupted_erases": &s.InterruptedErases,
 	}
 	return r
 }

@@ -130,6 +130,25 @@ type SlotTag struct {
 	Torn bool // power failed mid-program; contents are garbage
 }
 
+// Faults configures the injectable NAND-level fault models beyond the
+// always-on torn-program window. The crash-point exploration harness arms
+// these per trial; all are off by default.
+type Faults struct {
+	// InterruptedErase makes a power cut during a block erase leave the
+	// block's cells in an indeterminate state: every page reads back as
+	// programmed garbage with unreadable (torn, unmapped) OOB tags, instead
+	// of the old contents surviving untouched. The block must be erased
+	// again before reuse; garbage collection reclaims it naturally because
+	// no mapping entry points into it.
+	InterruptedErase bool
+	// DumpTearAfter, when > 0, tears the Nth (1-based) capacitor-powered
+	// dump program after power-off detection: the page is left partially
+	// programmed (torn tags, garbage image) and the program reports failure,
+	// modeling the voltage droop of a dying supply. Firmware that checks
+	// program status retries on the next pre-erased dump page.
+	DumpTearAfter int
+}
+
 // Array is a simulated NAND flash array.
 type Array struct {
 	cfg Config
@@ -145,7 +164,11 @@ type Array struct {
 	seq    uint64
 
 	inflight map[PPN][]SlotTag // programs racing a potential power cut
+	erasing  map[int]bool      // block erases racing a potential power cut
 	powered  bool
+
+	faults       Faults
+	dumpPrograms int // instant programs issued since power-off detection
 
 	reg   *iotrace.Registry
 	stats *storage.Stats
@@ -169,6 +192,7 @@ func New(eng *sim.Engine, cfg Config, reg *iotrace.Registry) (*Array, error) {
 		data:     make(map[PPN][]byte),
 		erases:   make([]int64, cfg.Blocks()),
 		inflight: make(map[PPN][]SlotTag),
+		erasing:  make(map[int]bool),
 		powered:  true,
 		reg:      reg,
 		stats:    reg.Stats(),
@@ -230,6 +254,12 @@ func (a *Array) EraseCount(block int) int64 { return a.erases[block] }
 // Powered reports whether the array currently has power.
 func (a *Array) Powered() bool { return a.powered }
 
+// SetFaults arms (or clears) the injectable fault models.
+func (a *Array) SetFaults(f Faults) { a.faults = f }
+
+// Faults returns the currently armed fault models.
+func (a *Array) Faults() Faults { return a.faults }
+
 func (a *Array) xferTime(bytes int) time.Duration {
 	return a.cfg.CmdOverhead + time.Duration(float64(bytes)/float64(a.cfg.ChannelMBps*storage.MB)*float64(time.Second))
 }
@@ -290,6 +320,7 @@ func (a *Array) ProgramPage(p *sim.Proc, req iotrace.Req, ppn PPN, slots []SlotT
 
 	// The cell program is the window where a power cut tears the page.
 	a.inflight[ppn] = append([]SlotTag(nil), slots...)
+	a.reg.Emit(iotrace.EvProgram, a.eng.Now())
 	plane := a.planes[a.PlaneOf(ppn)]
 	plane.Acquire(p, 1)
 	p.Sleep(a.cfg.ProgramLatency)
@@ -318,10 +349,20 @@ func (a *Array) commitProgram(ppn PPN, slots []SlotTag, data []byte, dump bool) 
 	a.stats.NANDPrograms++
 }
 
+// ErrProgramFailed reports a cell program that completed with bad status:
+// the target page is left partially programmed (torn) and must not be
+// trusted. Firmware retries on a different page.
+var ErrProgramFailed = fmt.Errorf("nand: program failed, page torn")
+
 // ProgramPageInstant programs ppn without consuming virtual time. It models
 // the capacitor-powered dump after power-off detection, where the engine's
 // normal resource scheduling no longer applies (the host is gone and the
 // firmware owns the whole device). The caller accounts for dump energy.
+//
+// With the DumpTearAfter fault armed, the Nth post-power-off program tears
+// its page and returns ErrProgramFailed — the partial-dump fault shape: the
+// page holds a recognizably corrupt image under torn OOB tags, and the
+// caller is expected to retry on the next pre-erased page.
 func (a *Array) ProgramPageInstant(ppn PPN, slots []SlotTag, data []byte, dump bool) error {
 	if int64(ppn) >= a.cfg.Pages() {
 		return storage.ErrOutOfRange
@@ -329,11 +370,21 @@ func (a *Array) ProgramPageInstant(ppn PPN, slots []SlotTag, data []byte, dump b
 	if a.state[ppn] != PageFree {
 		return fmt.Errorf("nand: program of non-free page %d", ppn)
 	}
+	if !a.powered {
+		a.dumpPrograms++
+		if a.faults.DumpTearAfter > 0 && a.dumpPrograms == a.faults.DumpTearAfter {
+			a.tearPage(ppn, slots, data, dump)
+			return ErrProgramFailed
+		}
+	}
 	a.commitProgram(ppn, slots, data, dump)
 	return nil
 }
 
 // EraseBlock erases the global block index, returning its pages to PageFree.
+// If power fails during the erase pulse the block is left untouched — or,
+// with the InterruptedErase fault armed, in an indeterminate half-erased
+// state (see Faults).
 func (a *Array) EraseBlock(p *sim.Proc, req iotrace.Req, block int) error {
 	if !a.powered {
 		return storage.ErrOffline
@@ -341,10 +392,17 @@ func (a *Array) EraseBlock(p *sim.Proc, req iotrace.Req, block int) error {
 	sp := req.Begin(p, iotrace.LayerNAND)
 	defer sp.End(p)
 	first := a.PageOfBlock(block)
+	a.erasing[block] = true
+	a.reg.Emit(iotrace.EvErase, a.eng.Now())
 	plane := a.planes[a.PlaneOf(first)]
 	plane.Acquire(p, 1)
 	p.Sleep(a.cfg.EraseLatency)
 	plane.Release(1)
+	if !a.erasing[block] {
+		// PowerFail interrupted the erase and scrambled the block.
+		return storage.ErrPowerFail
+	}
+	delete(a.erasing, block)
 	if !a.powered {
 		return storage.ErrPowerFail
 	}
@@ -372,11 +430,16 @@ func (a *Array) eraseNow(block int) {
 // the "shorn write" anomaly the paper cites from the FAST'13 power-fault
 // study. The original slot tags are preserved (with Torn set) so that an
 // eagerly-updated mapping exposes the corruption to the host.
+//
+// With the InterruptedErase fault armed, every in-flight block erase leaves
+// its block half-erased: all pages read back as programmed garbage with
+// unreadable OOB, and the block must be erased again before reuse.
 func (a *Array) PowerFail() {
 	if !a.powered {
 		return
 	}
 	a.powered = false
+	a.dumpPrograms = 0
 	for ppn, tags := range a.inflight {
 		a.seq++
 		torn := make([]SlotTag, len(tags))
@@ -392,10 +455,42 @@ func (a *Array) PowerFail() {
 		a.stats.TornPages++
 		delete(a.inflight, ppn)
 	}
+	if a.faults.InterruptedErase {
+		for block := range a.erasing {
+			first := a.PageOfBlock(block)
+			for i := 0; i < a.cfg.PagesPerBlock; i++ {
+				ppn := first + PPN(i)
+				a.seq++
+				a.state[ppn] = PageValid
+				a.oob[ppn] = &OOB{Slots: []SlotTag{{LPN: InvalidLPN, Torn: true}}, Seq: a.seq}
+				a.data[ppn] = tornImage(a.data[ppn], a.cfg.PageSize)
+			}
+			a.stats.InterruptedErases++
+			delete(a.erasing, block)
+		}
+	}
 }
 
 // PowerOn restores power.
 func (a *Array) PowerOn() { a.powered = true }
+
+// tearPage leaves ppn partially programmed: torn tags (LPNs preserved so an
+// eager mapping exposes the damage), a half-old half-garbage image, and the
+// Dump flag as issued so recovery scans see — and skip — the bad dump page.
+func (a *Array) tearPage(ppn PPN, slots []SlotTag, data []byte, dump bool) {
+	a.seq++
+	torn := make([]SlotTag, len(slots))
+	for i, tag := range slots {
+		torn[i] = SlotTag{LPN: tag.LPN, Torn: true}
+	}
+	if len(torn) == 0 {
+		torn = []SlotTag{{LPN: InvalidLPN, Torn: true}}
+	}
+	a.state[ppn] = PageValid
+	a.oob[ppn] = &OOB{Slots: torn, Seq: a.seq, Dump: dump}
+	a.data[ppn] = tornImage(data, a.cfg.PageSize)
+	a.stats.TornPages++
+}
 
 // tornImage fabricates a recognizably corrupt page image.
 func tornImage(old []byte, size int) []byte {

@@ -310,3 +310,132 @@ func TestTimingOnlyReadZeroFills(t *testing.T) {
 	})
 	eng.Run()
 }
+
+func TestDumpTearFaultTearsNthInstantProgram(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	a.SetFaults(Faults{DumpTearAfter: 2})
+	a.PowerFail()
+	data := bytes.Repeat([]byte{0xcd}, a.Config().PageSize)
+
+	// First post-power-off program succeeds.
+	if err := a.ProgramPageInstant(0, []SlotTag{{LPN: 1}}, data, true); err != nil {
+		t.Fatalf("dump program 1: %v", err)
+	}
+	// Second one is the armed tear: bad status, page left torn.
+	if err := a.ProgramPageInstant(1, []SlotTag{{LPN: 2}}, data, true); err != ErrProgramFailed {
+		t.Fatalf("dump program 2: err = %v, want ErrProgramFailed", err)
+	}
+	if a.State(1) != PageValid {
+		t.Fatal("torn dump page must read back as programmed (garbage), not free")
+	}
+	meta := a.Meta(1)
+	if meta == nil || !meta.Dump || len(meta.Slots) != 1 || !meta.Slots[0].Torn || meta.Slots[0].LPN != 2 {
+		t.Fatalf("torn dump OOB = %+v, want Dump-flagged torn tag preserving LPN 2", meta)
+	}
+	if bytes.Equal(a.Data(1), data) {
+		t.Fatal("torn dump page holds the intended image intact")
+	}
+	// The retry on the next pre-erased page succeeds: the fault is one-shot.
+	if err := a.ProgramPageInstant(2, []SlotTag{{LPN: 2}}, data, true); err != nil {
+		t.Fatalf("dump retry: %v", err)
+	}
+	if a.Registry().Stats().TornPages != 1 {
+		t.Fatalf("TornPages = %d, want 1", a.Registry().Stats().TornPages)
+	}
+}
+
+func TestInterruptedEraseScramblesBlock(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	a.SetFaults(Faults{InterruptedErase: true})
+	data := bytes.Repeat([]byte{0x5a}, a.Config().PageSize)
+	a.ProgramPageInstant(0, []SlotTag{{LPN: 9}}, data, false)
+
+	var eraseErr error
+	eng.Go("erase", func(p *sim.Proc) {
+		eraseErr = a.EraseBlock(p, iotrace.Req{}, 0)
+	})
+	eng.Schedule(a.Config().EraseLatency/2, func() { a.PowerFail() })
+	eng.Run()
+	if eraseErr != storage.ErrPowerFail {
+		t.Fatalf("erase err = %v, want ErrPowerFail", eraseErr)
+	}
+	// Every page of the block is indeterminate: programmed garbage under
+	// unreadable (torn, LPN-less) OOB.
+	for i := 0; i < a.Config().PagesPerBlock; i++ {
+		ppn := PPN(i)
+		if a.State(ppn) != PageValid {
+			t.Fatalf("page %d state = %v, want PageValid (half-erased garbage)", i, a.State(ppn))
+		}
+		meta := a.Meta(ppn)
+		if meta == nil || len(meta.Slots) != 1 || meta.Slots[0].LPN != InvalidLPN || !meta.Slots[0].Torn {
+			t.Fatalf("page %d OOB = %+v, want single {InvalidLPN, Torn} tag", i, meta)
+		}
+	}
+	if got := a.Registry().Stats().InterruptedErases; got != 1 {
+		t.Fatalf("InterruptedErases = %d, want 1", got)
+	}
+
+	// A fresh erase under stable power reclaims the block.
+	a.PowerOn()
+	eng.Go("re-erase", func(p *sim.Proc) {
+		if err := a.EraseBlock(p, iotrace.Req{}, 0); err != nil {
+			t.Errorf("re-erase: %v", err)
+		}
+	})
+	eng.Run()
+	if a.State(0) != PageFree {
+		t.Fatal("block not free after re-erase")
+	}
+}
+
+func TestUninterruptedEraseCutLeavesBlockUntouched(t *testing.T) {
+	// Without the fault armed, a power cut mid-erase is conservative: the
+	// old contents survive verbatim.
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	data := bytes.Repeat([]byte{0x77}, a.Config().PageSize)
+	a.ProgramPageInstant(0, []SlotTag{{LPN: 4}}, data, false)
+
+	var eraseErr error
+	eng.Go("erase", func(p *sim.Proc) {
+		eraseErr = a.EraseBlock(p, iotrace.Req{}, 0)
+	})
+	eng.Schedule(a.Config().EraseLatency/2, func() { a.PowerFail() })
+	eng.Run()
+	if eraseErr != storage.ErrPowerFail {
+		t.Fatalf("erase err = %v, want ErrPowerFail", eraseErr)
+	}
+	if a.State(0) != PageValid {
+		t.Fatal("page lost without the interrupted-erase fault armed")
+	}
+	meta := a.Meta(0)
+	if meta == nil || meta.Slots[0].LPN != 4 || meta.Slots[0].Torn {
+		t.Fatalf("OOB = %+v, want intact {LPN 4} tag", meta)
+	}
+	if !bytes.Equal(a.Data(0), data) {
+		t.Fatal("page contents changed across an un-faulted interrupted erase")
+	}
+}
+
+func TestEventEmission(t *testing.T) {
+	eng := sim.New()
+	a := newTestArray(t, eng)
+	var seen [iotrace.NumEvents]int
+	a.Registry().SetEventFn(func(kind iotrace.EventKind, at time.Duration) {
+		seen[kind]++
+	})
+	eng.Go("io", func(p *sim.Proc) {
+		if err := a.ProgramPage(p, iotrace.Req{}, 0, []SlotTag{{LPN: 1}}, nil, false); err != nil {
+			t.Errorf("program: %v", err)
+		}
+		if err := a.EraseBlock(p, iotrace.Req{}, 0); err != nil {
+			t.Errorf("erase: %v", err)
+		}
+	})
+	eng.Run()
+	if seen[iotrace.EvProgram] != 1 || seen[iotrace.EvErase] != 1 {
+		t.Fatalf("events = %v, want one program and one erase", seen)
+	}
+}

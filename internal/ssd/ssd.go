@@ -240,6 +240,7 @@ func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, dat
 		return err
 	}
 	d.front.CompleteWrite(req, n)
+	d.reg.Emit(iotrace.EvWriteAck, p.Now())
 	return nil
 }
 
@@ -301,6 +302,7 @@ func (d *Device) Flush(p *sim.Proc, req iotrace.Req) error {
 		return err
 	}
 	defer release()
+	d.reg.Emit(iotrace.EvFlushStart, p.Now())
 	if d.cacheOn {
 		err = d.ctrl.FlushCache(p, req)
 	} else {
@@ -310,6 +312,7 @@ func (d *Device) Flush(p *sim.Proc, req iotrace.Req) error {
 		return err
 	}
 	d.front.CompleteFlush()
+	d.reg.Emit(iotrace.EvFlushEnd, p.Now())
 	return nil
 }
 
