@@ -134,38 +134,20 @@ func exploreCampaign(points, updates int, seed int64) []string {
 	var failures []string
 	tbl := stats.NewTable("Systematic crash-point exploration (engine × device × config)",
 		"Config", "Points", "AfterAck", "MidProg", "MidDump", "Lost", "Torn", "Unsafe", "Digest")
-	for _, eng := range []faults.EngineKind{faults.EngineInnoDB, faults.EnginePgSQL} {
-		for _, cell := range []struct {
-			dev              faults.DeviceKind
-			barrier, protect bool
-		}{
-			{faults.DuraSSD, false, false},
-			{faults.SSDA, false, false},
-			{faults.SSDA, true, true},
-		} {
-			c := crashpoint.Campaign{
-				Scenario: faults.Scenario{
-					Device: cell.dev, Engine: eng,
-					Barrier: cell.barrier, DoubleWrite: cell.protect,
-					Clients: 4, Updates: updates, Seed: seed,
-				},
-				MaxPoints: points,
-				DumpTears: 2,
-			}
-			res, err := crashpoint.Explore(c)
-			if err != nil {
-				failures = append(failures, fmt.Sprintf("%s: %v", c.Scenario.Name(), err))
-				continue
-			}
-			counts := res.KindCounts()
-			tbl.AddRow(c.Scenario.Name(), len(res.Points),
-				counts[crashpoint.AfterAck], counts[crashpoint.MidProgram], counts[crashpoint.MidDump],
-				res.Lost, res.Torn, res.Unsafe, res.Digest[:12])
-			for _, o := range res.Outcomes {
-				if o.Verdict.Err != nil {
-					failures = append(failures, fmt.Sprintf("%s %s at %v: %v",
-						c.Scenario.Name(), o.Point.Kind, o.Point.At, o.Verdict.Err))
-				}
+	for _, c := range crashpoint.Matrix(points, updates, seed) {
+		res, err := crashpoint.Explore(c)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", c.Scenario.Name(), err))
+			continue
+		}
+		counts := res.KindCounts()
+		tbl.AddRow(c.Scenario.Name(), len(res.Points),
+			counts[crashpoint.AfterAck], counts[crashpoint.MidProgram], counts[crashpoint.MidDump],
+			res.Lost, res.Torn, res.Unsafe, res.Digest[:12])
+		for _, o := range res.Outcomes {
+			if o.Verdict.Err != nil {
+				failures = append(failures, fmt.Sprintf("%s %s at %v: %v",
+					c.Scenario.Name(), o.Point.Kind, o.Point.At, o.Verdict.Err))
 			}
 		}
 	}

@@ -47,9 +47,10 @@ func main() {
 		}
 		fmt.Fprintln(os.Stdout, res.Table)
 		rep.AddTable(res.Table)
-		for row, cells := range res.IOPS {
-			for every, iops := range cells {
-				rep.AddMetric(fmt.Sprintf("table1/%s/fsync=%d", row, every), iops)
+		for _, row := range repro.SortedKeys(res.IOPS) {
+			cells := res.IOPS[row]
+			for _, every := range repro.SortedKeys(cells) {
+				rep.AddMetric(fmt.Sprintf("table1/%s/fsync=%d", row, every), cells[every])
 			}
 		}
 	}
@@ -62,9 +63,10 @@ func main() {
 		fmt.Fprintln(os.Stdout, res.HDD)
 		rep.AddTable(res.DuraSSD)
 		rep.AddTable(res.HDD)
-		for row, cells := range res.IOPS {
-			for page, iops := range cells {
-				rep.AddMetric(fmt.Sprintf("table2/%s/page=%d", row, page), iops)
+		for _, row := range repro.SortedKeys(res.IOPS) {
+			cells := res.IOPS[row]
+			for _, page := range repro.SortedKeys(cells) {
+				rep.AddMetric(fmt.Sprintf("table2/%s/page=%d", row, page), cells[page])
 			}
 		}
 	}

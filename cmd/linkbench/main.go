@@ -42,9 +42,10 @@ func main() {
 		fmt.Println(res.Origins)
 		rep.AddTable(res.Table)
 		rep.AddTable(res.Origins)
-		for config, cells := range res.TPS {
-			for page, tps := range cells {
-				rep.AddMetric(fmt.Sprintf("fig5/%s/page=%d", config, page), tps)
+		for _, config := range repro.SortedKeys(res.TPS) {
+			cells := res.TPS[config]
+			for _, page := range repro.SortedKeys(cells) {
+				rep.AddMetric(fmt.Sprintf("fig5/%s/page=%d", config, page), cells[page])
 			}
 		}
 	}

@@ -36,9 +36,10 @@ func main() {
 		rep.SetConfig("requests", *requests)
 		rep.SetConfig("seed", *seed)
 		rep.AddTable(res.Table)
-		for barrier, cells := range res.TpmC {
-			for page, tpmc := range cells {
-				rep.AddMetric(fmt.Sprintf("table4/barrier=%s/page=%d", barrier, page), tpmc)
+		for _, barrier := range repro.SortedKeys(res.TpmC) {
+			cells := res.TpmC[barrier]
+			for _, page := range repro.SortedKeys(cells) {
+				rep.AddMetric(fmt.Sprintf("table4/barrier=%s/page=%d", barrier, page), cells[page])
 			}
 		}
 		if err := rep.WriteFile(*jsonPath); err != nil {

@@ -38,10 +38,12 @@ func main() {
 		rep.SetConfig("seed", *seed)
 		rep.AddTable(res.On)
 		rep.AddTable(res.Off)
-		for barrier, workloads := range res.OPS {
-			for workload, cells := range workloads {
-				for batch, opsec := range cells {
-					rep.AddMetric(fmt.Sprintf("table5/barrier=%s/%s/batch=%d", barrier, workload, batch), opsec)
+		for _, barrier := range repro.SortedKeys(res.OPS) {
+			workloads := res.OPS[barrier]
+			for _, workload := range repro.SortedKeys(workloads) {
+				cells := workloads[workload]
+				for _, batch := range repro.SortedKeys(cells) {
+					rep.AddMetric(fmt.Sprintf("table5/barrier=%s/%s/batch=%d", barrier, workload, batch), cells[batch])
 				}
 			}
 		}

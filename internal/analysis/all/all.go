@@ -1,0 +1,22 @@
+// Package all registers every simlint analyzer. cmd/simlint runs them;
+// tests use the registry to validate //simlint:allow directives against
+// the real analyzer set.
+package all
+
+import (
+	"durassd/internal/analysis"
+	"durassd/internal/analysis/devcheck"
+	"durassd/internal/analysis/maporder"
+	"durassd/internal/analysis/nowalltime"
+	"durassd/internal/analysis/seededrand"
+	"durassd/internal/analysis/simproc"
+)
+
+// Analyzers is the full simlint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	devcheck.Analyzer,
+	maporder.Analyzer,
+	nowalltime.Analyzer,
+	seededrand.Analyzer,
+	simproc.Analyzer,
+}

@@ -1,0 +1,181 @@
+// Package devcheck forbids discarding errors from storage devices.
+//
+// Invariant protected: every storage.Device and storage.PowerCycler method
+// that returns an error is reporting a durability-relevant event —
+// ErrPowerFail (the operation's effect is now undefined), ErrOutOfRange,
+// ErrOffline, or a recovery failure from Reboot. Code that drops such an
+// error continues as if an acknowledged write were durable or a recovery
+// had succeeded, which is precisely the class of silent ordering/
+// durability bug this repository exists to expose in real systems. Every
+// call to an error-returning method on a value whose type implements
+// Device or PowerCycler must consume the error: assigning it to `_`, using
+// the call as a bare statement, or launching it via go/defer is a finding.
+package devcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"durassd/internal/analysis"
+)
+
+// StoragePath is the package that defines the guarded interfaces.
+const StoragePath = "durassd/internal/storage"
+
+// GuardedInterfaces are the interface names whose error-returning methods
+// must never be discarded.
+var GuardedInterfaces = []string{"Device", "PowerCycler"}
+
+// Analyzer is the devcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "devcheck",
+	Doc:  "flag discarded error returns from storage.Device / storage.PowerCycler methods; dropped device errors hide durability violations",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ifaces := guardedInterfaces(pass.Pkg)
+	if len(ifaces) == 0 {
+		// The package does not (transitively) know about storage devices.
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				check(pass, ifaces, st.X)
+			case *ast.GoStmt:
+				check(pass, ifaces, st.Call)
+			case *ast.DeferStmt:
+				check(pass, ifaces, st.Call)
+			case *ast.AssignStmt:
+				// Flag only when every error-position LHS is blank; a
+				// partial use like `n, _ := ...` on a single error result
+				// still discards it.
+				if len(st.Rhs) == 1 && allBlank(st.Lhs) {
+					check(pass, ifaces, st.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// check reports expr if it is a call to an error-returning guarded method.
+func check(pass *analysis.Pass, ifaces map[*types.Interface][]string, expr ast.Expr) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !returnsError(fn) {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return
+	}
+	recv := selection.Recv()
+	for iface, methods := range ifaces {
+		if !hasMethod(methods, fn.Name()) {
+			continue
+		}
+		if implements(recv, iface) {
+			pass.Reportf(call.Pos(), "error from (%s).%s discarded; device errors carry durability verdicts (power failure, torn state, failed recovery) and must be handled",
+				types.TypeString(recv, func(p *types.Package) string { return p.Name() }), fn.Name())
+			return
+		}
+	}
+}
+
+func hasMethod(methods []string, name string) bool {
+	for _, m := range methods {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+func implements(t types.Type, iface *types.Interface) bool {
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// guardedInterfaces finds the storage package among pkg's transitive
+// imports and returns each guarded interface with its error-returning
+// method names.
+func guardedInterfaces(pkg *types.Package) map[*types.Interface][]string {
+	storage := findImport(pkg, StoragePath, map[*types.Package]bool{})
+	if storage == nil {
+		return nil
+	}
+	out := make(map[*types.Interface][]string)
+	for _, name := range GuardedInterfaces {
+		obj := storage.Scope().Lookup(name)
+		if obj == nil {
+			continue
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		var methods []string
+		for i := 0; i < iface.NumMethods(); i++ {
+			if returnsError(iface.Method(i)) {
+				methods = append(methods, iface.Method(i).Name())
+			}
+		}
+		if len(methods) > 0 {
+			out[iface] = methods
+		}
+	}
+	return out
+}
+
+// findImport walks the import graph below pkg looking for path.
+func findImport(pkg *types.Package, path string, seen map[*types.Package]bool) *types.Package {
+	if pkg.Path() == path {
+		return pkg
+	}
+	if seen[pkg] {
+		return nil
+	}
+	seen[pkg] = true
+	for _, imp := range pkg.Imports() {
+		if found := findImport(imp, path, seen); found != nil {
+			return found
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package devcheck_test
+
+import (
+	"testing"
+
+	"durassd/internal/analysis/checktest"
+	"durassd/internal/analysis/devcheck"
+)
+
+func TestDevCheck(t *testing.T) {
+	checktest.Run(t, "devcheck", devcheck.Analyzer)
+}

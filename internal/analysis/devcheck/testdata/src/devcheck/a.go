@@ -1,0 +1,34 @@
+// Package devcheck is analyzer testdata: discarded errors from
+// storage.Device / storage.PowerCycler methods hide durability verdicts
+// and must be flagged, on both interface and concrete receivers.
+package devcheck
+
+import (
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+func bad(p *sim.Proc, dev storage.Device) {
+	dev.Write(p, iotrace.Req{}, 0, 1, nil)    // want `error from \(storage\.Device\)\.Write discarded`
+	_ = dev.Flush(p, iotrace.Req{})           // want `error from \(storage\.Device\)\.Flush discarded`
+	defer dev.Flush(p, iotrace.Req{})         // want `error from \(storage\.Device\)\.Flush discarded`
+	_ = dev.Read(p, iotrace.Req{}, 0, 1, nil) // want `error from \(storage\.Device\)\.Read discarded`
+}
+
+func badCycler(p *sim.Proc, pc storage.PowerCycler) {
+	pc.PowerFail() // no error result: fine to call bare
+	pc.Reboot(p)   // want `error from \(storage\.PowerCycler\)\.Reboot discarded`
+}
+
+func good(p *sim.Proc, dev storage.Device) error {
+	if err := dev.Write(p, iotrace.Req{}, 0, 1, nil); err != nil {
+		return err
+	}
+	_ = dev.PageSize() // no error result: fine to discard the int
+	return dev.Flush(p, iotrace.Req{})
+}
+
+func allowed(p *sim.Proc, dev storage.Device) {
+	dev.Flush(p, iotrace.Req{}) //simlint:allow devcheck cut already injected; flush failure is the point of the test
+}

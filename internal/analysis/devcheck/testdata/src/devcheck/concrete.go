@@ -1,0 +1,41 @@
+package devcheck
+
+import (
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// fake is a concrete Device: the analyzer must recognize implementations,
+// not just the interface type itself.
+type fake struct{}
+
+func (fake) PageSize() int { return 4096 }
+func (fake) Pages() int64  { return 8 }
+func (fake) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf []byte) error {
+	return nil
+}
+func (fake) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, data []byte) error {
+	return nil
+}
+func (fake) Flush(p *sim.Proc, req iotrace.Req) error { return nil }
+func (fake) Stats() *storage.Stats                    { return nil }
+func (fake) Registry() *iotrace.Registry              { return nil }
+
+var _ storage.Device = fake{}
+
+func concreteBad(p *sim.Proc) {
+	var d fake
+	d.Write(p, iotrace.Req{}, 0, 1, nil) // want `error from \(devcheck\.fake\)\.Write discarded`
+}
+
+// notADevice has a Write method but does not implement Device; discarding
+// its error is unrelated to device durability and not this analyzer's job.
+type notADevice struct{}
+
+func (notADevice) Write(b []byte) (int, error) { return len(b), nil }
+
+func unrelatedWrite() {
+	var w notADevice
+	w.Write(nil)
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// AllowPrefix introduces an audited-exception directive:
+//
+//	//simlint:allow <analyzer> <reason...>
+//
+// A directive written as a trailing comment suppresses that analyzer's
+// diagnostics on its own line; a directive on a line of its own suppresses
+// them on the next line. The reason is mandatory — an allow without a
+// recorded justification is itself a finding.
+const AllowPrefix = "//simlint:allow"
+
+// Allow is one parsed //simlint:allow directive.
+type Allow struct {
+	Pos      token.Pos
+	Analyzer string // analyzer name, "" if missing
+	Reason   string // justification text, "" if missing
+	// Line is the source line the directive suppresses: the directive's
+	// own line for trailing comments, the following line otherwise.
+	Line int
+	File string
+}
+
+// ParseAllows extracts every //simlint:allow directive from files.
+func ParseAllows(fset *token.FileSet, files []*ast.File) []Allow {
+	srcs := make(map[string][]byte)
+	var out []Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AllowPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a := Allow{Pos: c.Pos(), Line: pos.Line, File: pos.Filename}
+				// A comment with no code before it on its line guards the
+				// next line instead of its own.
+				if ownLine(fset, srcs, c.Pos()) {
+					a.Line++
+				}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					a.Analyzer = fields[0]
+					a.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// ownLine reports whether only whitespace precedes pos on its source line.
+// srcs caches file contents across calls.
+func ownLine(fset *token.FileSet, srcs map[string][]byte, pos token.Pos) bool {
+	tf := fset.File(pos)
+	src, ok := srcs[tf.Name()]
+	if !ok {
+		src, _ = os.ReadFile(tf.Name())
+		srcs[tf.Name()] = src
+	}
+	start := tf.Offset(tf.LineStart(fset.Position(pos).Line))
+	end := tf.Offset(pos)
+	if src == nil || end > len(src) {
+		// Source unavailable: treat as a trailing comment.
+		return false
+	}
+	return strings.TrimSpace(string(src[start:end])) == ""
+}
+
+// AllowSet indexes directives for suppression lookups.
+type AllowSet struct {
+	byKey map[allowKey]bool
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// NewAllowSet indexes the given directives. Malformed directives (missing
+// analyzer or reason, or an analyzer name not in known) are returned as
+// diagnostics attributed to the pseudo-analyzer "simlint" and do not
+// suppress anything.
+func NewAllowSet(allows []Allow, known map[string]bool) (*AllowSet, []Diagnostic) {
+	s := &AllowSet{byKey: make(map[allowKey]bool)}
+	var bad []Diagnostic
+	for _, a := range allows {
+		switch {
+		case a.Analyzer == "":
+			bad = append(bad, Diagnostic{
+				Analyzer: "simlint",
+				Pos:      a.Pos,
+				Message:  "malformed directive: want //simlint:allow <analyzer> <reason>",
+			})
+		case !known[a.Analyzer]:
+			bad = append(bad, Diagnostic{
+				Analyzer: "simlint",
+				Pos:      a.Pos,
+				Message:  "unknown analyzer " + a.Analyzer + " in //simlint:allow directive",
+			})
+		case a.Reason == "":
+			bad = append(bad, Diagnostic{
+				Analyzer: "simlint",
+				Pos:      a.Pos,
+				Message:  "missing reason in //simlint:allow " + a.Analyzer + " directive",
+			})
+		default:
+			s.byKey[allowKey{a.File, a.Line, a.Analyzer}] = true
+		}
+	}
+	return s, bad
+}
+
+// Allows reports whether a diagnostic from analyzer at position pos is
+// suppressed by a well-formed directive.
+func (s *AllowSet) Allows(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return s.byKey[allowKey{p.Filename, p.Line, analyzer}]
+}

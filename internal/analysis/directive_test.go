@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func a() {
+	f() //simlint:allow check1 trailing directive guards its own line
+}
+
+func b() {
+	//simlint:allow check2 own-line directive guards the next line
+	g()
+}
+
+func c() {
+	f() //simlint:allow check1
+}
+`
+
+func parseDirectives(t *testing.T) (*token.FileSet, []Allow, string) {
+	t.Helper()
+	// ParseAllows re-reads the source to classify trailing vs own-line
+	// directives, so the file must exist on disk.
+	name := filepath.Join(t.TempDir(), "p.go")
+	if err := os.WriteFile(name, []byte(directiveSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, ParseAllows(fset, []*ast.File{f}), name
+}
+
+func TestParseAllows(t *testing.T) {
+	_, allows, _ := parseDirectives(t)
+	if len(allows) != 3 {
+		t.Fatalf("want 3 directives, got %d: %+v", len(allows), allows)
+	}
+	// Trailing directive: guards its own line (the f() call on line 4).
+	if allows[0].Analyzer != "check1" || allows[0].Line != 4 || allows[0].Reason == "" {
+		t.Errorf("trailing directive parsed as %+v", allows[0])
+	}
+	// Own-line directive: guards the following line (g() on line 9).
+	if allows[1].Analyzer != "check2" || allows[1].Line != 9 || allows[1].Reason == "" {
+		t.Errorf("own-line directive parsed as %+v", allows[1])
+	}
+	// Reason-less directive parses with an empty reason; NewAllowSet
+	// rejects it.
+	if allows[2].Analyzer != "check1" || allows[2].Reason != "" {
+		t.Errorf("reason-less directive parsed as %+v", allows[2])
+	}
+}
+
+func TestNewAllowSet(t *testing.T) {
+	fset, allows, name := parseDirectives(t)
+	known := map[string]bool{"check1": true}
+	set, bad := NewAllowSet(allows, known)
+
+	// check2 is unknown and the third directive lacks a reason: two
+	// rejections.
+	if len(bad) != 2 {
+		t.Fatalf("want 2 rejected directives, got %d: %+v", len(bad), bad)
+	}
+
+	// The well-formed check1 directive suppresses check1 on line 4 only,
+	// and only for that analyzer.
+	tf := fset.File(allows[0].Pos)
+	line4 := tf.LineStart(4)
+	if !set.Allows(fset, "check1", line4) {
+		t.Errorf("well-formed directive does not suppress check1 at %s:4", name)
+	}
+	if set.Allows(fset, "other", line4) {
+		t.Error("directive suppressed a different analyzer")
+	}
+	if set.Allows(fset, "check1", tf.LineStart(9)) {
+		t.Error("rejected (unknown-analyzer) directive still suppressed line 9")
+	}
+	if set.Allows(fset, "check1", tf.LineStart(13)) {
+		t.Error("rejected (missing-reason) directive still suppressed line 13")
+	}
+}

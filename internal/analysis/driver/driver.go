@@ -1,0 +1,102 @@
+// Package driver loads packages and applies simlint analyzers to them.
+//
+// It plays the role golang.org/x/tools/go/analysis's multichecker driver
+// plays for standard analyzers: list packages with the go command, type
+// check them against compiled export data, run every analyzer, honor
+// //simlint:allow directives, and optionally apply suggested fixes.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"durassd/internal/analysis"
+)
+
+// Finding is one reportable diagnostic with its resolved position.
+type Finding struct {
+	analysis.Diagnostic
+	Position token.Position
+	Package  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Findings []Finding
+	// Fixed counts text edits applied (only when Run was asked to fix).
+	Fixed int
+}
+
+// Run applies analyzers to pkgs. Diagnostics on lines carrying a
+// well-formed //simlint:allow directive for the same analyzer are
+// suppressed; malformed directives are themselves findings. When fix is
+// true, the first suggested fix of every surviving diagnostic is applied
+// to the source files on disk and the fixed diagnostics are dropped from
+// the result.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer, fix bool) (*Result, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	res := &Result{}
+	fixer := newFixer()
+	for _, pkg := range pkgs {
+		allows, bad := analysis.NewAllowSet(analysis.ParseAllows(pkg.Fset, pkg.Files), known)
+		for _, d := range bad {
+			res.Findings = append(res.Findings, Finding{Diagnostic: d, Position: pkg.Fset.Position(d.Pos), Package: pkg.ImportPath})
+		}
+		for _, err := range pkg.TypeErrors {
+			res.Findings = append(res.Findings, Finding{
+				Diagnostic: analysis.Diagnostic{Analyzer: "typecheck", Message: err.Error()},
+				Package:    pkg.ImportPath,
+			})
+		}
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			})
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+			}
+			for _, d := range diags {
+				if allows.Allows(pkg.Fset, d.Analyzer, d.Pos) {
+					continue
+				}
+				if fix && len(d.SuggestedFixes) > 0 {
+					fixer.add(pkg.Fset, d.SuggestedFixes[0])
+					continue
+				}
+				res.Findings = append(res.Findings, Finding{Diagnostic: d, Position: pkg.Fset.Position(d.Pos), Package: pkg.ImportPath})
+			}
+		}
+	}
+	if fix {
+		n, err := fixer.apply()
+		if err != nil {
+			return nil, err
+		}
+		res.Fixed = n
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"durassd/internal/analysis/all"
+	"durassd/internal/analysis/checktest"
+	"durassd/internal/analysis/driver"
+)
+
+// TestAllowHonored: a well-formed //simlint:allow directive (trailing or
+// own-line) suppresses the named analyzer's diagnostics on the guarded
+// line. The testdata package contains only allowed violations, so the full
+// suite must report nothing.
+func TestAllowHonored(t *testing.T) {
+	checktest.Run(t, "allowdir", all.Analyzers...)
+}
+
+// TestAllowRejected: malformed directives are findings themselves and
+// suppress nothing — the seededrand diagnostics they tried to silence
+// must survive alongside them.
+func TestAllowRejected(t *testing.T) {
+	findings := checktest.Diagnostics(t, "badallow", all.Analyzers...)
+
+	counts := map[string]int{}
+	var directiveMsgs []string
+	for _, f := range findings {
+		counts[f.Analyzer]++
+		if f.Analyzer == "simlint" {
+			directiveMsgs = append(directiveMsgs, f.Message)
+		}
+	}
+	// Three malformed directives, three surviving seededrand findings.
+	if counts["simlint"] != 3 {
+		t.Errorf("want 3 directive findings, got %d: %v", counts["simlint"], findings)
+	}
+	if counts["seededrand"] != 3 {
+		t.Errorf("want 3 surviving seededrand findings, got %d: %v", counts["seededrand"], findings)
+	}
+	wantSubstrings := []string{
+		"unknown analyzer nosuchanalyzer",
+		"missing reason in //simlint:allow seededrand",
+		"malformed directive",
+	}
+	for _, sub := range wantSubstrings {
+		found := false
+		for _, m := range directiveMsgs {
+			if strings.Contains(m, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no directive finding contains %q; got %v", sub, directiveMsgs)
+		}
+	}
+}
+
+// TestLoadRealPackage drives the go-list loader against a real repository
+// package (with its test files) and runs the full suite over it: the
+// engine package must come back type-checked and clean.
+func TestLoadRealPackage(t *testing.T) {
+	loader := driver.NewLoader("", true)
+	pkgs, err := loader.Load("durassd/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	sawTestFile := false
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Fatalf("%s: type errors: %v", p.ImportPath, p.TypeErrors)
+		}
+		for _, f := range p.Files {
+			if strings.HasSuffix(loader.Fset().Position(f.Pos()).Filename, "_test.go") {
+				sawTestFile = true
+			}
+		}
+	}
+	if !sawTestFile {
+		t.Error("loader did not include _test.go files; simlint would miss test-side determinism violations")
+	}
+	res, err := driver.Run(pkgs, all.Analyzers, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("unexpected finding in clean package: %s", f)
+	}
+}

@@ -1,0 +1,65 @@
+package driver
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+
+	"durassd/internal/analysis"
+)
+
+// fixer accumulates text edits per file and applies them in one pass.
+type fixer struct {
+	edits map[string][]edit // file name -> edits
+}
+
+type edit struct {
+	start, end int // byte offsets
+	text       []byte
+}
+
+func newFixer() *fixer { return &fixer{edits: make(map[string][]edit)} }
+
+func (f *fixer) add(fset *token.FileSet, fix analysis.SuggestedFix) {
+	for _, te := range fix.TextEdits {
+		p := fset.Position(te.Pos)
+		f.edits[p.Filename] = append(f.edits[p.Filename], edit{
+			start: p.Offset,
+			end:   fset.Position(te.End).Offset,
+			text:  te.NewText,
+		})
+	}
+}
+
+// apply rewrites every touched file, largest offset first so earlier edits
+// stay valid, then re-formats it. Overlapping edits abort the fix run.
+func (f *fixer) apply() (int, error) {
+	n := 0
+	for name, edits := range f.edits {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return n, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		prevStart := len(src) + 1
+		for _, e := range edits {
+			if e.end > prevStart || e.start > e.end || e.end > len(src) {
+				return n, fmt.Errorf("simlint: overlapping or out-of-range fixes in %s", name)
+			}
+			src = append(src[:e.start], append(append([]byte{}, e.text...), src[e.end:]...)...)
+			prevStart = e.start
+			n++
+		}
+		out, err := format.Source(src)
+		if err != nil {
+			// Leave the file formatted as edited rather than losing the fix.
+			out = src
+		}
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

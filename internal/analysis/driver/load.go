@@ -1,0 +1,247 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed and type-checked package, ready for
+// analyzers.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	// Files holds the package's GoFiles plus, when tests are loaded,
+	// its in-package _test.go files. External (package foo_test) test
+	// files become their own Package with ImportPath suffixed "_test".
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors are non-fatal type-checking problems. Analyzers still
+	// run; the driver surfaces them as diagnostics so a broken tree
+	// cannot silently pass the lint gate.
+	TypeErrors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	TestImports  []string
+	XTestImports []string
+	Incomplete   bool
+	Error        *listedErr
+	DepsErrors   []*listedErr
+}
+
+type listedErr struct {
+	Err string
+}
+
+// Loader loads packages for analysis using the go command for metadata and
+// compiled export data, and go/types for type checking. It is safe to load
+// several pattern sets through one Loader; export data is shared.
+type Loader struct {
+	// Dir is the working directory for go command invocations; empty
+	// means the current directory. It must lie inside the target module.
+	Dir string
+	// Tests includes _test.go files in the returned packages.
+	Tests bool
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string, tests bool) *Loader {
+	l := &Loader{Dir: dir, Tests: tests, fset: token.NewFileSet(), exports: make(map[string]string)}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// lookup feeds compiled export data to the gc importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	exp, ok := l.exports[path]
+	if !ok {
+		// Test-only or testdata-only dependency not covered by the root
+		// `go list -deps` sweep: resolve it on demand.
+		if err := l.goList(nil, "-export", "--", path); err != nil {
+			return nil, fmt.Errorf("resolving import %q: %w", path, err)
+		}
+		exp, ok = l.exports[path]
+		if !ok || exp == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	if exp == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(exp)
+}
+
+// goList runs `go list -json` with the given extra flags and arguments,
+// recording export data for every listed package and appending non-DepOnly
+// entries to roots (when roots is non-nil).
+func (l *Loader) goList(roots *[]*listedPkg, extra ...string) error {
+	args := []string{"list", "-e", "-json=Dir,ImportPath,Name,Export,Standard,DepOnly,GoFiles,TestGoFiles,XTestGoFiles,TestImports,XTestImports,Incomplete,Error,DepsErrors"}
+	args = append(args, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if roots != nil && !p.DepOnly {
+			q := p
+			*roots = append(*roots, &q)
+		}
+	}
+	return nil
+}
+
+// Load lists patterns, type-checks every matched package, and returns them
+// sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var roots []*listedPkg
+	if err := l.goList(&roots, append([]string{"-deps", "-export", "--"}, patterns...)...); err != nil {
+		return nil, err
+	}
+	// Test-only imports are not covered by -deps (which follows only
+	// non-test edges); resolve them in one batched call up front.
+	if l.Tests {
+		missing := map[string]bool{}
+		for _, r := range roots {
+			for _, imp := range append(append([]string{}, r.TestImports...), r.XTestImports...) {
+				if _, ok := l.exports[imp]; !ok && imp != "C" && imp != "unsafe" {
+					missing[imp] = true
+				}
+			}
+		}
+		if len(missing) > 0 {
+			paths := make([]string, 0, len(missing))
+			for p := range missing {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			if err := l.goList(nil, append([]string{"-deps", "-export", "--"}, paths...)...); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var pkgs []*Package
+	for _, r := range roots {
+		if r.Standard {
+			continue
+		}
+		files := append([]string{}, r.GoFiles...)
+		if l.Tests {
+			files = append(files, r.TestGoFiles...)
+		}
+		if len(files) > 0 {
+			pkg, err := l.check(r.ImportPath, r.Dir, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		if l.Tests && len(r.XTestGoFiles) > 0 {
+			pkg, err := l.check(r.ImportPath+"_test", r.Dir, r.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the .go files of one directory outside the
+// go command's view (e.g. a testdata source tree), under the given import
+// path. Imports resolve through the same export-data cache as Load.
+func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return l.check(importPath, dir, files)
+}
+
+// check parses and type-checks one package from the given file names
+// (relative to dir).
+func (l *Loader) check(importPath, dir string, fileNames []string) (*Package, error) {
+	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: l.fset}
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,16 @@
+// Package allowdir is driver testdata for the honored //simlint:allow
+// path: well-formed directives (trailing and own-line) suppress exactly
+// the named analyzer's diagnostics on the guarded line, so this package
+// must produce no findings at all.
+package allowdir
+
+import "math/rand"
+
+func honored() int {
+	return rand.Intn(3) //simlint:allow seededrand fuzz-corpus shuffling; audited 2026-08
+}
+
+func honoredOwnLine() int {
+	//simlint:allow seededrand doc example; output never asserted
+	return rand.Intn(3)
+}

@@ -1,0 +1,21 @@
+// Package badallow is driver testdata for the rejected //simlint:allow
+// paths: an unknown analyzer name, a missing reason, and a directive with
+// no fields at all. Each malformed directive is itself a finding and
+// suppresses nothing, so the underlying seededrand diagnostics survive.
+// The assertions live in driver_test.go (the malformed forms cannot carry
+// inline want comments — trailing text would parse as the reason).
+package badallow
+
+import "math/rand"
+
+func unknownAnalyzer() int {
+	return rand.Intn(3) //simlint:allow nosuchanalyzer some plausible reason
+}
+
+func missingReason() int {
+	return rand.Intn(3) //simlint:allow seededrand
+}
+
+func missingEverything() int {
+	return rand.Intn(3) //simlint:allow
+}

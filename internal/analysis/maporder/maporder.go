@@ -1,0 +1,151 @@
+// Package maporder flags map iteration that leaks into ordered output.
+//
+// Invariant protected: Go randomizes map iteration order on purpose, so a
+// `range` over a map that feeds an order-sensitive sink — an iotrace event
+// stream, a schedule digest being hashed, a rendered stats table, a JSON
+// report — produces output that differs run to run even when the
+// simulation itself was deterministic. That breaks the byte-identical
+// schedule digests crash-point exploration asserts and makes golden-file
+// comparisons flaky. The sanctioned idiom is to collect the keys, sort
+// them, and range over the sorted slice; ranging over the map directly is
+// then fine because nothing ordered escapes the loop.
+//
+// A loop body is considered order-sensitive when it (transitively, inside
+// the loop's AST) calls into the report-producing packages
+// (internal/iotrace, internal/stats, internal/repro, internal/crashpoint),
+// prints via fmt (Print/Fprint family), or calls Write on any io.Writer —
+// which covers hash.Hash digests, bytes.Buffer/strings.Builder report
+// assembly, and files. Loops that merely aggregate (sum counters, build a
+// slice that is sorted afterwards) are not flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"durassd/internal/analysis"
+)
+
+// SinkPkgs are the import paths whose call surface is treated as ordered
+// output. Reaching any of them from inside a map-range body is a finding.
+var SinkPkgs = map[string]bool{
+	"durassd/internal/iotrace":    true,
+	"durassd/internal/stats":      true,
+	"durassd/internal/repro":      true,
+	"durassd/internal/crashpoint": true,
+}
+
+// fmtEmitters are the fmt functions that emit directly (as opposed to the
+// Sprint family, which builds values whose eventual use is what matters).
+var fmtEmitters = map[string]bool{
+	"Print": true, "Println": true, "Printf": true,
+	"Fprint": true, "Fprintln": true, "Fprintf": true,
+}
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range over a map whose body feeds an order-sensitive sink (trace events, digests, reports, rendered stats); sort the keys first",
+	Run:  run,
+}
+
+// ioWriter is a structural io.Writer, built by hand so the analyzer does
+// not depend on the checked package importing io.
+var ioWriter = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", errType)),
+		false)
+	i := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	i.Complete()
+	return i
+}()
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink, pos := findSink(pass, rng.Body); sink != "" {
+				pass.Reportf(pos, "map iteration order reaches %s inside this range (map ranged at %s); sort the keys and range the slice instead",
+					sink, pass.Fset.Position(rng.Pos()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findSink locates the first order-sensitive call inside body.
+func findSink(pass *analysis.Pass, body *ast.BlockStmt) (string, token.Pos) {
+	var sink string
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		if pkg := fn.Pkg(); pkg != nil {
+			if SinkPkgs[pkg.Path()] {
+				sink, pos = pkg.Path()+"."+fn.Name(), call.Pos()
+				return false
+			}
+			if pkg.Path() == "fmt" && fmtEmitters[fn.Name()] {
+				sink, pos = "fmt."+fn.Name(), call.Pos()
+				return false
+			}
+		}
+		// A Write on anything that satisfies io.Writer: digest, buffer,
+		// builder, file — all ordered byte streams.
+		if fn.Name() == "Write" {
+			if s, ok := pass.TypesInfo.Selections[sel]; ok && writesBytes(s.Recv()) {
+				sink, pos = recvName(s.Recv())+".Write", call.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return sink, pos
+}
+
+// writesBytes reports whether t (or *t, for addressable values with
+// pointer-receiver Write methods) satisfies io.Writer.
+func writesBytes(t types.Type) bool {
+	if types.Implements(t, ioWriter) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), ioWriter)
+	}
+	return false
+}
+
+// recvName renders a receiver type compactly for the diagnostic.
+func recvName(t types.Type) string {
+	s := types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	return strings.TrimPrefix(s, "*")
+}

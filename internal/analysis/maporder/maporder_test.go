@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"durassd/internal/analysis/checktest"
+	"durassd/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	checktest.Run(t, "maporder", maporder.Analyzer)
+}

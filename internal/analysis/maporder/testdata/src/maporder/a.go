@@ -1,0 +1,74 @@
+// Package maporder is analyzer testdata: map iteration feeding ordered
+// sinks (digests, emitted text, byte streams) must be flagged, while pure
+// aggregation and the sorted-keys idiom must not.
+package maporder
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+)
+
+func digestBad(m map[string]int) []byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want `map iteration order reaches hash\.Hash\.Write`
+	}
+	return h.Sum(nil)
+}
+
+func printBad(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration order reaches fmt\.Println`
+	}
+}
+
+func fprintfBad(m map[string]int) []byte {
+	h := sha256.New()
+	for k, v := range m {
+		fmt.Fprintf(h, "%s=%d\n", k, v) // want `map iteration order reaches fmt\.Fprintf`
+	}
+	return h.Sum(nil)
+}
+
+func sortedKeysGood(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+func aggregationGood(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRangeGood(s []string) {
+	// Slices iterate in index order; emission is deterministic.
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}
+
+func sprintIsValueConstruction(m map[string]int) map[string]string {
+	// Sprint builds values; determinism depends on how they are used,
+	// which keyed re-insertion preserves.
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = fmt.Sprintf("%d", v)
+	}
+	return out
+}
+
+func allowed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //simlint:allow maporder debug dump; order never asserted
+	}
+}

@@ -1,0 +1,22 @@
+package maporder
+
+import "durassd/internal/stats"
+
+// Calls into the repository's report-producing packages are ordered sinks
+// even though they are not byte streams themselves: a stats.Table renders
+// rows in insertion order.
+func tableBad(m map[string]float64) *stats.Table {
+	t := stats.NewTable("cells", "key", "value")
+	for k, v := range m {
+		t.AddRow(k, v) // want `map iteration order reaches durassd/internal/stats\.AddRow`
+	}
+	return t
+}
+
+func tableGood(m map[string]float64, keys []string) *stats.Table {
+	t := stats.NewTable("cells", "key", "value")
+	for _, k := range keys {
+		t.AddRow(k, m[k])
+	}
+	return t
+}

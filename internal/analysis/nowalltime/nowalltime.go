@@ -1,0 +1,83 @@
+// Package nowalltime forbids wall-clock time in sim-driven packages.
+//
+// Invariant protected: the simulation runs entirely in virtual time on
+// sim.Engine's clock. A single time.Now or time.Sleep in a device model,
+// engine, or workload makes run timing depend on the host machine, which
+// breaks replay determinism — and with it crash-point exploration's
+// bit-identical replayed prefixes and the SHA-256 schedule digests
+// harnesses assert against. Durations (time.Duration, time.Millisecond,
+// ...) are pure values and remain allowed; only the functions that read or
+// wait on the real clock are flagged.
+//
+// Command-line front-ends under cmd/ report elapsed wall-clock time to the
+// terminal; they are exempt via the driver's default exemption for import
+// paths starting with "durassd/cmd/". Anything else needs an audited
+// //simlint:allow nowalltime <reason> directive.
+package nowalltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"durassd/internal/analysis"
+)
+
+// forbidden are the time package's wall-clock entry points. Everything
+// else in package time (Duration arithmetic, constants, formatting of
+// explicit values) is deterministic and allowed.
+var forbidden = map[string]string{
+	"Now":       "read the virtual clock (sim.Engine.Now / sim.Proc.Now) instead",
+	"Sleep":     "block in virtual time (sim.Proc.Sleep) instead",
+	"After":     "schedule a virtual-time event (sim.Engine.Schedule) instead",
+	"Tick":      "schedule repeating virtual-time events (sim.Engine.Schedule) instead",
+	"NewTimer":  "schedule a virtual-time event (sim.Engine.Schedule) instead",
+	"NewTicker": "schedule repeating virtual-time events (sim.Engine.Schedule) instead",
+	"AfterFunc": "schedule a virtual-time event (sim.Engine.Schedule) instead",
+	"Since":     "subtract virtual timestamps from sim.Engine.Now instead",
+	"Until":     "subtract virtual timestamps from sim.Engine.Now instead",
+}
+
+// ExemptPrefixes lists import-path prefixes whose packages may use the
+// wall clock: command front-ends report real elapsed time to the user.
+var ExemptPrefixes = []string{"durassd/cmd/"}
+
+// Analyzer is the nowalltime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowalltime",
+	Doc:  "forbid wall-clock time (time.Now, time.Sleep, ...) in sim-driven packages; all timing must come from the virtual clock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, p := range ExemptPrefixes {
+		if strings.HasPrefix(pass.Pkg.Path(), p) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			hint, bad := forbidden[sel.Sel.Name]
+			if !bad || !isPkg(pass, sel.X, "time") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in sim-driven package %s: %s", sel.Sel.Name, pass.Pkg.Path(), hint)
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkg reports whether expr is a reference to the package named by path.
+func isPkg(pass *analysis.Pass, expr ast.Expr, path string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}

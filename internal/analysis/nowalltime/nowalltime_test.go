@@ -1,0 +1,19 @@
+package nowalltime_test
+
+import (
+	"testing"
+
+	"durassd/internal/analysis/checktest"
+	"durassd/internal/analysis/nowalltime"
+)
+
+func TestNoWallTime(t *testing.T) {
+	checktest.Run(t, "nowalltime", nowalltime.Analyzer)
+}
+
+// TestCmdExempt verifies the wall-clock exemption for command front-ends:
+// the testdata package under durassd/cmd/ uses time.Now freely and must
+// produce no findings.
+func TestCmdExempt(t *testing.T) {
+	checktest.Run(t, "durassd/cmd/fake", nowalltime.Analyzer)
+}

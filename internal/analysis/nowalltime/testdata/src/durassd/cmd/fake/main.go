@@ -1,0 +1,11 @@
+// Command fake is analyzer testdata: packages under durassd/cmd/ report
+// real elapsed time to the terminal and are exempt from nowalltime.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	_ = time.Since(start)
+}

@@ -1,0 +1,36 @@
+// Package nowalltime is analyzer testdata: wall-clock reads must be
+// flagged in sim-driven packages while pure duration values stay legal.
+package nowalltime
+
+import "time"
+
+func bad(d time.Duration) {
+	_ = time.Now()              // want `wall-clock time\.Now in sim-driven package nowalltime`
+	time.Sleep(d)               // want `wall-clock time\.Sleep`
+	<-time.After(d)             // want `wall-clock time\.After`
+	_ = time.NewTimer(d)        // want `wall-clock time\.NewTimer`
+	_ = time.Tick(d)            // want `wall-clock time\.Tick`
+	_ = time.Since(time.Time{}) // want `wall-clock time\.Since`
+}
+
+func durationsAreValues() time.Duration {
+	// Durations are plain numbers; only clock reads are nondeterministic.
+	d := 3 * time.Millisecond
+	return d + time.Microsecond
+}
+
+func allowed() {
+	time.Sleep(time.Millisecond) //simlint:allow nowalltime throttles a log follower outside the sim
+}
+
+func allowedOwnLine() {
+	//simlint:allow nowalltime wall-clock watchdog documented in DESIGN.md
+	_ = time.Now()
+}
+
+type clock struct{}
+
+// Now on a non-time receiver must not be confused with time.Now.
+func (clock) Now() time.Duration { return 0 }
+
+func virtualNowIsFine(c clock) time.Duration { return c.Now() }

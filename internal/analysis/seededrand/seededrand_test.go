@@ -1,0 +1,14 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"durassd/internal/analysis/checktest"
+	"durassd/internal/analysis/seededrand"
+)
+
+// TestSeededRand exercises diagnostics and the mechanical rand->rng fix:
+// testdata/src/seededrand/a.go.golden is the expected post-fix source.
+func TestSeededRand(t *testing.T) {
+	checktest.RunFix(t, "seededrand", seededrand.Analyzer)
+}

@@ -1,0 +1,40 @@
+// Package seededrand is analyzer testdata: global math/rand draws must be
+// flagged, seeded *rand.Rand usage must not, and when a unique *rand.Rand
+// is in scope the suggested fix routes the call through it.
+package seededrand
+
+import "math/rand"
+
+func bad() int {
+	// No *rand.Rand in scope: diagnostic only, no autofix possible.
+	return rand.Intn(10) // want `global math/rand\.Intn draws from process-wide state`
+}
+
+func alsoBad() {
+	rand.Seed(42)        // want `global math/rand\.Seed`
+	_ = rand.Float64()   // want `global math/rand\.Float64`
+	rand.Shuffle(3, nil) // want `global math/rand\.Shuffle`
+}
+
+func fixable(rng *rand.Rand) int {
+	// A unique *rand.Rand in scope: simlint -fix rewrites rand -> rng.
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func ambiguous(a, b *rand.Rand) int {
+	// Two candidates: diagnostic without a fix (rewrite would guess).
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func seeded(seed int64) *rand.Rand {
+	// The sanctioned pattern: construct from the run's seed.
+	return rand.New(rand.NewSource(seed))
+}
+
+func methodsAreFine(rng *rand.Rand) int {
+	return rng.Intn(10) + int(rng.Int63n(5))
+}
+
+func allowed() int {
+	return rand.Intn(10) //simlint:allow seededrand doc example; output never asserted
+}

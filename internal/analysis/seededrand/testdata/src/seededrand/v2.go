@@ -1,0 +1,11 @@
+package seededrand
+
+import randv2 "math/rand/v2"
+
+func v2Bad() int {
+	return randv2.IntN(10) // want `global math/rand/v2\.IntN`
+}
+
+func v2Methods(rng *randv2.Rand) uint64 {
+	return rng.Uint64()
+}

@@ -1,0 +1,47 @@
+// Package simproc forbids raw goroutines outside the simulation engine.
+//
+// Invariant protected: exactly one simulated process executes at any
+// virtual instant, and the engine interleaves processes in a deterministic
+// (timestamp, sequence) order. A raw `go` statement anywhere else
+// introduces OS-scheduler interleaving that the engine cannot order, so
+// two runs with the same seed may diverge — silently corrupting schedule
+// digests, replayed crash prefixes, and every "same seed, same result"
+// test in the tree. Concurrency in simulated components must be expressed
+// as engine processes (sim.Engine.Go), which are ordinary goroutines
+// *driven* by the engine's handoff protocol.
+//
+// internal/sim itself is exempt: it owns the handoff protocol and is the
+// one place a raw goroutine is part of the design. Anything else needs an
+// audited //simlint:allow simproc <reason> directive.
+package simproc
+
+import (
+	"go/ast"
+
+	"durassd/internal/analysis"
+)
+
+// ExemptPaths are the packages allowed to start raw goroutines.
+var ExemptPaths = map[string]bool{"durassd/internal/sim": true}
+
+// Analyzer is the simproc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simproc",
+	Doc:  "forbid raw go statements outside internal/sim; simulated concurrency must go through engine processes so replay stays deterministic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if ExemptPaths[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "raw go statement outside internal/sim: OS-scheduled goroutines break deterministic replay; use sim.Engine.Go to start an engine process")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+// Package sim is analyzer testdata standing in for the real engine
+// package: internal/sim owns the process handoff protocol and is the one
+// place a raw goroutine is part of the design.
+package sim
+
+func resume() {
+	go func() {}()
+}

@@ -1,0 +1,23 @@
+// Package simproc is analyzer testdata: raw goroutines outside
+// internal/sim break deterministic replay and must be flagged.
+package simproc
+
+func bad() {
+	go func() {}() // want `raw go statement outside internal/sim`
+}
+
+func badNamed() {
+	go worker() // want `raw go statement outside internal/sim`
+}
+
+func worker() {}
+
+func closuresWithoutGoAreFine() {
+	f := func() {}
+	f()
+	defer f()
+}
+
+func allowed() {
+	go worker() //simlint:allow simproc audited: drains a host-side channel, never touches sim state
+}

@@ -1,0 +1,38 @@
+package crashpoint
+
+import "durassd/internal/faults"
+
+// Matrix returns the canonical exploration campaign set that
+// `crashtest -explore` runs: both engines crossed with the three host
+// configurations the paper contrasts — DuraSSD in the fast configuration
+// (barriers off, torn-page protection off), the volatile-cache SSD-A in
+// the same fast configuration (where it must fail), and SSD-A in the
+// safe-but-slow configuration (where software protection saves it).
+//
+// Keeping the matrix here, rather than inlined in cmd/crashtest, lets the
+// determinism regression test replay the exact same campaign set twice and
+// assert the full digest set is byte-identical.
+func Matrix(points, updates int, seed int64) []Campaign {
+	var out []Campaign
+	for _, eng := range []faults.EngineKind{faults.EngineInnoDB, faults.EnginePgSQL} {
+		for _, cell := range []struct {
+			dev              faults.DeviceKind
+			barrier, protect bool
+		}{
+			{faults.DuraSSD, false, false},
+			{faults.SSDA, false, false},
+			{faults.SSDA, true, true},
+		} {
+			out = append(out, Campaign{
+				Scenario: faults.Scenario{
+					Device: cell.dev, Engine: eng,
+					Barrier: cell.barrier, DoubleWrite: cell.protect,
+					Clients: 4, Updates: updates, Seed: seed,
+				},
+				MaxPoints: points,
+				DumpTears: 2,
+			})
+		}
+	}
+	return out
+}

@@ -1,9 +1,11 @@
 package repro
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 
 	"durassd/internal/stats"
@@ -73,6 +75,18 @@ func (r *JSONReport) AddMetric(key string, value float64) {
 		r.Metrics = make(map[string]float64)
 	}
 	r.Metrics[key] = value
+}
+
+// SortedKeys returns m's keys in sorted order. Report assembly iterates
+// result maps through it so that metric insertion order is deterministic
+// (simlint's maporder analyzer enforces this at the call sites).
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // AddMetricMap records every entry of m under prefix/key.
