@@ -133,7 +133,7 @@ func randomCampaign(trials int, seed int64) []string {
 func exploreCampaign(points, updates int, seed int64) []string {
 	var failures []string
 	tbl := stats.NewTable("Systematic crash-point exploration (engine × device × config)",
-		"Config", "Points", "AfterAck", "MidProg", "MidDump", "Lost", "Torn", "Unsafe", "Digest")
+		"Config", "Points", "AfterAck", "MidProg", "MidDump", "MidMigr", "Lost", "Torn", "Unsafe", "Digest")
 	for _, c := range crashpoint.Matrix(points, updates, seed) {
 		res, err := crashpoint.Explore(c)
 		if err != nil {
@@ -143,6 +143,7 @@ func exploreCampaign(points, updates int, seed int64) []string {
 		counts := res.KindCounts()
 		tbl.AddRow(c.Scenario.Name(), len(res.Points),
 			counts[crashpoint.AfterAck], counts[crashpoint.MidProgram], counts[crashpoint.MidDump],
+			counts[crashpoint.MidMigration],
 			res.Lost, res.Torn, res.Unsafe, res.Digest[:12])
 		for _, o := range res.Outcomes {
 			if o.Verdict.Err != nil {

@@ -9,8 +9,10 @@
 // -table 0 (default) runs both. Larger -scale shrinks device capacity and
 // speeds the run; -ops sets operations per table cell. -volume sweeps
 // multi-device volume geometries (striped / mirrored arrays) and reports
-// the scaling each device's cache discipline allows. -json writes the
-// results as a machine-readable report ("-" for stdout).
+// the scaling each device's cache discipline allows. -media sweeps NAND
+// retention error rates with scrubbing on/off and counts uncorrectable host
+// reads. -json writes the results as a machine-readable report ("-" for
+// stdout).
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	tail := flag.Bool("tail", false, "also measure read-latency percentiles under mixed load with and without barriers")
 	breakdown := flag.Bool("breakdown", false, "trace requests and print the per-layer latency breakdown and per-origin traffic")
 	volume := flag.Bool("volume", false, "sweep striped/mirrored volume geometries (4KB random-write IOPS vs single drive)")
+	media := flag.Bool("media", false, "sweep retention error rates × scrubbing and count uncorrectable host reads")
 	jsonPath := flag.String("json", "", "write results as a JSON report to this path (\"-\" = stdout)")
 	flag.Parse()
 
@@ -106,6 +109,16 @@ func main() {
 		fmt.Fprintln(os.Stdout, res.Table)
 		rep.AddTable(res.Table)
 		rep.AddMetricMap("volume", res.IOPS)
+	}
+	if *media {
+		res, err := repro.MediaSweep(repro.MediaSweepConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			log.Fatalf("media sweep: %v", err)
+		}
+		fmt.Fprintln(os.Stdout, res.Table)
+		rep.AddTable(res.Table)
+		rep.AddMetricMap("media/uncorrectable", res.Uncorrectable)
+		rep.AddMetricMap("media/refreshes", res.Refreshes)
 	}
 	if *jsonPath != "" {
 		if err := rep.WriteFile(*jsonPath); err != nil {

@@ -115,8 +115,9 @@ type Controller struct {
 	space    *sim.Queue // writers stalled on a full cache
 	drained  *sim.Queue // flush-cache commands wait here
 
-	dead   bool
-	closed bool
+	dead     bool
+	closed   bool
+	readOnly bool // FTL degraded: writes fail typed, reads keep working
 
 	reg   *iotrace.Registry
 	stats *storage.Stats
@@ -155,6 +156,25 @@ func NewController(f *ftl.FTL, cfg Config, reg *iotrace.Registry) *Controller {
 // Durable reports whether the cache is capacitor-backed.
 func (c *Controller) Durable() bool { return c.cfg.Durable }
 
+// ReadOnly reports whether the device degraded to read-only (FTL reserve
+// pool exhausted by bad-block retirement).
+func (c *Controller) ReadOnly() bool { return c.readOnly }
+
+// DropClean evicts lpn's frame if it is resident and clean, so the next
+// read is served from flash. Returns false while the frame is dirty or
+// busy (dropping it would lose acknowledged data). Fault-injection hook.
+func (c *Controller) DropClean(lpn storage.LPN) bool {
+	fr, ok := c.frames[lpn]
+	if !ok {
+		return true
+	}
+	if fr.state != frameClean || fr.redirty {
+		return false
+	}
+	delete(c.frames, lpn)
+	return true
+}
+
 // DirtySlots returns the number of slots awaiting write-back (queued or in
 // flight).
 func (c *Controller) DirtySlots() int { return c.queued + c.inFlush }
@@ -170,6 +190,9 @@ func (c *Controller) Write(p *sim.Proc, req iotrace.Req, slots []ftl.SlotWrite) 
 	if c.dead {
 		return ErrCacheDead
 	}
+	if c.readOnly {
+		return storage.ErrReadOnly
+	}
 	if len(slots) > c.cfg.Frames {
 		return ErrCommandTooLarge
 	}
@@ -183,6 +206,9 @@ func (c *Controller) Write(p *sim.Proc, req iotrace.Req, slots []ftl.SlotWrite) 
 	for {
 		if c.dead {
 			return ErrCacheDead
+		}
+		if c.readOnly {
+			return storage.ErrReadOnly
 		}
 		needNew = 0
 		for _, s := range slots {
@@ -201,6 +227,9 @@ func (c *Controller) Write(p *sim.Proc, req iotrace.Req, slots []ftl.SlotWrite) 
 	c.reserved -= needNew
 	if c.dead {
 		return ErrPowerDuringWrite
+	}
+	if c.readOnly {
+		return storage.ErrReadOnly // degraded mid-transfer: roll back
 	}
 	// Atomic staging: no virtual time passes below this line.
 	for _, s := range slots {
@@ -313,6 +342,11 @@ func (c *Controller) FlushCache(p *sim.Proc, req iotrace.Req) error {
 	// the epoch counter a steady writer stream would starve the flush.)
 	target := c.flushed + int64(c.queued+c.inFlush)
 	for c.flushed < target {
+		if c.readOnly {
+			// The flushers stopped; the remaining dirty frames cannot drain.
+			sp.End(p)
+			return storage.ErrReadOnly
+		}
 		c.drained.Wait(p)
 		if c.dead {
 			sp.End(p)
@@ -352,6 +386,18 @@ func (c *Controller) flushWorker(p *sim.Proc) {
 		err := c.f.Program(p, req, slots)
 		req.Finish(p)
 		c.completeBatch(batch, err == nil)
+		if errors.Is(err, storage.ErrReadOnly) {
+			// FTL degraded to read-only: writes are over, but the device is
+			// not dead — reads (cache hits and flash) keep working. Wake
+			// everyone stalled on flusher progress so they fail typed.
+			if !c.readOnly {
+				c.readOnly = true
+				c.hasDirty.WakeAll()
+				c.space.WakeAll()
+				c.drained.WakeAll()
+			}
+			return
+		}
 		if err != nil {
 			// Power failure or a fatal FTL error (e.g. out of space). Mark
 			// the controller dead so stalled writers fail instead of

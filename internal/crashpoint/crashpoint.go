@@ -48,6 +48,10 @@ const (
 	// MidDump lets the workload cut land normally, then tears the Nth
 	// capacitor-powered dump program — power dying mid-dump-block.
 	MidDump
+	// MidMigration cuts power midway through a bad-block retirement's
+	// live-data migration (WearOut scenarios): the block is half-evacuated
+	// and not yet retired when the supply dies.
+	MidMigration
 	numKinds
 )
 
@@ -64,6 +68,8 @@ func (k Kind) String() string {
 		return "mid-erase"
 	case MidDump:
 		return "mid-dump"
+	case MidMigration:
+		return "mid-migration"
 	}
 	return "unknown"
 }
@@ -225,6 +231,7 @@ func derivePoints(events []event, progLat, eraseLat time.Duration) ([]Point, tim
 	var pts []Point
 	var lastAck time.Duration
 	flushStart := make(map[int]time.Duration)
+	retireStart := make(map[int]time.Duration)
 	for _, ev := range events {
 		switch ev.kind {
 		case iotrace.EvWriteAck:
@@ -246,6 +253,13 @@ func derivePoints(events []event, progLat, eraseLat time.Duration) ([]Point, tim
 			if st, ok := flushStart[ev.member]; ok && ev.at > st {
 				pts = append(pts, Point{Kind: InFlushDrain, At: st + (ev.at-st)/2})
 				delete(flushStart, ev.member)
+			}
+		case iotrace.EvRetireStart:
+			retireStart[ev.member] = ev.at
+		case iotrace.EvRetireEnd:
+			if st, ok := retireStart[ev.member]; ok && ev.at > st {
+				pts = append(pts, Point{Kind: MidMigration, At: st + (ev.at-st)/2})
+				delete(retireStart, ev.member)
 			}
 		}
 	}

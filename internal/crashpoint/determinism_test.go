@@ -36,7 +36,7 @@ func TestMatrixDigestSetDeterminism(t *testing.T) {
 	if first != second {
 		t.Fatalf("explore matrix diverged between identical-seed runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
 	}
-	if !strings.Contains(first, " ") || strings.Count(first, "\n") != 6 {
+	if !strings.Contains(first, " ") || strings.Count(first, "\n") != 8 {
 		t.Fatalf("unexpected digest-set shape:\n%s", first)
 	}
 }

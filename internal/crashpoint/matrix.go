@@ -7,7 +7,9 @@ import "durassd/internal/faults"
 // configurations the paper contrasts — DuraSSD in the fast configuration
 // (barriers off, torn-page protection off), the volatile-cache SSD-A in
 // the same fast configuration (where it must fail), and SSD-A in the
-// safe-but-slow configuration (where software protection saves it).
+// safe-but-slow configuration (where software protection saves it) — plus
+// a wear-out cell: DuraSSD in the fast configuration with bad-block
+// retirement armed, so the exploration also cuts power mid-migration.
 //
 // Keeping the matrix here, rather than inlined in cmd/crashtest, lets the
 // determinism regression test replay the exact same campaign set twice and
@@ -18,16 +20,19 @@ func Matrix(points, updates int, seed int64) []Campaign {
 		for _, cell := range []struct {
 			dev              faults.DeviceKind
 			barrier, protect bool
+			wear             bool
 		}{
-			{faults.DuraSSD, false, false},
-			{faults.SSDA, false, false},
-			{faults.SSDA, true, true},
+			{faults.DuraSSD, false, false, false},
+			{faults.SSDA, false, false, false},
+			{faults.SSDA, true, true, false},
+			{faults.DuraSSD, false, false, true},
 		} {
 			out = append(out, Campaign{
 				Scenario: faults.Scenario{
 					Device: cell.dev, Engine: eng,
 					Barrier: cell.barrier, DoubleWrite: cell.protect,
 					Clients: 4, Updates: updates, Seed: seed,
+					WearOut: cell.wear,
 				},
 				MaxPoints: points,
 				DumpTears: 2,

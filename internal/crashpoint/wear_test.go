@@ -1,0 +1,36 @@
+package crashpoint
+
+import (
+	"testing"
+
+	"durassd/internal/faults"
+)
+
+// TestWearOutMidMigration asserts the wear-out campaign cell actually
+// exercises the new crash-point family: the armed stuck-bit damage is
+// discovered by the scrubber, retirement migrates the block's live data,
+// and the explorer derives at least one mid-migration cut from the
+// recorded retire window. Every cut — including the ones landing inside
+// the migration — must audit safe on DuraSSD: a half-evacuated block is
+// simply re-discovered and retried after reboot, never a durability loss.
+func TestWearOutMidMigration(t *testing.T) {
+	c := Campaign{
+		Scenario: faults.Scenario{
+			Device: faults.DuraSSD, Engine: faults.EngineInnoDB,
+			Clients: 4, Updates: 60, Seed: 11, WearOut: true,
+		},
+		MaxPoints: 3, DumpTears: 2,
+	}
+	res, err := Explore(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.KindCounts()
+	if counts[MidMigration] == 0 {
+		t.Errorf("no mid-migration crash points derived (counts=%v)", counts)
+	}
+	if res.Unsafe != 0 {
+		t.Errorf("wear campaign should stay safe on DuraSSD: unsafe=%d lost=%d torn=%d",
+			res.Unsafe, res.Lost, res.Torn)
+	}
+}

@@ -71,6 +71,13 @@ type Scenario struct {
 	Updates     int           // updates attempted before/while power fails
 	CutAfter    time.Duration // power-cut instant; 0 = random in [1ms, 30ms]
 	Seed        int64
+	// WearOut arms the media wear-out story: the device gets a bad-block
+	// reserve pool and a patrol scrubber, a cold filler region is preloaded
+	// outside the database footprint, and mid-workload one filler page is
+	// hit with uncorrectable damage. The scrubber discovers it and retires
+	// the block, migrating its live data — so the schedule contains a
+	// retirement window for crash-point exploration to cut into.
+	WearOut bool
 }
 
 func (s *Scenario) defaults() {
@@ -111,6 +118,9 @@ func (s Scenario) Name() string {
 	}
 	if s.Engine != "" && s.Engine != EngineInnoDB {
 		dev = fmt.Sprintf("%s %s", dev, s.Engine)
+	}
+	if s.WearOut {
+		dev += " wear"
 	}
 	return fmt.Sprintf("%s barrier=%s %s=%s", dev, b, prot, d)
 }
@@ -180,9 +190,20 @@ func RunWith(s Scenario, o Options) (*Verdict, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.WearOut {
+		// Bad-block handling armed: a small reserve pool and a patrol
+		// scrubber aggressive enough to find planted damage mid-campaign.
+		prof.FTL.ReserveBlocks = 2
+		prof.FTL.ScrubInterval = 5 * time.Millisecond
+	}
 	dev, err := buildDevice(eng, prof, s)
 	if err != nil {
 		return nil, err
+	}
+	if s.WearOut {
+		if err := armWearOut(eng, dev); err != nil {
+			return nil, err
+		}
 	}
 	members := memberDevices(dev)
 	for i, m := range members {
@@ -300,6 +321,35 @@ func RunWith(s Scenario, o Options) (*Verdict, error) {
 		return v, nil
 	}
 	return v, nil
+}
+
+const (
+	// wearFillerSlots is the size of the cold filler region preloaded at the
+	// top of the address space for WearOut scenarios — far above the
+	// database files, so the damaged page is never part of the commit audit.
+	wearFillerSlots = 64
+	// wearInjectAt is the virtual instant the stuck damage is planted.
+	wearInjectAt = 2 * time.Millisecond
+)
+
+// armWearOut preloads the filler region and schedules the mid-workload
+// damage injection on it. The scrubber (enabled via the profile) finds the
+// unreadable page on patrol and retires its block, so retirement and its
+// live-data migration happen during the recorded schedule.
+func armWearOut(eng *sim.Engine, dev storage.Device) error {
+	pl, okPl := dev.(interface {
+		PreloadPages(lpn storage.LPN, n int64, data []byte) error
+	})
+	mf, okMf := dev.(storage.MediaFaulter)
+	if !okPl || !okMf {
+		return fmt.Errorf("faults: device does not support wear-out arming")
+	}
+	base := storage.LPN(dev.Pages() - wearFillerSlots)
+	if err := pl.PreloadPages(base, wearFillerSlots, nil); err != nil {
+		return fmt.Errorf("faults: wear filler preload: %w", err)
+	}
+	eng.Schedule(wearInjectAt, func() { mf.InjectReadErrors(base+3, 1000) })
+	return nil
 }
 
 // buildDevice assembles the device under test: a single drive, or a volume

@@ -13,6 +13,7 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"durassd/internal/iotrace"
 	"durassd/internal/nand"
@@ -62,6 +63,32 @@ type Config struct {
 	// corruption to the host. DuraSSD uses lazy mapping (false): a torn
 	// page is never referenced, and the durable cache replays the write.
 	EagerMapping bool
+
+	// Media-error handling knobs (see media.go). All zeros = legacy
+	// behavior: no retries, no refresh, no retirement, no scrubbing.
+
+	// ReadRetries bounds the read-retry attempts after an uncorrectable
+	// first read. Each retry re-reads with a shifted reference voltage.
+	ReadRetries int
+	// RetryBackoff is the extra wait before retry attempt k (charged
+	// k × RetryBackoff: a bounded linear backoff).
+	RetryBackoff time.Duration
+	// RefreshThreshold rewrites a page to a fresh location when a read had
+	// to correct at least this many bits (0 disables).
+	RefreshThreshold int
+	// ReserveBlocks withholds this many blocks per plane as the bad-block
+	// reserve pool. Retired blocks (wear-out or uncorrectable pages) are
+	// replaced from the reserve; when it runs dry the device degrades to
+	// read-only instead of risking data loss. Zero disables retirement.
+	ReserveBlocks int
+	// EnduranceLimit retires a block once its erase count reaches this
+	// value (checked at GC erase time; 0 = unlimited endurance).
+	EnduranceLimit int64
+	// ScrubInterval enables the background scrubber: a patrol pass over
+	// pages older than the interval runs at most once per interval,
+	// refreshing high-error pages before they decay past the ECC limit.
+	// Zero disables the scrubber.
+	ScrubInterval time.Duration
 }
 
 // DefaultConfig returns the paper's configuration: 4 KB mapping units over
@@ -104,6 +131,12 @@ type FTL struct {
 	gcLocks []*sim.Resource // per-plane GC locks (concurrent GC across planes)
 	bgWake  *sim.Queue      // background collector wakeup (nil when disabled)
 
+	reserve   [][]int       // per-plane bad-block reserve pool
+	retired   map[int]bool  // blocks removed from service (wear / media damage)
+	readOnly  bool          // reserve pool exhausted: degraded to read-only
+	scrubWake *sim.Queue    // scrubber wakeup (nil when disabled)
+	lastScrub time.Duration // virtual time the last patrol pass started
+
 	reg   *iotrace.Registry
 	stats *storage.Stats
 }
@@ -125,6 +158,10 @@ func New(a *nand.Array, cfg Config, reg *iotrace.Registry) (*FTL, error) {
 	if cfg.DumpBlocks >= planes*(ncfg.BlocksPerPlane-cfg.GCThresholdBlocks-1) {
 		return nil, fmt.Errorf("ftl: DumpBlocks %d leaves no usable space", cfg.DumpBlocks)
 	}
+	if cfg.ReserveBlocks < 0 ||
+		(cfg.ReserveBlocks > 0 && cfg.DumpBlocks/planes+cfg.ReserveBlocks >= ncfg.BlocksPerPlane-cfg.GCThresholdBlocks-1) {
+		return nil, fmt.Errorf("ftl: ReserveBlocks %d leaves no usable space", cfg.ReserveBlocks)
+	}
 	if reg == nil {
 		reg = iotrace.NewRegistry()
 	}
@@ -136,6 +173,8 @@ func New(a *nand.Array, cfg Config, reg *iotrace.Registry) (*FTL, error) {
 		active:     make([]int, planes),
 		writePtr:   make([]int, planes),
 		dumpSet:    make(map[int]bool),
+		reserve:    make([][]int, planes),
+		retired:    make(map[int]bool),
 		reg:        reg,
 		stats:      reg.Stats(),
 	}
@@ -159,7 +198,16 @@ func New(a *nand.Array, cfg Config, reg *iotrace.Registry) (*FTL, error) {
 		f.dumpBlocks = append(f.dumpBlocks, blk)
 		f.dumpSet[blk] = true
 	}
-	totalSlots := (int64(ncfg.Blocks()) - int64(cfg.DumpBlocks)) *
+	// Carve the bad-block reserve pool from each plane's free tail. Reserve
+	// blocks are invisible to allocation and GC until a retirement promotes
+	// them into the plane's free list.
+	for pl := 0; pl < planes && cfg.ReserveBlocks > 0; pl++ {
+		free := f.planeFree[pl]
+		n := len(free) - cfg.ReserveBlocks
+		f.reserve[pl] = append([]int(nil), free[n:]...)
+		f.planeFree[pl] = free[:n]
+	}
+	totalSlots := (int64(ncfg.Blocks()) - int64(cfg.DumpBlocks) - int64(planes*cfg.ReserveBlocks)) *
 		int64(ncfg.PagesPerBlock) * int64(cfg.SlotsPerPage)
 	f.logicalSlots = totalSlots * int64(100-cfg.OverProvisionPct) / 100
 	f.mapTab = make([]SPN, f.logicalSlots)
@@ -235,12 +283,18 @@ func (f *FTL) ReadSlot(p *sim.Proc, req iotrace.Req, lpn storage.LPN, buf []byte
 	if buf != nil {
 		page = make([]byte, f.a.Config().PageSize)
 	}
-	if err := f.a.ReadPage(p, req, ppn, page); err != nil {
+	info, err := f.readPagePhys(p, req, ppn, page)
+	if err != nil {
+		if errors.Is(err, storage.ErrUncorrectable) {
+			f.stats.UncorrectableReads++
+			f.noteUncorrectable(p, req, ppn)
+		}
 		return err
 	}
 	if buf != nil {
 		copy(buf, page[sub*f.SlotSize():(sub+1)*f.SlotSize()])
 	}
+	f.maybeRefresh(p, req, ppn, info)
 	return nil
 }
 
@@ -254,6 +308,7 @@ func (f *FTL) ReadSlots(p *sim.Proc, req iotrace.Req, lpns []storage.LPN, buf []
 	type pending struct {
 		ppn  nand.PPN
 		idxs []int // positions in lpns served by this physical page
+		subs []int // sub-slot per position, captured before any relocation
 	}
 	var reads []pending
 	byPPN := make(map[nand.PPN]int)
@@ -276,30 +331,49 @@ func (f *FTL) ReadSlots(p *sim.Proc, req iotrace.Req, lpns []storage.LPN, buf []
 			reads = append(reads, pending{ppn: ppn})
 		}
 		reads[j].idxs = append(reads[j].idxs, i)
+		reads[j].subs = append(reads[j].subs, int(spn%SPN(f.cfg.SlotsPerPage)))
 	}
+	// Refreshes are deferred past the copy loop: a refresh relocates
+	// mappings and can trigger GC, which must not move or erase pages the
+	// remaining pending reads still reference.
+	var refresh []nand.PPN
 	for _, r := range reads {
 		var page []byte
 		if buf != nil {
 			page = make([]byte, f.a.Config().PageSize)
 		}
-		if err := f.a.ReadPage(p, req, r.ppn, page); err != nil {
+		info, err := f.readPagePhys(p, req, r.ppn, page)
+		if err != nil {
+			if errors.Is(err, storage.ErrUncorrectable) {
+				f.stats.UncorrectableReads++
+				f.noteUncorrectable(p, req, r.ppn)
+			}
 			return err
 		}
 		if buf != nil {
-			for _, i := range r.idxs {
-				spn := f.mapTab[lpns[i]]
-				sub := int(spn % SPN(f.cfg.SlotsPerPage))
+			for k, i := range r.idxs {
+				sub := r.subs[k]
 				copy(buf[i*ss:(i+1)*ss], page[sub*ss:(sub+1)*ss])
 			}
 		}
+		if f.cfg.RefreshThreshold > 0 && info.CorrectedBits >= f.cfg.RefreshThreshold {
+			refresh = append(refresh, r.ppn)
+		}
+	}
+	for _, ppn := range refresh {
+		f.refreshBestEffort(p, req, ppn)
 	}
 	return nil
 }
 
 // Program writes up to SlotsPerPage logical slots as a single NAND program,
 // running garbage collection first if the target plane is low on space.
-// Duplicate LPNs within one call are not allowed.
+// Duplicate LPNs within one call are not allowed. A device degraded to
+// read-only (bad-block reserve exhausted) fails with storage.ErrReadOnly.
 func (f *FTL) Program(p *sim.Proc, req iotrace.Req, slots []SlotWrite) error {
+	if f.readOnly {
+		return storage.ErrReadOnly
+	}
 	return f.program(p, req, slots, false)
 }
 
@@ -456,11 +530,14 @@ func (f *FTL) StartBackgroundGC() {
 	f.a.Engine().Go("bg-gc", f.backgroundGC)
 }
 
-// NotifyIdle wakes the background collector (devices call it when their
-// write queues drain).
+// NotifyIdle wakes the background collector and the media scrubber
+// (devices call it when their write queues drain).
 func (f *FTL) NotifyIdle() {
 	if f.bgWake != nil {
 		f.bgWake.WakeOne()
+	}
+	if f.scrubWake != nil {
+		f.scrubWake.WakeOne()
 	}
 }
 
@@ -495,6 +572,9 @@ func (f *FTL) backgroundGC(p *sim.Proc) {
 // planes collect in parallel.
 func (f *FTL) ensureFree(p *sim.Proc, req iotrace.Req, pl int) error {
 	for len(f.planeFree[pl]) < f.cfg.GCThresholdBlocks {
+		if f.readOnly {
+			return storage.ErrReadOnly
+		}
 		f.gcLocks[pl].Acquire(p, 1)
 		var err error
 		if len(f.planeFree[pl]) < f.cfg.GCThresholdBlocks { // recheck under lock
@@ -524,7 +604,7 @@ func (f *FTL) gcOnce(p *sim.Proc, req iotrace.Req, pl int) error {
 	victim, victimValid := -1, int(^uint(0)>>1)
 	for b := 0; b < ncfg.BlocksPerPlane; b++ {
 		blk := f.a.BlockOfPlane(pl, b)
-		if blk == f.active[pl] || f.dumpSet[blk] || f.isFree(pl, blk) {
+		if blk == f.active[pl] || f.dumpSet[blk] || f.retired[blk] || f.isFree(pl, blk) || f.inReserve(pl, blk) {
 			continue
 		}
 		if f.validCount[blk] < victimValid {
@@ -541,30 +621,25 @@ func (f *FTL) gcOnce(p *sim.Proc, req iotrace.Req, pl int) error {
 		return ErrNoSpace // no reclaimable space anywhere in this plane
 	}
 
+	// Will the erase at the end push this block past its endurance limit?
+	// If so, the relocation below is the retirement's live-data migration:
+	// bracket it with retire events so the crash-point explorer can cut
+	// power mid-migration.
+	willRetire := f.cfg.ReserveBlocks > 0 && f.cfg.EnduranceLimit > 0 &&
+		f.a.EraseCount(victim)+1 >= f.cfg.EnduranceLimit
+	if willRetire {
+		f.reg.Emit(iotrace.EvRetireStart, f.a.Engine().Now())
+	}
+
 	// Relocate live slots, pairing them into full pages.
 	var batch []SlotWrite
 	ss := f.SlotSize()
 	first := f.a.PageOfBlock(victim)
 	for i := 0; i < ncfg.PagesPerBlock; i++ {
 		ppn := first + nand.PPN(i)
-		if f.a.State(ppn) != nand.PageValid {
-			continue
-		}
-		meta := f.a.Meta(ppn)
-		if meta == nil {
-			continue
-		}
-		var live []int
-		for si, tag := range meta.Slots {
-			if tag.LPN == nand.InvalidLPN {
-				continue
-			}
-			// Torn slots that are still mapped must be relocated as-is:
-			// the host sees the garbage until it rewrites the page.
-			if spn, ok := f.spnOf(tag.LPN); ok && spn == SPN(uint64(ppn)*uint64(f.cfg.SlotsPerPage)+uint64(si)) {
-				live = append(live, si)
-			}
-		}
+		// Torn slots that are still mapped must be relocated as-is:
+		// the host sees the garbage until it rewrites the page.
+		live := f.liveSubs(ppn)
 		if len(live) == 0 {
 			continue
 		}
@@ -572,7 +647,20 @@ func (f *FTL) gcOnce(p *sim.Proc, req iotrace.Req, pl int) error {
 		if f.a.Data(ppn) != nil {
 			page = make([]byte, ncfg.PageSize)
 		}
-		if err := f.a.ReadPage(p, req, ppn, page); err != nil {
+		if _, err := f.readPagePhys(p, req, ppn, page); err != nil {
+			if errors.Is(err, storage.ErrUncorrectable) {
+				// The victim holds an unreadable page: erasing it would turn
+				// a typed media error into silent data loss. Retire it in
+				// place — already-relocated slots stay relocated, unreadable
+				// slots stay mapped here so host reads keep failing typed
+				// until the host rewrites them.
+				if !willRetire {
+					f.reg.Emit(iotrace.EvRetireStart, f.a.Engine().Now())
+				}
+				f.retireBlock(pl, victim)
+				f.reg.Emit(iotrace.EvRetireEnd, f.a.Engine().Now())
+				return nil
+			}
 			return err
 		}
 		for _, si := range live {
@@ -598,8 +686,27 @@ func (f *FTL) gcOnce(p *sim.Proc, req iotrace.Req, pl int) error {
 		return err
 	}
 	f.validCount[victim] = 0
-	f.planeFree[pl] = append(f.planeFree[pl], victim)
+	if willRetire {
+		f.retireBlock(pl, victim)
+		f.reg.Emit(iotrace.EvRetireEnd, f.a.Engine().Now())
+	} else {
+		f.planeFree[pl] = append(f.planeFree[pl], victim)
+	}
 	return nil
+}
+
+// inReserve reports whether blk is parked in the plane's bad-block
+// reserve pool. Reserve blocks are invisible to GC and allocation until a
+// retirement promotes them; erasing one as a zero-valid "victim" would put
+// it in the free list while it still sits in the pool, and a later
+// promotion would then hand the same block out twice.
+func (f *FTL) inReserve(pl, blk int) bool {
+	for _, b := range f.reserve[pl] {
+		if b == blk {
+			return true
+		}
+	}
+	return false
 }
 
 func (f *FTL) isFree(pl, blk int) bool {
@@ -618,6 +725,9 @@ func (f *FTL) isFree(pl, blk int) bool {
 func (f *FTL) FlushMapJournal(p *sim.Proc, req iotrace.Req) error {
 	if f.dirtyMapEntries == 0 {
 		return nil
+	}
+	if f.readOnly {
+		return storage.ErrReadOnly
 	}
 	sp := req.Begin(p, iotrace.LayerFTL)
 	defer sp.End(p)

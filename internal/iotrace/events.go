@@ -10,11 +10,13 @@ type EventKind uint8
 
 // Device events observable by a crash-point recorder.
 const (
-	EvWriteAck   EventKind = iota // host write command acknowledged
-	EvFlushStart                  // flush-cache command admitted; drain begins
-	EvFlushEnd                    // flush-cache command completed
-	EvProgram                     // NAND cell-program window opened
-	EvErase                       // NAND block-erase window opened
+	EvWriteAck    EventKind = iota // host write command acknowledged
+	EvFlushStart                   // flush-cache command admitted; drain begins
+	EvFlushEnd                     // flush-cache command completed
+	EvProgram                      // NAND cell-program window opened
+	EvErase                        // NAND block-erase window opened
+	EvRetireStart                  // bad-block retirement: live-data migration begins
+	EvRetireEnd                    // bad-block retirement: block moved to retired set
 	NumEvents
 )
 
@@ -31,6 +33,10 @@ func (k EventKind) String() string {
 		return "program"
 	case EvErase:
 		return "erase"
+	case EvRetireStart:
+		return "retire-start"
+	case EvRetireEnd:
+		return "retire-end"
 	}
 	return "unknown"
 }

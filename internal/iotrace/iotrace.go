@@ -40,10 +40,11 @@ const (
 	OpWriteback           // background cache write-back (flusher, HDD drain)
 	OpGC                  // background garbage collection
 	OpRecovery            // reboot-time device recovery
+	OpScrub               // background media scrub patrol
 	NumOps
 )
 
-var opNames = [NumOps]string{"read", "write", "flush", "writeback", "gc", "recovery"}
+var opNames = [NumOps]string{"read", "write", "flush", "writeback", "gc", "recovery", "scrub"}
 
 func (o Op) String() string {
 	if int(o) < len(opNames) {

@@ -148,10 +148,13 @@ func TestTracingTogglePerRequest(t *testing.T) {
 func TestNamedCounters(t *testing.T) {
 	reg := NewRegistry()
 	names := reg.CounterNames()
-	if len(names) != 19 {
+	if len(names) != 28 {
 		t.Fatalf("%d counter names", len(names))
 	}
 	c := reg.Counter("nand_programs")
+	if reg.Counter("scrub_passes") == nil {
+		t.Fatal("scrub_passes not registered")
+	}
 	if c == nil {
 		t.Fatal("nand_programs not registered")
 	}

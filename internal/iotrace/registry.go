@@ -36,6 +36,16 @@ type Stats struct {
 
 	DumpRetries       int64 // dump programs retried after a torn dump page
 	InterruptedErases int64 // block erases interrupted by power failure
+
+	CorrectedBits       int64 // media bit errors corrected by ECC across all reads
+	ReadRetries         int64 // NAND read retries after an uncorrectable first attempt
+	UncorrectableReads  int64 // reads still uncorrectable after all retries
+	RefreshPrograms     int64 // pages rewritten because corrected bits hit the refresh threshold
+	RetiredBlocks       int64 // blocks moved to the retired set (wear-out or media failure)
+	ScrubPasses         int64 // completed scrubber patrol passes
+	ScrubReads          int64 // pages patrolled by the scrubber
+	DegradedTransitions int64 // device transitions to read-only (reserve pool exhausted)
+	ReadRepairs         int64 // mirror pages repaired from a healthy replica on read
 }
 
 // WriteAmplification returns NAND pages programmed per host page written.
@@ -108,6 +118,16 @@ func NewRegistry() *Registry {
 
 		"dump_retries":       &s.DumpRetries,
 		"interrupted_erases": &s.InterruptedErases,
+
+		"corrected_bits":       &s.CorrectedBits,
+		"read_retries":         &s.ReadRetries,
+		"uncorrectable_reads":  &s.UncorrectableReads,
+		"refresh_programs":     &s.RefreshPrograms,
+		"retired_blocks":       &s.RetiredBlocks,
+		"scrub_passes":         &s.ScrubPasses,
+		"scrub_reads":          &s.ScrubReads,
+		"degraded_transitions": &s.DegradedTransitions,
+		"read_repairs":         &s.ReadRepairs,
 	}
 	return r
 }

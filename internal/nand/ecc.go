@@ -1,0 +1,130 @@
+package nand
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// ECC codec: per-codeword SEC-DED Hamming parity with a whole-page CRC-32C
+// backstop, stored in the OOB metadata of every page programmed with real
+// bytes.
+//
+// Each page is split into 512-byte codewords. Per codeword the encoder
+// stores a 13-bit syndrome — the XOR of (bit position | synMark) over every
+// set bit — which corrects any single flipped bit and detects any even
+// number of flips. An odd number of flips ≥ 3 can alias a single-bit
+// correction (miscorrection); the page-level CRC catches that case, so the
+// decoder never returns wrong data as correct (the fuzz target
+// FuzzECCRoundTrip asserts exactly this property).
+
+const (
+	// eccCodewordBytes is the SEC-DED codeword granularity. Real devices
+	// protect 512-byte or 1-KB chunks; one syndrome per chunk bounds the
+	// correction capability per page to the number of codewords.
+	eccCodewordBytes = 512
+	// synMark is OR-ed into every position term so the syndrome of a single
+	// flipped bit is nonzero and distinguishable from an even-flip detect.
+	// It must exceed the largest bit position in a codeword (4095).
+	synMark = 0x1000
+)
+
+var (
+	eccCRC = crc32.MakeTable(crc32.Castagnoli)
+	// bitXOR[b] is the XOR of the indices (0..7) of the set bits of b;
+	// bitPar[b] is the parity of its popcount. Together they let cwSyndrome
+	// fold a whole byte into the syndrome with two table lookups.
+	bitXOR [256]uint16
+	bitPar [256]uint16
+)
+
+func init() {
+	for b := 1; b < 256; b++ {
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				bitXOR[b] ^= uint16(i)
+				bitPar[b] ^= 1
+			}
+		}
+	}
+}
+
+// eccCodewords returns the number of codewords covering a page of n bytes.
+func eccCodewords(n int) int {
+	return (n + eccCodewordBytes - 1) / eccCodewordBytes
+}
+
+// ECCSize returns the parity blob size for a page of n bytes: two syndrome
+// bytes per codeword plus the 4-byte page CRC.
+func ECCSize(n int) int { return 2*eccCodewords(n) + 4 }
+
+// cwSyndrome computes the codeword syndrome: the XOR of (p | synMark) over
+// every set bit position p. A single flipped bit at p changes the syndrome
+// by exactly (p | synMark).
+func cwSyndrome(cw []byte) uint16 {
+	var xp, pr uint16
+	for i, b := range cw {
+		if b == 0 {
+			continue
+		}
+		if bitPar[b] != 0 {
+			xp ^= uint16(i) << 3
+			pr ^= 1
+		}
+		xp ^= bitXOR[b]
+	}
+	if pr != 0 {
+		xp |= synMark
+	}
+	return xp
+}
+
+// ECCEncode computes the parity blob for a page image.
+func ECCEncode(page []byte) []byte {
+	n := eccCodewords(len(page))
+	out := make([]byte, 2*n+4)
+	for c := 0; c < n; c++ {
+		end := (c + 1) * eccCodewordBytes
+		if end > len(page) {
+			end = len(page)
+		}
+		binary.LittleEndian.PutUint16(out[2*c:], cwSyndrome(page[c*eccCodewordBytes:end]))
+	}
+	binary.LittleEndian.PutUint32(out[2*n:], crc32.Checksum(page, eccCRC))
+	return out
+}
+
+// ECCDecode verifies page against the parity blob, correcting single-bit
+// errors per codeword in place. It returns the number of bits corrected and
+// whether the page decoded cleanly; on ok=false the page contents are
+// undefined and must not be used.
+func ECCDecode(page, parity []byte) (corrected int, ok bool) {
+	n := eccCodewords(len(page))
+	if len(parity) != 2*n+4 {
+		return 0, false
+	}
+	for c := 0; c < n; c++ {
+		end := (c + 1) * eccCodewordBytes
+		if end > len(page) {
+			end = len(page)
+		}
+		cw := page[c*eccCodewordBytes : end]
+		d := binary.LittleEndian.Uint16(parity[2*c:]) ^ cwSyndrome(cw)
+		switch {
+		case d == 0:
+			// Codeword clean.
+		case d&synMark != 0:
+			pos := int(d &^ synMark)
+			if pos >= len(cw)*8 {
+				return 0, false // syndrome points outside the codeword: multi-bit damage
+			}
+			cw[pos>>3] ^= 1 << (pos & 7)
+			corrected++
+		default:
+			return 0, false // even number of flips: detected, uncorrectable
+		}
+	}
+	if crc32.Checksum(page, eccCRC) != binary.LittleEndian.Uint32(parity[2*n:]) {
+		return 0, false // miscorrection (≥3 aliased flips): CRC backstop
+	}
+	return corrected, true
+}

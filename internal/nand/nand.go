@@ -16,6 +16,7 @@ package nand
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"durassd/internal/iotrace"
@@ -44,6 +45,10 @@ type Config struct {
 	EraseLatency   time.Duration // block erase
 	ChannelMBps    int           // channel bus bandwidth, MiB/s
 	CmdOverhead    time.Duration // fixed per-operation channel occupancy
+
+	// Media parameterizes the bit-error model (retention, read disturb,
+	// wear scaling, ECC threshold). The zero value is ideal media.
+	Media MediaConfig
 }
 
 // EnterpriseConfig returns a geometry resembling the paper's 480 GB
@@ -119,6 +124,10 @@ type OOB struct {
 	Slots []SlotTag
 	Seq   uint64 // monotonically increasing program sequence number
 	Dump  bool   // page belongs to a power-failure dump, not the main map
+	// Parity is the ECC blob (per-codeword SEC-DED syndromes + page CRC)
+	// computed when the page was programmed with real bytes; nil for
+	// timing-only or torn pages.
+	Parity []byte
 }
 
 // InvalidLPN marks an unused OOB slot.
@@ -170,6 +179,14 @@ type Array struct {
 	faults       Faults
 	dumpPrograms int // instant programs issued since power-off detection
 
+	// Bit-error model state (see media.go).
+	media      MediaConfig
+	eccBits    int             // effective correction threshold per page
+	mediaRng   *rand.Rand      // seeded: stochastic rounding of error counts
+	progAt     []time.Duration // per-page last program time (retention age)
+	stuck      []int32         // per-page injected stuck bits (cleared by erase)
+	blockReads []int64         // per-block reads since erase (read disturb)
+
 	reg   *iotrace.Registry
 	stats *storage.Stats
 }
@@ -205,6 +222,7 @@ func New(eng *sim.Engine, cfg Config, reg *iotrace.Registry) (*Array, error) {
 	for i := range a.planes {
 		a.planes[i] = sim.NewResource(eng, 1)
 	}
+	a.initMedia(cfg.Media)
 	return a, nil
 }
 
@@ -267,12 +285,24 @@ func (a *Array) xferTime(bytes int) time.Duration {
 // ReadPage reads the physical page ppn, occupying its plane for the cell
 // read and its channel for the data transfer. If buf is non-nil the stored
 // bytes are copied into it (zero-filled when the page was timing-only).
+// Media bit errors within the ECC threshold are corrected transparently;
+// beyond it the read fails with storage.ErrUncorrectable.
 func (a *Array) ReadPage(p *sim.Proc, req iotrace.Req, ppn PPN, buf []byte) error {
+	_, err := a.ReadPageRetry(p, req, ppn, buf, 0)
+	return err
+}
+
+// ReadPageRetry is ReadPage with an explicit retry attempt number. Attempt
+// k > 0 models a read-retry with a shifted reference voltage: transient
+// (retention / read-disturb) errors halve per attempt, stuck bits do not.
+// On success the ReadInfo reports how many bit errors the ECC corrected.
+func (a *Array) ReadPageRetry(p *sim.Proc, req iotrace.Req, ppn PPN, buf []byte, attempt int) (ReadInfo, error) {
+	var info ReadInfo
 	if !a.powered {
-		return storage.ErrOffline
+		return info, storage.ErrOffline
 	}
 	if int64(ppn) >= a.cfg.Pages() {
-		return storage.ErrOutOfRange
+		return info, storage.ErrOutOfRange
 	}
 	sp := req.Begin(p, iotrace.LayerNAND)
 	defer sp.End(p)
@@ -282,19 +312,46 @@ func (a *Array) ReadPage(p *sim.Proc, req iotrace.Req, ppn PPN, buf []byte) erro
 	plane.Release(1)
 	a.channels[a.ChannelOf(ppn)].Use(p, a.xferTime(a.cfg.PageSize))
 	if !a.powered {
-		return storage.ErrPowerFail
+		return info, storage.ErrPowerFail
+	}
+	a.stats.NANDReads++
+	a.blockReads[a.BlockOf(ppn)]++
+	errBits := 0
+	if a.state[ppn] == PageValid {
+		errBits = a.errorBits(ppn, attempt)
+	}
+	if errBits > a.eccBits {
+		return info, storage.ErrUncorrectable
 	}
 	if buf != nil {
-		if d := a.data[ppn]; d != nil {
-			copy(buf, d)
-		} else {
+		d := a.data[ppn]
+		meta := a.oob[ppn]
+		switch {
+		case d == nil:
 			for i := range buf {
 				buf[i] = 0
 			}
+		case errBits > 0 && meta != nil && meta.Parity != nil:
+			// Real-bytes path: corrupt a copy of the stored image and run
+			// the actual codec, so the returned bytes demonstrably survive
+			// the modeled damage (not just the model's verdict).
+			img := append([]byte(nil), d...)
+			corruptPage(img, ppn, errBits, a.eccBits)
+			n, ok := ECCDecode(img, meta.Parity)
+			if !ok {
+				return info, storage.ErrUncorrectable
+			}
+			errBits = n
+			copy(buf, img)
+		default:
+			copy(buf, d)
 		}
 	}
-	a.stats.NANDReads++
-	return nil
+	if errBits > 0 {
+		info.CorrectedBits = errBits
+		a.stats.CorrectedBits += int64(errBits)
+	}
+	return info, nil
 }
 
 // ProgramPage programs ppn with the given OOB tags and optional data.
@@ -345,7 +402,9 @@ func (a *Array) commitProgram(ppn PPN, slots []SlotTag, data []byte, dump bool) 
 	a.oob[ppn] = meta
 	if data != nil {
 		a.data[ppn] = append([]byte(nil), data...)
+		meta.Parity = ECCEncode(data)
 	}
+	a.progAt[ppn] = a.eng.Now()
 	a.stats.NANDPrograms++
 }
 
@@ -420,7 +479,10 @@ func (a *Array) eraseNow(block int) {
 		a.state[ppn] = PageFree
 		delete(a.oob, ppn)
 		delete(a.data, ppn)
+		a.stuck[ppn] = 0
+		a.progAt[ppn] = 0
 	}
+	a.blockReads[block] = 0
 	a.erases[block]++
 	a.stats.NANDErases++
 }
@@ -452,6 +514,7 @@ func (a *Array) PowerFail() {
 		a.state[ppn] = PageValid
 		a.oob[ppn] = &OOB{Slots: torn, Seq: a.seq}
 		a.data[ppn] = tornImage(a.data[ppn], a.cfg.PageSize)
+		a.progAt[ppn] = a.eng.Now()
 		a.stats.TornPages++
 		delete(a.inflight, ppn)
 	}
@@ -464,6 +527,7 @@ func (a *Array) PowerFail() {
 				a.state[ppn] = PageValid
 				a.oob[ppn] = &OOB{Slots: []SlotTag{{LPN: InvalidLPN, Torn: true}}, Seq: a.seq}
 				a.data[ppn] = tornImage(a.data[ppn], a.cfg.PageSize)
+				a.progAt[ppn] = a.eng.Now()
 			}
 			a.stats.InterruptedErases++
 			delete(a.erasing, block)
@@ -489,6 +553,7 @@ func (a *Array) tearPage(ppn PPN, slots []SlotTag, data []byte, dump bool) {
 	a.state[ppn] = PageValid
 	a.oob[ppn] = &OOB{Slots: torn, Seq: a.seq, Dump: dump}
 	a.data[ppn] = tornImage(data, a.cfg.PageSize)
+	a.progAt[ppn] = a.eng.Now()
 	a.stats.TornPages++
 }
 

@@ -48,6 +48,14 @@ func DuraSSD(scale int) Profile {
 	ncfg := nand.EnterpriseConfig(scale)
 	fcfg := ftl.DefaultConfig(ncfg.PageSize)
 	fcfg.DumpBlocks = ncfg.Planes() // one pre-erased dump block per plane
+	// Media-error handling: retry reads a few times with growing backoff
+	// (read-retry reference-voltage shifts), and rewrite any page whose
+	// corrected-bit count reaches half the ECC budget. Both are inert on
+	// clean media; bad-block retirement and scrubbing stay off unless a
+	// campaign opts in (ReserveBlocks / ScrubInterval).
+	fcfg.ReadRetries = 3
+	fcfg.RetryBackoff = 80 * time.Microsecond
+	fcfg.RefreshThreshold = 4
 	ccfg := core.Config{
 		Frames:         4096,
 		Durable:        true,
@@ -156,6 +164,7 @@ func New(eng *sim.Engine, prof Profile) (*Device, error) {
 	}
 	d.ctrl = core.NewController(f, prof.Cache, reg)
 	f.StartBackgroundGC() // no-op unless the profile configures a watermark
+	f.StartScrubber()     // no-op unless the profile configures ScrubInterval
 	return d, nil
 }
 
@@ -351,6 +360,22 @@ func (d *Device) Reboot(p *sim.Proc) error {
 	return nil
 }
 
+// InjectReadErrors plants bits stuck bit errors on the physical page
+// backing lpn (storage.MediaFaulter). It evicts lpn's clean cache frame
+// first so the next read actually touches the damaged flash. Returns false
+// when the slot is unmapped, still dirty in the cache (the damage would be
+// invisible: the cache copy wins), or the page is not programmed.
+func (d *Device) InjectReadErrors(lpn storage.LPN, bits int) bool {
+	if !d.ctrl.DropClean(lpn) {
+		return false
+	}
+	ppn, ok := d.f.PhysPageOf(lpn)
+	if !ok {
+		return false
+	}
+	return d.arr.InjectBitErrors(ppn, bits)
+}
+
 // PreloadPages installs n logical pages instantly starting at lpn, so that
 // random reads hit mapped data and GC behaves as on a used drive. data may
 // be nil (timing-only) or n*PageSize bytes.
@@ -381,6 +406,7 @@ func (d *Device) PreloadPages(lpn storage.LPN, n int64, data []byte) error {
 func (d *Device) Precondition(n int64) error { return d.PreloadPages(0, n, nil) }
 
 var (
-	_ storage.Device      = (*Device)(nil)
-	_ storage.PowerCycler = (*Device)(nil)
+	_ storage.Device       = (*Device)(nil)
+	_ storage.PowerCycler  = (*Device)(nil)
+	_ storage.MediaFaulter = (*Device)(nil)
 )

@@ -35,6 +35,15 @@ var (
 	ErrOutOfRange = errors.New("storage: page address out of range")
 	// ErrOffline reports an operation submitted to a powered-off device.
 	ErrOffline = errors.New("storage: device is offline")
+	// ErrUncorrectable reports a read whose media bit errors exceeded the
+	// ECC correction capability even after read retries. The page's stored
+	// data is lost unless a redundant copy (mirror, double-write, log)
+	// exists; the host must not treat the returned buffer as valid.
+	ErrUncorrectable = errors.New("storage: uncorrectable media error")
+	// ErrReadOnly reports a write or flush submitted to a device that has
+	// degraded to read-only mode (bad-block reserve pool exhausted). Reads
+	// continue to be served.
+	ErrReadOnly = errors.New("storage: device degraded to read-only")
 )
 
 // Device is a block storage device operating in virtual time. All methods
@@ -78,6 +87,15 @@ type PowerCycler interface {
 	// Reboot restores power and runs device-level recovery, returning the
 	// simulated recovery duration.
 	Reboot(p *sim.Proc) error
+}
+
+// MediaFaulter is implemented by devices (and volumes of such devices)
+// that support media-fault injection: adding stuck bit errors to the
+// on-flash image of a logical page so reads exercise the ECC, read-retry,
+// and redundancy paths. Returns false when the page cannot be injected
+// (unmapped, dirty in a device cache, or the device has no error model).
+type MediaFaulter interface {
+	InjectReadErrors(lpn LPN, bits int) bool
 }
 
 // Stats holds per-device counters. It is an alias of iotrace.Stats — the

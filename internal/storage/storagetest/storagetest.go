@@ -17,6 +17,7 @@ package storagetest
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"time"
@@ -43,6 +44,8 @@ func Run(t *testing.T, f Factory) {
 	t.Run("FlushDurability", func(t *testing.T) { testFlushDurability(t, f(t)) })
 	t.Run("PowerCycleDuringQueuedFlush", func(t *testing.T) { testPowerCycleDuringQueuedFlush(t, f(t)) })
 	t.Run("OfflineAfterPowerFail", func(t *testing.T) { testOffline(t, f(t)) })
+	t.Run("MediaErrorCorrectableRead", func(t *testing.T) { testMediaCorrectable(t, f(t)) })
+	t.Run("MediaErrorUncorrectablePowerCycle", func(t *testing.T) { testMediaUncorrectable(t, f(t)) })
 }
 
 // drive runs fn as one simulated process and drains the engine.
@@ -243,6 +246,111 @@ func testPowerCycleDuringQueuedFlush(t *testing.T, h Harness) {
 			if !bytes.Equal(buf, queued) {
 				t.Error("flush acknowledged before the cut, but its data did not survive")
 			}
+		}
+	})
+}
+
+// testMediaCorrectable: a correctable amount of bit damage on a stored page
+// must be invisible to the host — the read succeeds and returns the exact
+// written bytes (via ECC correction, read retry, or replica repair), on
+// every device that supports media-fault injection.
+func testMediaCorrectable(t *testing.T, h Harness) {
+	d := h.Dev
+	mf, ok := d.(storage.MediaFaulter)
+	if !ok {
+		t.Skip("device does not implement storage.MediaFaulter")
+	}
+	data := bytes.Repeat([]byte{0xa7}, d.PageSize())
+	drive(t, h, func(p *sim.Proc) {
+		if err := d.Write(p, iotrace.Req{}, 5, 1, data); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := d.Flush(p, iotrace.Req{}); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		if !mf.InjectReadErrors(5, 1) {
+			t.Fatal("InjectReadErrors refused a flushed page")
+		}
+		// Several reads, so devices that rotate across replicas serve the
+		// damaged copy at least once.
+		for i := 0; i < 4; i++ {
+			buf := make([]byte, d.PageSize())
+			if err := d.Read(p, iotrace.Req{}, 5, 1, buf); err != nil {
+				t.Fatalf("read %d with correctable damage: %v", i, err)
+			}
+			if !bytes.Equal(buf, data) {
+				t.Errorf("read %d: correctable bit error corrupted the returned data", i)
+			}
+		}
+	})
+}
+
+// testMediaUncorrectable: with damage beyond the correction capability, the
+// contract is "typed error or correct bytes, never wrong bytes": each read
+// either fails with storage.ErrUncorrectable or succeeds with the exact
+// written data (a redundant volume may heal it). The verdict must hold
+// across a power cycle — recovery cannot resurrect unreadable data as good
+// — and rewriting the logical page must fully heal it (remap).
+func testMediaUncorrectable(t *testing.T, h Harness) {
+	d := h.Dev
+	mf, ok := d.(storage.MediaFaulter)
+	if !ok {
+		t.Skip("device does not implement storage.MediaFaulter")
+	}
+	data := bytes.Repeat([]byte{0x4d}, d.PageSize())
+	checkRead := func(p *sim.Proc, label string) {
+		// Several reads, so devices that rotate across replicas serve the
+		// damaged copy at least once.
+		for i := 0; i < 4; i++ {
+			buf := make([]byte, d.PageSize())
+			err := d.Read(p, iotrace.Req{}, 7, 1, buf)
+			switch {
+			case err == nil:
+				if !bytes.Equal(buf, data) {
+					t.Errorf("%s: read %d succeeded but returned wrong bytes", label, i)
+				}
+			case errors.Is(err, storage.ErrUncorrectable):
+				// Typed failure is the honest outcome.
+			default:
+				t.Errorf("%s: read %d = %v, want nil or ErrUncorrectable", label, i, err)
+			}
+		}
+	}
+	drive(t, h, func(p *sim.Proc) {
+		if err := d.Write(p, iotrace.Req{}, 7, 1, data); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := d.Flush(p, iotrace.Req{}); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		if !mf.InjectReadErrors(7, 1000) {
+			t.Fatal("InjectReadErrors refused a flushed page")
+		}
+		checkRead(p, "before power cycle")
+	})
+	if pc, ok := d.(storage.PowerCycler); ok {
+		drive(t, h, func(p *sim.Proc) {
+			pc.PowerFail()
+			if err := pc.Reboot(p); err != nil {
+				t.Fatalf("Reboot: %v", err)
+			}
+			checkRead(p, "after power cycle")
+		})
+	}
+	fresh := bytes.Repeat([]byte{0xb2}, d.PageSize())
+	drive(t, h, func(p *sim.Proc) {
+		if err := d.Write(p, iotrace.Req{}, 7, 1, fresh); err != nil {
+			t.Fatalf("healing rewrite: %v", err)
+		}
+		if err := d.Flush(p, iotrace.Req{}); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		buf := make([]byte, d.PageSize())
+		if err := d.Read(p, iotrace.Req{}, 7, 1, buf); err != nil {
+			t.Fatalf("Read after healing rewrite: %v", err)
+		}
+		if !bytes.Equal(buf, fresh) {
+			t.Error("rewrite did not heal the damaged logical page")
 		}
 	})
 }

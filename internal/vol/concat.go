@@ -135,6 +135,14 @@ func (v *Concat) Reboot(p *sim.Proc) error {
 	return nil
 }
 
+// InjectReadErrors forwards a media-fault injection to the member holding
+// lpn (storage.MediaFaulter).
+func (v *Concat) InjectReadErrors(lpn storage.LPN, bits int) bool {
+	s := v.mapRange(lpn, 1)[0]
+	mf, ok := v.members[s.member].(storage.MediaFaulter)
+	return ok && mf.InjectReadErrors(s.lpn, bits)
+}
+
 // PreloadPages installs page images instantly across the members.
 func (v *Concat) PreloadPages(lpn storage.LPN, n int64, data []byte) error {
 	if err := checkPreload(lpn, n, v.total); err != nil {

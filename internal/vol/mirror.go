@@ -1,6 +1,8 @@
 package vol
 
 import (
+	"errors"
+
 	"durassd/internal/devfront"
 	"durassd/internal/iotrace"
 	"durassd/internal/sim"
@@ -92,7 +94,14 @@ func (v *Mirror) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf 
 	} else {
 		m := v.next
 		v.next = (v.next + 1) % len(v.members)
-		if err := v.members[m].Read(p, req, lpn, n, buf); err != nil {
+		err := v.members[m].Read(p, req, lpn, n, buf)
+		if errors.Is(err, storage.ErrUncorrectable) {
+			// The selected copy has an unreadable page: serve the data from a
+			// healthy replica and rewrite the damaged one (read-repair during
+			// normal operation, not just post-crash reconciliation).
+			err = v.repairFrom(p, req, m, lpn, n, buf)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -105,7 +114,13 @@ func (v *Mirror) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf 
 // so the copies reconverge. Timing-only reads (nil buf) cannot repair —
 // there are no bytes to copy — so they leave the range degraded.
 func (v *Mirror) readRepair(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf []byte) error {
-	if err := v.members[0].Read(p, req, lpn, n, buf); err != nil {
+	err := v.members[0].Read(p, req, lpn, n, buf)
+	if errors.Is(err, storage.ErrUncorrectable) {
+		// Even the primary can hit unreadable media; fall back to the
+		// secondaries and heal the primary before reconciling from it.
+		err = v.repairFrom(p, req, 0, lpn, n, buf)
+	}
+	if err != nil {
 		return err
 	}
 	if buf == nil {
@@ -115,7 +130,7 @@ func (v *Mirror) readRepair(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int
 	for i := 1; i < len(v.members); i++ {
 		segs = append(segs, segment{member: i, lpn: lpn, n: n})
 	}
-	err := v.fanout(p, segs, func(q *sim.Proc, s segment) error {
+	err = v.fanout(p, segs, func(q *sim.Proc, s segment) error {
 		r := iotrace.Req{Op: iotrace.OpWrite, Origin: req.Origin, LPN: uint64(s.lpn), N: s.n}
 		return v.members[s.member].Write(q, r, s.lpn, s.n, buf)
 	})
@@ -124,6 +139,34 @@ func (v *Mirror) readRepair(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int
 	}
 	v.markRepaired(lpn, n)
 	return nil
+}
+
+// repairFrom serves lpn..lpn+n from the first replica that still reads
+// cleanly (scanning from bad+1 in deterministic order) and rewrites the
+// healthy image onto the damaged member so its firmware remaps the range
+// away from the failing flash. The volume read succeeds as long as any
+// copy survives; ErrUncorrectable escapes to the host only when every
+// member returns it.
+func (v *Mirror) repairFrom(p *sim.Proc, req iotrace.Req, bad int, lpn storage.LPN, n int, buf []byte) error {
+	for off := 1; off < len(v.members); off++ {
+		m := (bad + off) % len(v.members)
+		r := iotrace.Req{Op: iotrace.OpRead, Origin: req.Origin, LPN: uint64(lpn), N: n}
+		if err := v.members[m].Read(p, r, lpn, n, buf); err != nil {
+			if errors.Is(err, storage.ErrUncorrectable) {
+				continue // this copy is damaged too; keep scanning
+			}
+			return err
+		}
+		w := iotrace.Req{Op: iotrace.OpWrite, Origin: req.Origin, LPN: uint64(lpn), N: n}
+		if werr := v.members[bad].Write(p, w, lpn, n, buf); werr == nil {
+			v.front.Stats().ReadRepairs++
+		}
+		// A failed rewrite (member degraded read-only, power race) leaves the
+		// damage in place — the read still succeeded with correct bytes, and
+		// the next read of the range retries the repair.
+		return nil
+	}
+	return storage.ErrUncorrectable
 }
 
 func (v *Mirror) markRepaired(lpn storage.LPN, n int) {
@@ -177,6 +220,21 @@ func (v *Mirror) Reboot(p *sim.Proc) error {
 	v.repaired = make(map[storage.LPN]bool)
 	v.front.PowerOn()
 	return nil
+}
+
+// InjectReadErrors plants stuck bit errors on every secondary copy of lpn
+// (storage.MediaFaulter). The primary is left intact deliberately: it is
+// the reconciliation source while degraded, and damaging every copy would
+// test data loss, not redundancy. Returns true when at least one member
+// accepted the injection.
+func (v *Mirror) InjectReadErrors(lpn storage.LPN, bits int) bool {
+	any := false
+	for _, m := range v.members[1:] {
+		if mf, ok := m.(storage.MediaFaulter); ok && mf.InjectReadErrors(lpn, bits) {
+			any = true
+		}
+	}
+	return any
 }
 
 // PreloadPages installs page images instantly on every member.

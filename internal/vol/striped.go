@@ -152,6 +152,14 @@ func (v *Striped) Reboot(p *sim.Proc) error {
 	return nil
 }
 
+// InjectReadErrors forwards a media-fault injection to the member holding
+// lpn (storage.MediaFaulter).
+func (v *Striped) InjectReadErrors(lpn storage.LPN, bits int) bool {
+	s := v.mapRange(lpn, 1)[0]
+	mf, ok := v.members[s.member].(storage.MediaFaulter)
+	return ok && mf.InjectReadErrors(s.lpn, bits)
+}
+
 // PreloadPages installs page images instantly across the stripe (bulk
 // loading before a timed run).
 func (v *Striped) PreloadPages(lpn storage.LPN, n int64, data []byte) error {
