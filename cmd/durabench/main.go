@@ -5,6 +5,7 @@
 // Usage:
 //
 //	durabench [-table 1|2|0] [-scale N] [-ops N] [-seed N] [-json path]
+//	          [-cpuprofile path] [-memprofile path]
 //
 // -table 0 (default) runs both. Larger -scale shrinks device capacity and
 // speeds the run; -ops sets operations per table cell. -volume sweeps
@@ -20,6 +21,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"durassd/internal/repro"
 )
@@ -36,7 +39,35 @@ func main() {
 	volume := flag.Bool("volume", false, "sweep striped/mirrored volume geometries (4KB random-write IOPS vs single drive)")
 	media := flag.Bool("media", false, "sweep retention error rates × scrubbing and count uncorrectable host reads")
 	jsonPath := flag.String("json", "", "write results as a JSON report to this path (\"-\" = stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	rep := repro.NewJSONReport("durabench")
 	rep.SetConfig("scale", *scale)

@@ -8,6 +8,7 @@ import (
 	"durassd/internal/analysis/devcheck"
 	"durassd/internal/analysis/maporder"
 	"durassd/internal/analysis/nowalltime"
+	"durassd/internal/analysis/procbudget"
 	"durassd/internal/analysis/seededrand"
 	"durassd/internal/analysis/simproc"
 )
@@ -17,6 +18,7 @@ var Analyzers = []*analysis.Analyzer{
 	devcheck.Analyzer,
 	maporder.Analyzer,
 	nowalltime.Analyzer,
+	procbudget.Analyzer,
 	seededrand.Analyzer,
 	simproc.Analyzer,
 }

@@ -1,0 +1,18 @@
+package procbudget_test
+
+import (
+	"testing"
+
+	"durassd/internal/analysis/checktest"
+	"durassd/internal/analysis/procbudget"
+)
+
+func TestProcBudget(t *testing.T) {
+	checktest.Run(t, "durassd/internal/ftl", procbudget.Analyzer)
+}
+
+// TestOutsideBudget verifies packages off the device hot path may spawn
+// processes without a directive.
+func TestOutsideBudget(t *testing.T) {
+	checktest.Run(t, "durassd/internal/vol", procbudget.Analyzer)
+}

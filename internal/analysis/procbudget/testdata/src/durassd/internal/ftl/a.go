@@ -1,0 +1,30 @@
+// Package ftl is analyzer testdata: sim.Engine.Go inside a device
+// hot-path package needs an audited justification.
+package ftl
+
+import "durassd/internal/sim"
+
+func perRequest(eng *sim.Engine) {
+	eng.Go("per-request", func(p *sim.Proc) {}) // want `sim\.Engine\.Go in device hot-path package`
+}
+
+func viaProc(p *sim.Proc) {
+	p.Engine().Go("nested", func(q *sim.Proc) {}) // want `sim\.Engine\.Go in device hot-path package`
+}
+
+func allowedSingleton(eng *sim.Engine) {
+	eng.Go("bg-loop", func(p *sim.Proc) {}) //simlint:allow procbudget long-lived singleton started once at construction
+}
+
+func callbacksAreTheFastPath(eng *sim.Engine) {
+	eng.Schedule(0, func() {})
+}
+
+type notSim struct{}
+
+func (notSim) Go(string, func()) {}
+
+func unrelatedGoMethod() {
+	var n notSim
+	n.Go("x", func() {})
+}

@@ -1,0 +1,10 @@
+// Package vol is analyzer testdata: packages outside the device hot path
+// may spawn processes freely — the budget covers only
+// internal/{devfront,ssd,ftl,nand}.
+package vol
+
+import "durassd/internal/sim"
+
+func spawnFreely(eng *sim.Engine) {
+	eng.Go("vol-io", func(p *sim.Proc) {})
+}

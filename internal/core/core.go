@@ -79,6 +79,40 @@ func DefaultConfig(f *ftl.FTL) Config {
 	}
 }
 
+// lpnQueue is a FIFO of LPNs with a compacting head index: popping advances
+// head instead of reslicing, so the backing array is reused instead of
+// leaking capacity at the front (which made append reallocate on every
+// enqueue/dequeue cycle of the flush list). Amortized O(1), zero allocs in
+// steady state.
+type lpnQueue struct {
+	buf  []storage.LPN
+	head int
+}
+
+func (q *lpnQueue) push(l storage.LPN) {
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, l)
+}
+
+func (q *lpnQueue) len() int { return len(q.buf) - q.head }
+
+func (q *lpnQueue) pop() storage.LPN {
+	l := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return l
+}
+
+// at returns the i-th queued LPN in FIFO order (dump iteration).
+func (q *lpnQueue) at(i int) storage.LPN { return q.buf[q.head+i] }
+
 type frameState uint8
 
 const (
@@ -94,6 +128,7 @@ type frame struct {
 	hasData bool           // distinguishes timing-only writes from zero pages
 	redirty bool           // overwritten while busy; requeue after write-back
 	origin  iotrace.Origin // origin of the latest staged copy
+	readers int32          // parked readers holding a reference (not poolable)
 }
 
 // Controller is the device cache controller described above.
@@ -102,14 +137,15 @@ type Controller struct {
 	f   *ftl.FTL
 	cfg Config
 
-	frames   map[storage.LPN]*frame
-	dirtyq   []storage.LPN // FIFO flush list
-	cleanq   []storage.LPN // eviction order for clean frames (lazy)
-	pinned   int           // frames in state dirty or busy (not evictable)
-	reserved int           // frames promised to commands still streaming in
-	queued   int           // entries in dirtyq
-	inFlush  int           // slots currently being programmed
-	flushed  int64         // slots ever written back (flush-cache epoch counter)
+	frames    map[storage.LPN]*frame
+	framePool []*frame // recycled evicted frames (only ones with no parked readers)
+	dirtyq    lpnQueue // FIFO flush list
+	cleanq    lpnQueue // eviction order for clean frames (lazy)
+	pinned    int      // frames in state dirty or busy (not evictable)
+	reserved  int      // frames promised to commands still streaming in
+	queued    int      // entries in dirtyq
+	inFlush   int      // slots currently being programmed
+	flushed   int64    // slots ever written back (flush-cache epoch counter)
 
 	hasDirty *sim.Queue // flusher workers wait here
 	space    *sim.Queue // writers stalled on a full cache
@@ -248,11 +284,18 @@ func (c *Controller) stage(s ftl.SlotWrite) {
 		if len(c.frames) >= c.cfg.Frames {
 			c.evictClean()
 		}
-		fr = &frame{lpn: s.LPN}
+		fr = c.getFrame(s.LPN)
 		c.frames[s.LPN] = fr
 	}
 	if s.Data != nil {
-		fr.data = append(fr.data[:0:0], s.Data...)
+		if fr.state == frameBusy {
+			// The in-flight program batch aliases fr.data; overwriting it in
+			// place would change the bytes mid-program. Give the new copy a
+			// fresh buffer and let the old one go with the batch.
+			fr.data = append([]byte(nil), s.Data...)
+		} else {
+			fr.data = append(fr.data[:0], s.Data...)
+		}
 	} else {
 		fr.data = nil
 	}
@@ -275,22 +318,40 @@ func (c *Controller) stage(s ftl.SlotWrite) {
 }
 
 func (c *Controller) enqueueDirty(lpn storage.LPN) {
-	c.dirtyq = append(c.dirtyq, lpn)
+	c.dirtyq.push(lpn)
 	c.queued++
 	c.hasDirty.WakeOne()
 }
 
+// getFrame returns a recycled frame (data buffer capacity preserved — the
+// caller overwrites fr.data before any reader can see it) or a fresh one.
+func (c *Controller) getFrame(lpn storage.LPN) *frame {
+	if n := len(c.framePool); n > 0 {
+		fr := c.framePool[n-1]
+		c.framePool[n-1] = nil
+		c.framePool = c.framePool[:n-1]
+		data := fr.data
+		*fr = frame{lpn: lpn, data: data[:0]}
+		return fr
+	}
+	return &frame{lpn: lpn}
+}
+
 // evictClean drops the oldest clean frame. Callers guarantee one exists.
+// The frame is recycled only when no parked reader still holds it; pooling
+// never changes which frame is evicted, so the schedule is unaffected.
 func (c *Controller) evictClean() {
-	for len(c.cleanq) > 0 {
-		lpn := c.cleanq[0]
-		c.cleanq = c.cleanq[1:]
+	for c.cleanq.len() > 0 {
+		lpn := c.cleanq.pop()
 		fr, ok := c.frames[lpn]
 		if !ok || fr.state != frameClean {
 			continue // stale queue entry
 		}
 		delete(c.frames, lpn)
 		c.stats.CacheEvicts++
+		if fr.readers == 0 && len(c.framePool) < 64 {
+			c.framePool = append(c.framePool, fr)
+		}
 		return
 	}
 	panic("core: no clean frame to evict")
@@ -304,7 +365,9 @@ func (c *Controller) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, buf []b
 	}
 	if fr, ok := c.frames[lpn]; ok {
 		sp := req.Begin(p, iotrace.LayerCache)
+		fr.readers++ // pin: frame may be evicted while we sleep
 		p.Sleep(c.cfg.SlotAccess)
+		fr.readers--
 		sp.End(p)
 		if c.dead {
 			return ErrCacheDead
@@ -365,19 +428,24 @@ func (c *Controller) FlushCache(p *sim.Proc, req iotrace.Req) error {
 // flushWorker continuously pulls write-backs from the flush list, pairing
 // slots into full physical pages (§3.1.2's 4 KB-over-8 KB scheme).
 func (c *Controller) flushWorker(p *sim.Proc) {
+	// Per-worker scratch, reused across iterations: the FTL copies slot data
+	// before its program completes, so nothing aliases these after Program
+	// returns.
+	var batch []*frame
+	var slots []ftl.SlotWrite
 	for {
 		if c.closed || c.dead {
 			return
 		}
-		batch := c.takeBatch()
+		batch = c.takeBatch(batch[:0])
 		if len(batch) == 0 {
 			c.f.NotifyIdle() // idle device: let background GC run
 			c.hasDirty.Wait(p)
 			continue
 		}
-		slots := make([]ftl.SlotWrite, len(batch))
-		for i, fr := range batch {
-			slots[i] = ftl.SlotWrite{LPN: fr.lpn, Data: fr.data, Origin: fr.origin}
+		slots = slots[:0]
+		for _, fr := range batch {
+			slots = append(slots, ftl.SlotWrite{LPN: fr.lpn, Data: fr.data, Origin: fr.origin})
 		}
 		// Write-backs run under a background request tagged with the first
 		// frame's origin, so GC they trigger is charged to the database
@@ -413,13 +481,12 @@ func (c *Controller) flushWorker(p *sim.Proc) {
 	}
 }
 
-// takeBatch pops up to SlotsPerPage dirty frames from the flush list.
-func (c *Controller) takeBatch() []*frame {
-	var batch []*frame
+// takeBatch pops up to SlotsPerPage dirty frames from the flush list,
+// appending them to the caller's scratch.
+func (c *Controller) takeBatch(batch []*frame) []*frame {
 	max := c.f.SlotsPerPage()
-	for len(batch) < max && len(c.dirtyq) > 0 {
-		lpn := c.dirtyq[0]
-		c.dirtyq = c.dirtyq[1:]
+	for len(batch) < max && c.dirtyq.len() > 0 {
+		lpn := c.dirtyq.pop()
 		c.queued--
 		fr, ok := c.frames[lpn]
 		if !ok || fr.state != frameDirty {
@@ -449,7 +516,7 @@ func (c *Controller) completeBatch(batch []*frame, ok bool) {
 		}
 		fr.state = frameClean
 		c.pinned--
-		c.cleanq = append(c.cleanq, fr.lpn)
+		c.cleanq.push(fr.lpn)
 	}
 	if ok {
 		c.space.WakeAll()
@@ -549,8 +616,8 @@ func (c *Controller) dump() {
 		return true
 	}
 	ok := true
-	for _, lpn := range c.dirtyq {
-		if !emit(c.frames[lpn]) {
+	for i := 0; i < c.dirtyq.len(); i++ {
+		if !emit(c.frames[c.dirtyq.at(i)]) {
 			ok = false
 			break
 		}

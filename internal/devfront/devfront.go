@@ -153,16 +153,24 @@ func (f *Front) AdmitRange(lpn storage.LPN, n int, pages int64) error {
 }
 
 // Enqueue occupies one command-queue slot, recording the wait as a
-// host-queue span, and returns the release function. Devices without a
-// host-visible queue (Depth 0) get a no-op.
-func (f *Front) Enqueue(p *sim.Proc, req iotrace.Req) func() {
+// host-queue span. Pair every Enqueue with exactly one Dequeue. Devices
+// without a host-visible queue (Depth 0) get a no-op pair. The explicit
+// pair (instead of a returned release closure) keeps the per-command hot
+// path allocation-free.
+func (f *Front) Enqueue(p *sim.Proc, req iotrace.Req) {
 	if f.ncq == nil {
-		return func() {}
+		return
 	}
 	qsp := req.Begin(p, iotrace.LayerHostQueue)
 	f.ncq.Acquire(p, 1)
 	qsp.End(p)
-	return func() { f.ncq.Release(1) }
+}
+
+// Dequeue returns the command-queue slot taken by Enqueue.
+func (f *Front) Dequeue() {
+	if f.ncq != nil {
+		f.ncq.Release(1)
+	}
 }
 
 // xfer returns the serialized link occupancy of moving the given payload:
@@ -198,12 +206,12 @@ func (f *Front) occupy(p *sim.Proc, req iotrace.Req, d time.Duration) {
 // link protocol cost, then — because flush-cache is a *non-queued* command —
 // serialization against other flushes and a full drain of the command
 // queue. Commands arriving while the flush holds the queue wait behind it,
-// which is how fsync storms poison read latency. It returns the release
-// function to run once the device-specific flush work is done, or an error
-// if the device is (or goes) dark. On error no release is owed.
-func (f *Front) FlushEnter(p *sim.Proc, req iotrace.Req) (func(), error) {
+// which is how fsync storms poison read latency. On success the caller owes
+// exactly one FlushExit once the device-specific flush work is done; on
+// error the admission is rolled back internally and no FlushExit is owed.
+func (f *Front) FlushEnter(p *sim.Proc, req iotrace.Req) error {
 	if err := f.Admit(); err != nil {
-		return nil, err
+		return err
 	}
 	if f.cfg.FlushOverhead > 0 {
 		f.occupy(p, req, f.cfg.FlushOverhead)
@@ -214,17 +222,20 @@ func (f *Front) FlushEnter(p *sim.Proc, req iotrace.Req) (func(), error) {
 		f.ncq.Acquire(p, f.cfg.Depth)
 	}
 	qsp.End(p)
-	release := func() {
-		if f.ncq != nil {
-			f.ncq.Release(f.cfg.Depth)
-		}
-		f.flushLock.Release(1)
-	}
 	if err := f.Interrupted(); err != nil {
-		release()
-		return nil, err
+		f.FlushExit()
+		return err
 	}
-	return release, nil
+	return nil
+}
+
+// FlushExit releases the flush-cache admission taken by a successful
+// FlushEnter.
+func (f *Front) FlushExit() {
+	if f.ncq != nil {
+		f.ncq.Release(f.cfg.Depth)
+	}
+	f.flushLock.Release(1)
 }
 
 // CompleteWrite records a successfully completed n-page host write.

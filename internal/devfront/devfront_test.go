@@ -84,32 +84,29 @@ func TestFlushDrainsQueue(t *testing.T) {
 	f := New(eng, Config{Depth: 2, WriteOverhead: time.Microsecond}, iotrace.NewRegistry())
 
 	var cmdDone, flushStart, lateStart time.Duration
-	release := make([]func(), 2)
 	for i := 0; i < 2; i++ {
-		i := i
 		eng.Go("cmd", func(p *sim.Proc) {
-			release[i] = f.Enqueue(p, iotrace.Req{})
+			f.Enqueue(p, iotrace.Req{})
 			p.Sleep(100 * time.Microsecond)
 			cmdDone = p.Now()
-			release[i]()
+			f.Dequeue()
 		})
 	}
 	eng.Go("flush", func(p *sim.Proc) {
 		p.Sleep(time.Microsecond) // let both commands occupy the queue
-		rel, err := f.FlushEnter(p, iotrace.Req{})
-		if err != nil {
+		if err := f.FlushEnter(p, iotrace.Req{}); err != nil {
 			t.Errorf("FlushEnter: %v", err)
 			return
 		}
 		flushStart = p.Now()
 		p.Sleep(50 * time.Microsecond)
-		rel()
+		f.FlushExit()
 	})
 	eng.Go("late", func(p *sim.Proc) {
 		p.Sleep(10 * time.Microsecond) // arrives while the flush is pending
-		rel := f.Enqueue(p, iotrace.Req{})
+		f.Enqueue(p, iotrace.Req{})
 		lateStart = p.Now()
-		rel()
+		f.Dequeue()
 	})
 	eng.Run()
 
@@ -129,13 +126,12 @@ func TestConcurrentFlushesSerialize(t *testing.T) {
 	var last time.Duration
 	for i := 0; i < 3; i++ {
 		eng.Go("flush", func(p *sim.Proc) {
-			rel, err := f.FlushEnter(p, iotrace.Req{})
-			if err != nil {
+			if err := f.FlushEnter(p, iotrace.Req{}); err != nil {
 				t.Errorf("FlushEnter: %v", err)
 				return
 			}
 			p.Sleep(time.Millisecond)
-			rel()
+			f.FlushExit()
 			if p.Now() > last {
 				last = p.Now()
 			}

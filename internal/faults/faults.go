@@ -137,6 +137,10 @@ type Options struct {
 	// DumpTearAfter arms the partial-dump fault on member 0: the Nth
 	// capacitor-powered dump program tears its page (see nand.Faults).
 	DumpTearAfter int
+	// EngineHook, when set, receives the scenario's freshly created engine
+	// before the workload starts. Benchmark harnesses use it to read the
+	// processed-event counter after the run; it must not drive the engine.
+	EngineHook func(*sim.Engine)
 	// InterruptedErase arms the interrupted-erase fault on every member.
 	InterruptedErase bool
 }
@@ -185,6 +189,9 @@ func RunWith(s Scenario, o Options) (*Verdict, error) {
 	s.defaults()
 	v := &Verdict{Scenario: s}
 	eng := sim.New()
+	if o.EngineHook != nil {
+		o.EngineHook(eng)
+	}
 
 	prof, err := Profile(s.Device)
 	if err != nil {

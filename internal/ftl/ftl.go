@@ -139,6 +139,86 @@ type FTL struct {
 
 	reg   *iotrace.Registry
 	stats *storage.Stats
+
+	// Program-path scratch pools. A program holds its tag slice and page
+	// buffer exclusively from get to put (the NAND array copies both at
+	// commit), so concurrent flusher workers simply draw distinct buffers.
+	tagPool  [][]nand.SlotTag
+	pagePool [][]byte
+	slotPool [][]byte // slot-size relocation buffers (GC / scrub / refresh)
+}
+
+func (f *FTL) getTags(n int) []nand.SlotTag {
+	if last := len(f.tagPool) - 1; last >= 0 {
+		t := f.tagPool[last]
+		f.tagPool[last] = nil
+		f.tagPool = f.tagPool[:last]
+		if cap(t) >= n {
+			t = t[:n]
+			for i := range t {
+				t[i] = nand.SlotTag{}
+			}
+			return t
+		}
+	}
+	return make([]nand.SlotTag, n)
+}
+
+func (f *FTL) putTags(t []nand.SlotTag) {
+	if cap(t) == 0 || len(f.tagPool) >= 64 {
+		return
+	}
+	f.tagPool = append(f.tagPool, t[:0])
+}
+
+// getPage returns a page-size buffer with unspecified contents: program
+// paths zero exactly the slot gaps they leave, and read paths hand it to
+// ReadPageRetry, which overwrites the full page.
+func (f *FTL) getPage() []byte {
+	if last := len(f.pagePool) - 1; last >= 0 {
+		b := f.pagePool[last]
+		f.pagePool[last] = nil
+		f.pagePool = f.pagePool[:last]
+		return b
+	}
+	return make([]byte, f.a.Config().PageSize)
+}
+
+func (f *FTL) putPage(b []byte) {
+	if b == nil || len(f.pagePool) >= 64 {
+		return
+	}
+	f.pagePool = append(f.pagePool, b)
+}
+
+// getSlotBuf returns a slot-size buffer for relocation copies.
+func (f *FTL) getSlotBuf() []byte {
+	if last := len(f.slotPool) - 1; last >= 0 {
+		b := f.slotPool[last]
+		f.slotPool[last] = nil
+		f.slotPool = f.slotPool[:last]
+		return b[:0]
+	}
+	return make([]byte, 0, f.SlotSize())
+}
+
+func (f *FTL) putSlotBuf(b []byte) {
+	if cap(b) == 0 || len(f.slotPool) >= 256 {
+		return
+	}
+	f.slotPool = append(f.slotPool, b[:0])
+}
+
+// recycleBatch returns the relocation buffers of a just-programmed batch
+// to the slot pool and truncates the batch for reuse.
+func (f *FTL) recycleBatch(batch []SlotWrite) []SlotWrite {
+	for i := range batch {
+		if batch[i].Data != nil {
+			f.putSlotBuf(batch[i].Data)
+		}
+		batch[i] = SlotWrite{}
+	}
+	return batch[:0]
 }
 
 // New builds an FTL over the array. All blocks start erased. The registry
@@ -406,21 +486,27 @@ func (f *FTL) programAt(p *sim.Proc, req iotrace.Req, slots []SlotWrite, pl int,
 	if err != nil {
 		return err
 	}
-	tags := make([]nand.SlotTag, len(slots))
+	tags := f.getTags(len(slots))
+	defer f.putTags(tags)
 	var data []byte
 	for i, s := range slots {
 		tags[i] = nand.SlotTag{LPN: s.LPN}
 		if s.Data != nil && data == nil {
-			data = make([]byte, f.a.Config().PageSize)
+			data = f.getPage()
 		}
 	}
 	if data != nil {
+		defer f.putPage(data)
 		ss := f.SlotSize()
 		for i, s := range slots {
+			dst := data[i*ss : (i+1)*ss]
 			if s.Data != nil {
-				copy(data[i*ss:(i+1)*ss], s.Data)
+				copy(dst, s.Data)
+			} else {
+				zero(dst) // timing-only slot sharing a page with real bytes
 			}
 		}
+		zero(data[len(slots)*ss:]) // unfilled tail of a short batch
 	}
 	if f.cfg.EagerMapping {
 		f.commitMapping(ppn, slots)
@@ -527,7 +613,7 @@ func (f *FTL) StartBackgroundGC() {
 		return
 	}
 	f.bgWake = sim.NewQueue(f.a.Engine())
-	f.a.Engine().Go("bg-gc", f.backgroundGC)
+	f.a.Engine().Go("bg-gc", f.backgroundGC) //simlint:allow procbudget long-lived singleton collector, spawned once per FTL lifetime
 }
 
 // NotifyIdle wakes the background collector and the media scrubber
@@ -631,23 +717,31 @@ func (f *FTL) gcOnce(p *sim.Proc, req iotrace.Req, pl int) error {
 		f.reg.Emit(iotrace.EvRetireStart, f.a.Engine().Now())
 	}
 
-	// Relocate live slots, pairing them into full pages.
-	var batch []SlotWrite
+	// Relocate live slots, pairing them into full pages. The scratch
+	// (live-slot indices, page image, batch) is per-call: concurrent GC on
+	// other planes uses its own.
+	batch := make([]SlotWrite, 0, f.cfg.SlotsPerPage)
+	live := make([]int, 0, f.cfg.SlotsPerPage)
+	var page []byte
+	defer func() { f.putPage(page) }()
 	ss := f.SlotSize()
 	first := f.a.PageOfBlock(victim)
 	for i := 0; i < ncfg.PagesPerBlock; i++ {
 		ppn := first + nand.PPN(i)
 		// Torn slots that are still mapped must be relocated as-is:
 		// the host sees the garbage until it rewrites the page.
-		live := f.liveSubs(ppn)
+		live = f.liveSubsInto(live[:0], ppn)
 		if len(live) == 0 {
 			continue
 		}
-		var page []byte
-		if f.a.Data(ppn) != nil {
-			page = make([]byte, ncfg.PageSize)
+		if f.a.Data(ppn) != nil && page == nil {
+			page = f.getPage()
 		}
-		if _, err := f.readPagePhys(p, req, ppn, page); err != nil {
+		var buf []byte
+		if f.a.Data(ppn) != nil {
+			buf = page
+		}
+		if _, err := f.readPagePhys(p, req, ppn, buf); err != nil {
 			if errors.Is(err, storage.ErrUncorrectable) {
 				// The victim holds an unreadable page: erasing it would turn
 				// a typed media error into silent data loss. Retire it in
@@ -665,15 +759,15 @@ func (f *FTL) gcOnce(p *sim.Proc, req iotrace.Req, pl int) error {
 		}
 		for _, si := range live {
 			var d []byte
-			if page != nil {
-				d = append([]byte(nil), page[si*ss:(si+1)*ss]...)
+			if buf != nil {
+				d = append(f.getSlotBuf(), buf[si*ss:(si+1)*ss]...)
 			}
 			batch = append(batch, SlotWrite{LPN: f.a.Meta(ppn).Slots[si].LPN, Data: d})
 			if len(batch) == f.cfg.SlotsPerPage {
 				if err := f.programAt(p, req, batch, pl, true); err != nil {
 					return err
 				}
-				batch = nil
+				batch = f.recycleBatch(batch)
 			}
 		}
 	}
@@ -681,6 +775,7 @@ func (f *FTL) gcOnce(p *sim.Proc, req iotrace.Req, pl int) error {
 		if err := f.programAt(p, req, batch, pl, true); err != nil {
 			return err
 		}
+		f.recycleBatch(batch)
 	}
 	if err := f.a.EraseBlock(p, req, victim); err != nil {
 		return err

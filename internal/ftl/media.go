@@ -47,7 +47,7 @@ func (f *FTL) PhysPageOf(lpn storage.LPN) (nand.PPN, bool) {
 // stuck bits persist. The caller decides retirement policy on failure.
 func (f *FTL) readPagePhys(p *sim.Proc, req iotrace.Req, ppn nand.PPN, page []byte) (nand.ReadInfo, error) {
 	info, err := f.a.ReadPageRetry(p, req, ppn, page, 0)
-	for attempt := 1; errors.Is(err, storage.ErrUncorrectable) && attempt <= f.cfg.ReadRetries; attempt++ {
+	for attempt := 1; err != nil && errors.Is(err, storage.ErrUncorrectable) && attempt <= f.cfg.ReadRetries; attempt++ {
 		f.stats.ReadRetries++
 		if f.cfg.RetryBackoff > 0 {
 			p.Sleep(f.cfg.RetryBackoff * time.Duration(attempt))
@@ -111,18 +111,24 @@ func (f *FTL) migrateBlock(p *sim.Proc, req iotrace.Req, blk int) error {
 	pl := f.a.PlaneOf(f.a.PageOfBlock(blk))
 	ss := f.SlotSize()
 	first := f.a.PageOfBlock(blk)
-	var batch []SlotWrite
+	batch := make([]SlotWrite, 0, f.cfg.SlotsPerPage)
+	live := make([]int, 0, f.cfg.SlotsPerPage)
+	var page []byte
+	defer func() { f.putPage(page) }()
 	for i := 0; i < ncfg.PagesPerBlock; i++ {
 		ppn := first + nand.PPN(i)
-		live := f.liveSubs(ppn)
+		live = f.liveSubsInto(live[:0], ppn)
 		if len(live) == 0 {
 			continue
 		}
-		var page []byte
+		var buf []byte
 		if f.a.Data(ppn) != nil {
-			page = make([]byte, ncfg.PageSize)
+			if page == nil {
+				page = f.getPage()
+			}
+			buf = page
 		}
-		if _, err := f.readPagePhys(p, req, ppn, page); err != nil {
+		if _, err := f.readPagePhys(p, req, ppn, buf); err != nil {
 			if errors.Is(err, storage.ErrUncorrectable) {
 				continue // leave these slots mapped to the damaged page
 			}
@@ -130,20 +136,23 @@ func (f *FTL) migrateBlock(p *sim.Proc, req iotrace.Req, blk int) error {
 		}
 		for _, si := range live {
 			var d []byte
-			if page != nil {
-				d = append([]byte(nil), page[si*ss:(si+1)*ss]...)
+			if buf != nil {
+				d = append(f.getSlotBuf(), buf[si*ss:(si+1)*ss]...)
 			}
 			batch = append(batch, SlotWrite{LPN: f.a.Meta(ppn).Slots[si].LPN, Data: d})
 			if len(batch) == f.cfg.SlotsPerPage {
 				if err := f.programAt(p, req, batch, pl, true); err != nil {
 					return err
 				}
-				batch = nil
+				batch = f.recycleBatch(batch)
 			}
 		}
 	}
 	if len(batch) > 0 {
-		return f.programAt(p, req, batch, pl, true)
+		if err := f.programAt(p, req, batch, pl, true); err != nil {
+			return err
+		}
+		f.recycleBatch(batch)
 	}
 	return nil
 }
@@ -169,23 +178,30 @@ func (f *FTL) retireBlock(pl, blk int) {
 // liveSubs returns the sub-slot indices of ppn whose mapping entry still
 // points at this physical page.
 func (f *FTL) liveSubs(ppn nand.PPN) []int {
+	return f.liveSubsInto(nil, ppn)
+}
+
+// liveSubsInto is liveSubs appending into dst. The scratch must be owned by
+// the caller: relocation loops park between computing the live set and using
+// it, so a shared FTL-level buffer would be clobbered by concurrent GC on
+// another plane.
+func (f *FTL) liveSubsInto(dst []int, ppn nand.PPN) []int {
 	if f.a.State(ppn) != nand.PageValid {
-		return nil
+		return dst
 	}
 	meta := f.a.Meta(ppn)
 	if meta == nil {
-		return nil
+		return dst
 	}
-	var live []int
 	for si, tag := range meta.Slots {
 		if tag.LPN == nand.InvalidLPN {
 			continue
 		}
 		if spn, ok := f.spnOf(tag.LPN); ok && spn == SPN(uint64(ppn)*uint64(f.cfg.SlotsPerPage)+uint64(si)) {
-			live = append(live, si)
+			dst = append(dst, si)
 		}
 	}
-	return live
+	return dst
 }
 
 // maybeRefresh rewrites ppn's live slots when the read had to correct at
@@ -212,7 +228,7 @@ func (f *FTL) refreshPage(p *sim.Proc, req iotrace.Req, ppn nand.PPN) error {
 	if f.readOnly {
 		return storage.ErrReadOnly
 	}
-	subs := f.liveSubs(ppn)
+	subs := f.liveSubsInto(make([]int, 0, f.cfg.SlotsPerPage), ppn)
 	if len(subs) == 0 {
 		return nil
 	}
@@ -223,11 +239,13 @@ func (f *FTL) refreshPage(p *sim.Proc, req iotrace.Req, ppn nand.PPN) error {
 	for _, si := range subs {
 		var sd []byte
 		if d != nil {
-			sd = append([]byte(nil), d[si*ss:(si+1)*ss]...)
+			sd = append(f.getSlotBuf(), d[si*ss:(si+1)*ss]...)
 		}
 		batch = append(batch, SlotWrite{LPN: meta.Slots[si].LPN, Data: sd})
 	}
-	if err := f.program(p, req, batch, false); err != nil {
+	err := f.program(p, req, batch, false)
+	f.recycleBatch(batch)
+	if err != nil {
 		return err
 	}
 	f.stats.RefreshPrograms++
@@ -244,7 +262,7 @@ func (f *FTL) StartScrubber() {
 		return
 	}
 	f.scrubWake = sim.NewQueue(f.a.Engine())
-	f.a.Engine().Go("scrubber", f.scrubLoop)
+	f.a.Engine().Go("scrubber", f.scrubLoop) //simlint:allow procbudget long-lived singleton patrol loop, spawned once per FTL lifetime
 }
 
 func (f *FTL) scrubLoop(p *sim.Proc) {
@@ -276,6 +294,9 @@ func (f *FTL) ScrubOnce(p *sim.Proc) error {
 	defer sp.End(p)
 	ncfg := f.a.Config()
 	now := f.a.Engine().Now()
+	live := make([]int, 0, f.cfg.SlotsPerPage)
+	var page []byte
+	defer func() { f.putPage(page) }()
 	for blk := 0; blk < ncfg.Blocks(); blk++ {
 		if f.dumpSet[blk] || f.retired[blk] || f.validCount[blk] == 0 {
 			continue
@@ -289,14 +310,17 @@ func (f *FTL) ScrubOnce(p *sim.Proc) error {
 			if f.cfg.ScrubInterval > 0 && now-f.a.ProgrammedAt(ppn) < f.cfg.ScrubInterval {
 				continue // young page: retention cannot have accumulated yet
 			}
-			if len(f.liveSubs(ppn)) == 0 {
+			if live = f.liveSubsInto(live[:0], ppn); len(live) == 0 {
 				continue
 			}
-			var page []byte
+			var buf []byte
 			if f.a.Data(ppn) != nil {
-				page = make([]byte, ncfg.PageSize)
+				if page == nil {
+					page = f.getPage()
+				}
+				buf = page
 			}
-			info, err := f.readPagePhys(p, req, ppn, page)
+			info, err := f.readPagePhys(p, req, ppn, buf)
 			f.stats.ScrubReads++
 			if err != nil {
 				if errors.Is(err, storage.ErrUncorrectable) {

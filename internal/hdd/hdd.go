@@ -343,11 +343,10 @@ func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf 
 // flush-cache command it is non-queued: the devfront admission serializes
 // concurrent flushes at the device.
 func (d *Device) Flush(p *sim.Proc, req iotrace.Req) error {
-	release, err := d.front.FlushEnter(p, req)
-	if err != nil {
+	if err := d.front.FlushEnter(p, req); err != nil {
 		return err
 	}
-	defer release()
+	defer d.front.FlushExit()
 	sp := req.Begin(p, iotrace.LayerFlushDrain)
 	defer sp.End(p)
 	if d.cacheOn {

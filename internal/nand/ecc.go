@@ -80,8 +80,20 @@ func cwSyndrome(cw []byte) uint16 {
 
 // ECCEncode computes the parity blob for a page image.
 func ECCEncode(page []byte) []byte {
+	return ECCEncodeInto(nil, page)
+}
+
+// ECCEncodeInto appends the parity blob for a page image to dst (which is
+// truncated to zero length first), reusing dst's capacity when possible.
+func ECCEncodeInto(dst, page []byte) []byte {
 	n := eccCodewords(len(page))
-	out := make([]byte, 2*n+4)
+	size := 2*n + 4
+	if cap(dst) >= size {
+		dst = dst[:size]
+	} else {
+		dst = make([]byte, size)
+	}
+	out := dst
 	for c := 0; c < n; c++ {
 		end := (c + 1) * eccCodewordBytes
 		if end > len(page) {

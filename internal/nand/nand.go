@@ -167,10 +167,19 @@ type Array struct {
 	planes   []*sim.Resource // per-plane cell array
 
 	state  []PageState
-	oob    map[PPN]*OOB
-	data   map[PPN][]byte // sparse: only pages written with real bytes
-	erases []int64        // per-block erase count
+	oob    []*OOB   // per-page OOB; nil for never-programmed-since-erase
+	data   [][]byte // per-page bytes; nil for timing-only pages
+	erases []int64  // per-block erase count
 	seq    uint64
+
+	// Erase recycling: an erase physically destroys the page contents, so
+	// the OOB structs and data buffers of erased pages return to these free
+	// lists and later programs reuse them — steady-state programs allocate
+	// nothing. (Stale Meta/Data references across an erase were always
+	// invalid; now they are visibly so.)
+	oobPool []*OOB
+	bufPool [][]byte
+	tagPool [][]SlotTag // recycled in-flight tag copies
 
 	inflight map[PPN][]SlotTag // programs racing a potential power cut
 	erasing  map[int]bool      // block erases racing a potential power cut
@@ -205,8 +214,8 @@ func New(eng *sim.Engine, cfg Config, reg *iotrace.Registry) (*Array, error) {
 		cfg:      cfg,
 		eng:      eng,
 		state:    make([]PageState, cfg.Pages()),
-		oob:      make(map[PPN]*OOB),
-		data:     make(map[PPN][]byte),
+		oob:      make([]*OOB, cfg.Pages()),
+		data:     make([][]byte, cfg.Pages()),
 		erases:   make([]int64, cfg.Blocks()),
 		inflight: make(map[PPN][]SlotTag),
 		erasing:  make(map[int]bool),
@@ -376,17 +385,19 @@ func (a *Array) ProgramPage(p *sim.Proc, req iotrace.Req, ppn PPN, slots []SlotT
 	}
 
 	// The cell program is the window where a power cut tears the page.
-	a.inflight[ppn] = append([]SlotTag(nil), slots...)
+	a.inflight[ppn] = append(a.getTags(), slots...)
 	a.reg.Emit(iotrace.EvProgram, a.eng.Now())
 	plane := a.planes[a.PlaneOf(ppn)]
 	plane.Acquire(p, 1)
 	p.Sleep(a.cfg.ProgramLatency)
 	plane.Release(1)
-	if _, ok := a.inflight[ppn]; !ok {
+	tags, ok := a.inflight[ppn]
+	if !ok {
 		// PowerFail removed us from inflight and recorded the torn page.
 		return storage.ErrPowerFail
 	}
 	delete(a.inflight, ppn)
+	a.putTags(tags)
 	if !a.powered {
 		return storage.ErrPowerFail
 	}
@@ -395,17 +406,69 @@ func (a *Array) ProgramPage(p *sim.Proc, req iotrace.Req, ppn PPN, slots []SlotT
 	return nil
 }
 
+// commitProgram installs the page image and OOB, drawing the OOB struct,
+// its slot/parity storage and the data buffer from the erase-recycling
+// pools. slots and data remain caller-owned (their contents are copied).
 func (a *Array) commitProgram(ppn PPN, slots []SlotTag, data []byte, dump bool) {
 	a.seq++
-	meta := &OOB{Slots: append([]SlotTag(nil), slots...), Seq: a.seq, Dump: dump}
+	meta := a.getOOB()
+	meta.Slots = append(meta.Slots, slots...)
+	meta.Seq = a.seq
+	meta.Dump = dump
 	a.state[ppn] = PageValid
 	a.oob[ppn] = meta
 	if data != nil {
-		a.data[ppn] = append([]byte(nil), data...)
-		meta.Parity = ECCEncode(data)
+		a.data[ppn] = append(a.getBuf(), data...)
+		meta.Parity = ECCEncodeInto(meta.Parity, data)
+	} else {
+		meta.Parity = nil // timing-only pages carry no parity
 	}
 	a.progAt[ppn] = a.eng.Now()
 	a.stats.NANDPrograms++
+}
+
+// getOOB returns a recycled (emptied) or fresh OOB struct.
+func (a *Array) getOOB() *OOB {
+	if last := len(a.oobPool) - 1; last >= 0 {
+		m := a.oobPool[last]
+		a.oobPool[last] = nil
+		a.oobPool = a.oobPool[:last]
+		m.Slots = m.Slots[:0]
+		m.Parity = m.Parity[:0]
+		m.Seq = 0
+		m.Dump = false
+		return m
+	}
+	return &OOB{}
+}
+
+// getBuf returns a recycled or fresh zero-length page data buffer.
+func (a *Array) getBuf() []byte {
+	if last := len(a.bufPool) - 1; last >= 0 {
+		b := a.bufPool[last]
+		a.bufPool[last] = nil
+		a.bufPool = a.bufPool[:last]
+		return b[:0]
+	}
+	return make([]byte, 0, a.cfg.PageSize)
+}
+
+// getTags returns a recycled or fresh zero-length in-flight tag slice.
+func (a *Array) getTags() []SlotTag {
+	if last := len(a.tagPool) - 1; last >= 0 {
+		t := a.tagPool[last]
+		a.tagPool[last] = nil
+		a.tagPool = a.tagPool[:last]
+		return t[:0]
+	}
+	return nil
+}
+
+func (a *Array) putTags(t []SlotTag) {
+	if cap(t) == 0 || len(a.tagPool) >= 64 {
+		return
+	}
+	a.tagPool = append(a.tagPool, t[:0])
 }
 
 // ErrProgramFailed reports a cell program that completed with bad status:
@@ -477,8 +540,14 @@ func (a *Array) eraseNow(block int) {
 	for i := 0; i < a.cfg.PagesPerBlock; i++ {
 		ppn := first + PPN(i)
 		a.state[ppn] = PageFree
-		delete(a.oob, ppn)
-		delete(a.data, ppn)
+		if m := a.oob[ppn]; m != nil {
+			a.oob[ppn] = nil
+			a.oobPool = append(a.oobPool, m)
+		}
+		if d := a.data[ppn]; d != nil {
+			a.data[ppn] = nil
+			a.bufPool = append(a.bufPool, d)
+		}
 		a.stuck[ppn] = 0
 		a.progAt[ppn] = 0
 	}

@@ -2,18 +2,34 @@
 //
 // All devices, database engines and workload clients in this repository run
 // in virtual time on a single Engine. Simulated concurrency is expressed with
-// processes (Proc): ordinary goroutines that are scheduled cooperatively so
-// that exactly one process executes at any instant. This makes every run
+// processes (Proc): coroutines that are scheduled cooperatively so that
+// exactly one process executes at any instant. This makes every run
 // deterministic for a given seed and lets multi-hour hardware experiments
 // finish in milliseconds of wall-clock time.
 //
 // The engine orders events by (timestamp, sequence number), so events
 // scheduled at the same virtual instant fire in the order they were created.
+//
+// # Scheduler internals
+//
+// Events live in a pooled arena ([]event plus a free list) and are ordered
+// by an indexed 4-ary min-heap whose nodes carry the (timestamp, seq) key
+// inline next to the arena index, so Schedule, Sleep and queue wakeups
+// allocate nothing in steady state and sift comparisons stay in one array. Processes are coroutines
+// (iter.Pull): resuming one is a direct stack switch on the dispatching
+// goroutine, costing tens of nanoseconds — no channel operation, no runtime
+// scheduler pass, no OS-thread wakeup. The dispatch loop runs on the single
+// goroutine that called Run: it pops events strictly by (timestamp, seq),
+// runs callback events (Schedule, Timer) inline, and switches into the
+// resumed process's coroutine for process events; the process switches back
+// when it parks. None of this changes the event order — schedules, and
+// every digest derived from them, are bit-identical to the boxed-heap
+// channel engine this replaced.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"iter"
 	"sort"
 	"time"
 )
@@ -25,20 +41,21 @@ import (
 // processes started via Go (which are serialized by the engine); it is not
 // safe for use from unrelated goroutines.
 type Engine struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
+	now       time.Duration
+	seq       uint64
+	processed uint64
 
-	yield   chan yieldMsg // running process -> engine handoff
-	running bool
-	procs   int // live (started, not yet finished) processes
-	blocked map[*Proc]struct{}
+	arena []event   // event storage; stable slots addressed by index
+	free  []int32   // recycled arena slots
+	heap  []heapEnt // 4-ary min-heap ordered by (at, seq), key stored inline
 
-	panicVal any // re-raised by Run if a process panicked
-}
+	running  bool
+	deadline time.Duration // active RunUntil deadline; negative = drain
 
-type yieldMsg struct {
-	done bool // process finished (returned or panicked)
+	procs    int
+	live     []*Proc // started-or-pending, not yet finished (for Blocked)
+	current  *Proc   // process being resumed (panic attribution); nil in callbacks
+	panicVal any     // re-raised by Run if a process or callback panicked
 }
 
 type event struct {
@@ -46,18 +63,28 @@ type event struct {
 	seq  uint64
 	fn   func() // callback event; nil when proc != nil
 	proc *Proc  // process to resume; nil for callback events
+	hpos int32  // position in heap; -1 when not queued
+}
+
+// heapEnt is one heap node: the event's sort key plus its arena index.
+type heapEnt struct {
+	at  time.Duration
+	seq uint64
+	idx int32
 }
 
 // New returns an empty engine with the virtual clock at zero.
 func New() *Engine {
-	return &Engine{
-		yield:   make(chan yieldMsg),
-		blocked: make(map[*Proc]struct{}),
-	}
+	return &Engine{deadline: -1}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// Events returns the total number of events processed since creation
+// (process resumptions plus callback firings). Benchmark harnesses divide
+// wall-clock time by this to get ns/event.
+func (e *Engine) Events() uint64 { return e.processed }
 
 // Schedule registers fn to run after delay d of virtual time.
 // A negative delay is treated as zero.
@@ -65,27 +92,17 @@ func (e *Engine) Schedule(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.push(&event{at: e.now + d, fn: fn})
-}
-
-func (e *Engine) push(ev *event) {
-	ev.seq = e.seq
-	e.seq++
-	heap.Push(&e.events, ev)
+	e.pushEvent(e.now+d, fn, nil)
 }
 
 // Go starts a new process executing fn. The process begins running at the
 // current virtual time (after already-pending events at this instant).
 // Go may be called before Run or from within a running process.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		eng:  e,
-		name: name,
-		wake: make(chan struct{}),
-		body: fn,
-	}
+	p := &Proc{eng: e, name: name, body: fn}
 	e.procs++
-	e.push(&event{at: e.now, proc: p})
+	e.addLive(p)
+	e.pushEvent(e.now, nil, p)
 	return p
 }
 
@@ -109,43 +126,72 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 		panic("sim: Run called reentrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
-
-	for len(e.events) > 0 {
-		ev := e.events[0]
-		if deadline >= 0 && ev.at > deadline {
-			break
-		}
-		heap.Pop(&e.events)
-		if ev.at > e.now {
-			e.now = ev.at
-		}
-		if ev.proc != nil {
-			e.resume(ev.proc)
-		} else {
-			ev.fn()
-		}
-		if e.panicVal != nil {
-			panic(e.panicVal)
-		}
-	}
+	e.deadline = deadline
+	e.loop()
+	e.running = false
+	e.deadline = -1
 	if deadline >= 0 && deadline > e.now {
 		e.now = deadline
 	}
+	if pv := e.panicVal; pv != nil {
+		e.panicVal = nil
+		panic(pv)
+	}
 }
 
-// resume transfers control to p and blocks until p parks or finishes.
+// loop is the dispatch loop: it pops events in (timestamp, seq) order,
+// running callbacks inline and switching into process coroutines. A panic in
+// a process or callback aborts the run; RunUntil re-raises it.
+func (e *Engine) loop() {
+	defer func() {
+		if r := recover(); r != nil {
+			if p := e.current; p != nil {
+				p.dead = true
+				e.procs--
+				e.removeLive(p)
+				r = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			e.panicVal = r
+		}
+		e.current = nil
+	}()
+	for len(e.heap) > 0 {
+		at := e.heap[0].at
+		if e.deadline >= 0 && at > e.deadline {
+			return
+		}
+		idx := e.popMin()
+		ev := &e.arena[idx]
+		fn, proc := ev.fn, ev.proc
+		e.freeEvent(idx)
+		if at > e.now {
+			e.now = at
+		}
+		e.processed++
+		if proc == nil {
+			e.current = nil
+			fn()
+			continue
+		}
+		proc.blocked = false
+		e.current = proc
+		e.resume(proc)
+		e.current = nil
+	}
+}
+
+// resume switches into p's coroutine, starting it on first resumption. It
+// returns when p parks again or its body finishes.
 func (e *Engine) resume(p *Proc) {
-	delete(e.blocked, p)
 	if !p.started {
 		p.started = true
-		go p.run()
-	} else {
-		p.wake <- struct{}{}
+		p.next, _ = iter.Pull(iter.Seq[struct{}](p.coro))
 	}
-	msg := <-e.yield
-	if msg.done {
+	if _, more := p.next(); !more {
+		// Body returned: the process is finished.
+		p.dead = true
 		e.procs--
+		e.removeLive(p)
 	}
 }
 
@@ -154,8 +200,10 @@ func (e *Engine) resume(p *Proc) {
 // Useful for diagnosing simulation deadlocks in tests.
 func (e *Engine) Blocked() []string {
 	var names []string
-	for p := range e.blocked {
-		names = append(names, p.name)
+	for _, p := range e.live {
+		if p.blocked {
+			names = append(names, p.name)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -165,15 +213,34 @@ func (e *Engine) Blocked() []string {
 // finished).
 func (e *Engine) Procs() int { return e.procs }
 
-// Proc is a simulated process: a goroutine whose execution is interleaved
+func (e *Engine) addLive(p *Proc) {
+	p.liveIdx = int32(len(e.live))
+	e.live = append(e.live, p)
+}
+
+func (e *Engine) removeLive(p *Proc) {
+	i := p.liveIdx
+	last := len(e.live) - 1
+	e.live[i] = e.live[last]
+	e.live[i].liveIdx = i
+	e.live[last] = nil
+	e.live = e.live[:last]
+	p.liveIdx = -1
+}
+
+// Proc is a simulated process: a coroutine whose execution is interleaved
 // deterministically with other processes by the Engine. All Proc methods
-// must be called from the process's own goroutine.
+// must be called from the process itself (inside its body function).
 type Proc struct {
 	eng     *Engine
 	name    string
-	wake    chan struct{}
 	body    func(p *Proc)
+	next    func() (struct{}, bool) // resumes the coroutine
+	yield   func(struct{}) bool     // parks the coroutine; set by coro
 	started bool
+	blocked bool  // parked, wakeup not yet processed
+	dead    bool  // body finished or panicked
+	liveIdx int32 // position in eng.live; -1 when finished
 }
 
 // Name returns the name given to Engine.Go.
@@ -185,13 +252,11 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current virtual time.
 func (p *Proc) Now() time.Duration { return p.eng.now }
 
-func (p *Proc) run() {
-	defer func() {
-		if r := recover(); r != nil {
-			p.eng.panicVal = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
-		}
-		p.eng.yield <- yieldMsg{done: true}
-	}()
+// coro is the coroutine body: capture the yield switch, then run the
+// process body. Panics propagate out of the resume call in the dispatch
+// loop, which attributes them to this process.
+func (p *Proc) coro(yield func(struct{}) bool) {
+	p.yield = yield
 	p.body(p)
 }
 
@@ -200,7 +265,8 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.push(&event{at: p.eng.now + d, proc: p})
+	e := p.eng
+	e.pushEvent(e.now+d, nil, p)
 	p.park()
 }
 
@@ -208,31 +274,159 @@ func (p *Proc) Sleep(d time.Duration) {
 // events and processes scheduled for this instant run first.
 func (p *Proc) Yield() { p.Sleep(0) }
 
-// park returns control to the engine until another event resumes p.
+// park switches back to the dispatch loop until another event resumes p.
 // The caller must have arranged a wakeup (event, queue signal, ...).
+//
+// Fast path: when the earliest runnable event is p's own wakeup (common for
+// sequential service loops sleeping through an idle stretch), p consumes it
+// in place — the clock advances and the event counts as processed, but no
+// coroutine switch happens. The pop order is unchanged: the event consumed
+// is exactly the one the dispatch loop would have popped next.
 func (p *Proc) park() {
-	p.eng.blocked[p] = struct{}{}
-	p.eng.yield <- yieldMsg{}
-	<-p.wake
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	e := p.eng
+	if len(e.heap) > 0 {
+		top := e.heap[0]
+		if e.arena[top.idx].proc == p && (e.deadline < 0 || top.at <= e.deadline) {
+			at := top.at
+			e.freeEvent(e.popMin())
+			if at > e.now {
+				e.now = at
+			}
+			e.processed++
+			return
+		}
 	}
-	return h[i].seq < h[j].seq
+	p.blocked = true
+	p.yield(struct{}{})
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// --- event arena and indexed min-heap ---
+
+// pushEvent queues an event, reusing a free arena slot when one exists.
+// It returns the arena index (used by Timer to cancel).
+func (e *Engine) pushEvent(at time.Duration, fn func(), proc *Proc) int32 {
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{})
+		idx = int32(len(e.arena) - 1)
+	}
+	ev := &e.arena[idx]
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	ev.fn = fn
+	ev.proc = proc
+	e.heap = append(e.heap, heapEnt{at: at, seq: ev.seq, idx: idx})
+	ev.hpos = int32(len(e.heap) - 1)
+	e.siftUp(len(e.heap) - 1)
+	return idx
+}
+
+// freeEvent recycles an arena slot, dropping references so the GC can
+// collect captured closures.
+func (e *Engine) freeEvent(idx int32) {
+	ev := &e.arena[idx]
+	ev.fn = nil
+	ev.proc = nil
+	e.free = append(e.free, idx)
+}
+
+// less orders two heap entries by (at, seq) — a total order, since seq is
+// unique per event.
+func less(a, b *heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// The heap is 4-ary and stores the (at, seq) sort key inline next to the
+// arena index, so sifts compare without chasing into the arena. 4 children
+// halve the depth of a binary heap; the key is a total order, so any correct
+// heap pops events in exactly the same sequence — arity and layout are
+// invisible to the simulated schedule (locked by the golden-digest tests).
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		e.arena[h[i].idx].hpos = int32(i)
+		i = parent
+	}
+	e.arena[h[i].idx].hpos = int32(i)
+}
+
+// siftDown restores the heap below i and reports whether i moved.
+func (e *Engine) siftDown(i int) bool {
+	h := e.heap
+	n := len(h)
+	start := i
+	for {
+		l := 4*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		end := l + 4
+		if end > n {
+			end = n
+		}
+		for c := l + 1; c < end; c++ {
+			if less(&h[c], &h[m]) {
+				m = c
+			}
+		}
+		if !less(&h[m], &h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		e.arena[h[i].idx].hpos = int32(i)
+		i = m
+	}
+	e.arena[h[i].idx].hpos = int32(i)
+	return i > start
+}
+
+// popMin removes and returns the arena index of the earliest event.
+func (e *Engine) popMin() int32 {
+	h := e.heap
+	idx := h[0].idx
+	last := len(h) - 1
+	if last > 0 {
+		h[0] = h[last]
+		e.arena[h[0].idx].hpos = 0
+	}
+	e.heap = h[:last]
+	if last > 1 {
+		e.siftDown(0)
+	}
+	e.arena[idx].hpos = -1
+	return idx
+}
+
+// removeEvent cancels a queued event and recycles its slot (Timer.Stop).
+func (e *Engine) removeEvent(idx int32) {
+	pos := int(e.arena[idx].hpos)
+	if pos < 0 {
+		return
+	}
+	h := e.heap
+	last := len(h) - 1
+	if pos != last {
+		h[pos] = h[last]
+		e.arena[h[pos].idx].hpos = int32(pos)
+	}
+	e.heap = h[:last]
+	if pos < last && !e.siftDown(pos) {
+		e.siftUp(pos)
+	}
+	e.arena[idx].hpos = -1
+	e.freeEvent(idx)
 }

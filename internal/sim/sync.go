@@ -2,6 +2,51 @@ package sim
 
 import "time"
 
+// ring is a growable FIFO ring buffer. Push and pop are O(1) and the
+// backing array is reused, so steady-state waiter traffic on queues and
+// resources allocates nothing — unlike the copy-shift slices it replaces,
+// whose front-removal was O(n) per wakeup.
+type ring[T any] struct {
+	buf  []T // length is always a power of two (or zero)
+	head int
+	n    int
+}
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *ring[T]) pop() T {
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// front returns a pointer to the oldest element without removing it.
+func (r *ring[T]) front() *T {
+	return &r.buf[r.head]
+}
+
+func (r *ring[T]) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]T, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
 // Queue is a FIFO wait queue for processes, the building block for
 // condition-style synchronization. A process calls Wait to park; another
 // process (or a callback event) calls WakeOne/WakeAll to resume waiters.
@@ -9,41 +54,39 @@ import "time"
 // order via event sequence numbers.
 type Queue struct {
 	eng     *Engine
-	waiters []*Proc
+	waiters ring[*Proc]
 }
 
 // NewQueue returns an empty wait queue bound to eng.
 func NewQueue(eng *Engine) *Queue { return &Queue{eng: eng} }
 
 // Len returns the number of waiting processes.
-func (q *Queue) Len() int { return len(q.waiters) }
+func (q *Queue) Len() int { return q.waiters.n }
 
 // Wait parks p until a wakeup. The caller must re-check its condition after
 // returning (Mesa semantics).
 func (q *Queue) Wait(p *Proc) {
-	q.waiters = append(q.waiters, p)
+	q.waiters.push(p)
 	p.park()
 }
 
 // WakeOne resumes the longest-waiting process, if any, and reports whether
 // a process was woken.
 func (q *Queue) WakeOne() bool {
-	if len(q.waiters) == 0 {
+	if q.waiters.n == 0 {
 		return false
 	}
-	p := q.waiters[0]
-	copy(q.waiters, q.waiters[1:])
-	q.waiters = q.waiters[:len(q.waiters)-1]
-	q.eng.push(&event{at: q.eng.now, proc: p})
+	p := q.waiters.pop()
+	q.eng.pushEvent(q.eng.now, nil, p)
 	return true
 }
 
 // WakeAll resumes every waiting process in FIFO order.
 func (q *Queue) WakeAll() {
-	for _, p := range q.waiters {
-		q.eng.push(&event{at: q.eng.now, proc: p})
+	for q.waiters.n > 0 {
+		p := q.waiters.pop()
+		q.eng.pushEvent(q.eng.now, nil, p)
 	}
-	q.waiters = q.waiters[:0]
 }
 
 // Resource is a counting resource with FIFO admission, modelling servers
@@ -52,13 +95,12 @@ type Resource struct {
 	eng      *Engine
 	capacity int
 	inUse    int
-	waiters  []*resWaiter
+	waiters  ring[resWaiter]
 }
 
 type resWaiter struct {
-	p       *Proc
-	n       int
-	granted bool
+	p *Proc
+	n int
 }
 
 // NewResource returns a resource with the given capacity (units > 0).
@@ -76,50 +118,54 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting to acquire.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.n }
 
 // Acquire obtains n units for p, blocking in FIFO order until available.
-// n must not exceed the capacity.
+// n must be positive and must not exceed the capacity.
 func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		panic("sim: acquire units must be positive")
+	}
 	if n > r.capacity {
 		panic("sim: acquire exceeds resource capacity")
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.waiters.n == 0 && r.inUse+n <= r.capacity {
 		r.inUse += n
 		return
 	}
-	w := &resWaiter{p: p, n: n}
-	r.waiters = append(r.waiters, w)
-	for !w.granted {
-		p.park()
-	}
+	r.waiters.push(resWaiter{p: p, n: n})
+	// Single park: Release applies the grant (inUse) before scheduling the
+	// wakeup, and nothing else resumes a resource waiter, so the grant is
+	// complete when park returns.
+	p.park()
 }
 
 // TryAcquire obtains n units without blocking and reports success.
 func (r *Resource) TryAcquire(n int) bool {
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.waiters.n == 0 && r.inUse+n <= r.capacity {
 		r.inUse += n
 		return true
 	}
 	return false
 }
 
-// Release returns n units and admits queued waiters in FIFO order.
+// Release returns n units (n > 0) and admits queued waiters in FIFO order.
 func (r *Resource) Release(n int) {
+	if n <= 0 {
+		panic("sim: release units must be positive")
+	}
 	r.inUse -= n
 	if r.inUse < 0 {
 		panic("sim: resource released below zero")
 	}
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	for r.waiters.n > 0 {
+		w := r.waiters.front()
 		if r.inUse+w.n > r.capacity {
 			break
 		}
 		r.inUse += w.n
-		w.granted = true
-		copy(r.waiters, r.waiters[1:])
-		r.waiters = r.waiters[:len(r.waiters)-1]
-		r.eng.push(&event{at: r.eng.now, proc: w.p})
+		r.eng.pushEvent(r.eng.now, nil, w.p)
+		r.waiters.pop()
 	}
 }
 

@@ -1,0 +1,55 @@
+package sim
+
+import "time"
+
+// Timer fires a fixed callback at a virtual instant, with O(log n) Reset
+// and Stop. It is the callback fast path for sequential service loops: a
+// device stage driven by a Timer costs one recycled arena event per firing
+// — no goroutine, no channel handoff, and no allocation after the Timer
+// itself. Use a Proc instead when the logic genuinely blocks (acquiring
+// resources, waiting on queues mid-operation).
+//
+// A Timer fires at most once per Reset; Reset from within the callback
+// re-arms it. Like everything else on the Engine, Timers are single-owner:
+// call methods only from the engine's own processes and callbacks.
+type Timer struct {
+	eng  *Engine
+	fn   func()
+	wrap func() // clears idx, then runs fn; allocated once
+	idx  int32  // arena index of the pending event; -1 when idle
+}
+
+// NewTimer returns an idle timer that will run fn each time it fires.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	t := &Timer{eng: e, fn: fn, idx: -1}
+	t.wrap = func() {
+		t.idx = -1
+		t.fn()
+	}
+	return t
+}
+
+// Reset (re)schedules the timer to fire after d of virtual time, cancelling
+// any pending firing. A negative delay is treated as zero.
+func (t *Timer) Reset(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if t.idx >= 0 {
+		t.eng.removeEvent(t.idx)
+	}
+	t.idx = t.eng.pushEvent(t.eng.now+d, t.wrap, nil)
+}
+
+// Stop cancels a pending firing and reports whether one was pending.
+func (t *Timer) Stop() bool {
+	if t.idx < 0 {
+		return false
+	}
+	t.eng.removeEvent(t.idx)
+	t.idx = -1
+	return true
+}
+
+// Active reports whether a firing is pending.
+func (t *Timer) Active() bool { return t.idx >= 0 }

@@ -1,0 +1,226 @@
+package simbench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"durassd/internal/couch"
+	"durassd/internal/crashpoint"
+	"durassd/internal/faults"
+	"durassd/internal/fio"
+	"durassd/internal/iotrace"
+	"durassd/internal/repro"
+	"durassd/internal/workload/ycsb"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_digests.json from the current engine")
+
+// The golden digests pin the exact virtual-time schedule of every database
+// engine and workload on DuraSSD: device event streams (write acks, flush
+// drains, NAND programs/erases, retirements) hashed together with the
+// audited outcomes. A scheduler change that reorders two events, shifts a
+// timestamp by a nanosecond, or changes a crash verdict flips a digest.
+// They were generated before the zero-alloc scheduler refactor and must
+// stay byte-identical after it.
+
+type digestFn func(t *testing.T) string
+
+func goldenCases() map[string]digestFn {
+	return map[string]digestFn{
+		"faults-innodb-durassd": func(t *testing.T) string {
+			return faultsDigest(t, faults.EngineInnoDB, false, 5, 12*time.Millisecond, false)
+		},
+		"faults-pgsql-durassd": func(t *testing.T) string {
+			return faultsDigest(t, faults.EnginePgSQL, true, 6, 15*time.Millisecond, false)
+		},
+		"faults-innodb-durassd-wearout": func(t *testing.T) string { return faultsDigest(t, faults.EngineInnoDB, false, 9, 0, true) },
+		"crashpoint-innodb-durassd":     func(t *testing.T) string { return crashpointDigest(t, faults.EngineInnoDB, 3) },
+		"crashpoint-pgsql-durassd":      func(t *testing.T) string { return crashpointDigest(t, faults.EnginePgSQL, 4) },
+		"fio-fsync-durassd":             fioDigest,
+		"ycsb-a-durassd":                ycsbDigest,
+	}
+}
+
+// faultsDigest runs one crash (or wear-out probe) scenario and hashes the
+// member-stamped device event stream plus the audited verdict.
+func faultsDigest(t *testing.T, engine faults.EngineKind, doubleWrite bool, seed int64, cutAfter time.Duration, wearOut bool) string {
+	t.Helper()
+	var b strings.Builder
+	opts := faults.Options{
+		EventFn: func(member int, kind iotrace.EventKind, at time.Duration) {
+			fmt.Fprintf(&b, "%d %s %d\n", member, kind, int64(at))
+		},
+	}
+	s := faults.Scenario{
+		Device:      faults.DuraSSD,
+		Engine:      engine,
+		DoubleWrite: doubleWrite,
+		Clients:     8,
+		Updates:     300,
+		CutAfter:    cutAfter,
+		Seed:        seed,
+		WearOut:     wearOut,
+	}
+	if wearOut {
+		opts.NoCut = true // probe: run the scrub/retire schedule to completion
+	}
+	v, err := faults.RunWith(s, opts)
+	if err != nil {
+		t.Fatalf("faults.RunWith: %v", err)
+	}
+	fmt.Fprintf(&b, "acked=%d lost=%d torn=%d redo=%d dump=%d retries=%d lostdev=%d\n",
+		v.AckedCommits, v.LostCommits, v.TornPages, v.RedoApplied, v.DumpPages, v.DumpRetries, v.LostDevPages)
+	return hash(b.String())
+}
+
+// crashpointDigest explores a small campaign and folds the schedule digest
+// together with the safety tallies.
+func crashpointDigest(t *testing.T, engine faults.EngineKind, seed int64) string {
+	t.Helper()
+	res, err := crashpoint.Explore(crashpoint.Campaign{
+		Scenario: faults.Scenario{
+			Device:  faults.DuraSSD,
+			Engine:  engine,
+			Clients: 6,
+			Updates: 120,
+			Seed:    seed,
+		},
+		MaxPoints: 6,
+	})
+	if err != nil {
+		t.Fatalf("crashpoint.Explore: %v", err)
+	}
+	return hash(fmt.Sprintf("schedule=%s points=%d unsafe=%d lost=%d torn=%d\n",
+		res.Digest, len(res.Points), res.Unsafe, res.Lost, res.Torn))
+}
+
+// fioDigest runs a small fsync-heavy fio job on DuraSSD and hashes the
+// device event stream plus the final throughput numbers.
+func fioDigest(t *testing.T) string {
+	t.Helper()
+	rig, err := repro.NewRig(repro.DuraSSD, 32, true)
+	if err != nil {
+		t.Fatalf("NewRig: %v", err)
+	}
+	var b strings.Builder
+	rig.SSDDev().Registry().SetEventFn(func(kind iotrace.EventKind, at time.Duration) {
+		fmt.Fprintf(&b, "%s %d\n", kind, int64(at))
+	})
+	res, err := fio.Run(rig.Eng, rig.FS, fio.Job{
+		Name:       "golden",
+		Threads:    3,
+		ReadPct:    20,
+		FsyncEvery: 8,
+		Ops:        1200,
+		FilePages:  rig.Dev.Pages() / 2, // leave GC headroom at this small scale
+		Seed:       1234,
+		Preload:    true,
+	})
+	if err != nil {
+		t.Fatalf("fio.Run: %v", err)
+	}
+	st := rig.Dev.Stats()
+	fmt.Fprintf(&b, "ops=%d elapsed=%d written=%d read=%d flushes=%d\n",
+		res.Ops, int64(res.Elapsed), st.PagesWritten, st.PagesRead, st.FlushCommands)
+	return hash(b.String())
+}
+
+// ycsbDigest runs a small YCSB-A job against couch on DuraSSD and hashes
+// the device event stream plus the final counters.
+func ycsbDigest(t *testing.T) string {
+	t.Helper()
+	rig, err := repro.NewRig(repro.DuraSSD, 32, true)
+	if err != nil {
+		t.Fatalf("NewRig: %v", err)
+	}
+	var b strings.Builder
+	rig.SSDDev().Registry().SetEventFn(func(kind iotrace.EventKind, at time.Duration) {
+		fmt.Fprintf(&b, "%s %d\n", kind, int64(at))
+	})
+	const docs = 2000
+	st, err := couch.Open(rig.Eng, rig.FS, couch.Config{Docs: docs, BatchSize: 50})
+	if err != nil {
+		t.Fatalf("couch.Open: %v", err)
+	}
+	res, err := ycsb.Run(rig.Eng, st, docs, ycsb.Config{
+		Operations: 3000,
+		UpdatePct:  50,
+		Threads:    2,
+		Seed:       99,
+	})
+	if err != nil {
+		t.Fatalf("ycsb.Run: %v", err)
+	}
+	ds := rig.Dev.Stats()
+	fmt.Fprintf(&b, "ops=%d elapsed=%d written=%d read=%d flushes=%d\n",
+		res.Ops, int64(res.Elapsed), ds.PagesWritten, ds.PagesRead, ds.FlushCommands)
+	return hash(b.String())
+}
+
+func hash(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+const goldenPath = "testdata/golden_digests.json"
+
+func TestGoldenDigests(t *testing.T) {
+	cases := goldenCases()
+	got := make(map[string]string, len(cases))
+	for _, name := range repro.SortedKeys(cases) {
+		got[name] = cases[name](t)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden digests to %s", len(got), goldenPath)
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading goldens (run with -update-golden to generate): %v", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, test has %d", len(want), len(got))
+	}
+	for _, name := range repro.SortedKeys(got) {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: missing from golden file (run -update-golden)", name)
+			continue
+		}
+		if got[name] != w {
+			t.Errorf("%s: digest drifted\n  got  %s\n  want %s\nthe virtual-time schedule changed: identical seeds must stay byte-identical across scheduler refactors", name, got[name], w)
+		}
+	}
+}
+
+// TestGoldenDigestsStable runs one representative digest twice in-process
+// to catch nondeterminism that would also poison the golden comparison.
+func TestGoldenDigestsStable(t *testing.T) {
+	a := crashpointDigest(t, faults.EngineInnoDB, 3)
+	b := crashpointDigest(t, faults.EngineInnoDB, 3)
+	if a != b {
+		t.Fatalf("same-process digests differ: %s vs %s", a, b)
+	}
+}

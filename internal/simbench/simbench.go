@@ -1,0 +1,253 @@
+// Package simbench measures the simulator's own wall-clock speed on fixed
+// seeded scenarios: events per second, nanoseconds per event and heap
+// allocations per event. Every run of a scenario replays the identical
+// virtual-time schedule (same seeds, same event order), so differences
+// between two measurements are differences in the scheduler and device
+// hot paths — the BENCH_<n>.json files committed at the repo root track
+// that trajectory across PRs, and CI fails on a >2x ns/event regression.
+//
+// The numbers are host wall-clock readings, the one place in the tree
+// (outside cmd/) that legitimately reads the real clock; the simulated
+// results themselves stay in virtual time and are byte-identical across
+// hosts.
+package simbench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"durassd/internal/couch"
+	"durassd/internal/faults"
+	"durassd/internal/fio"
+	"durassd/internal/host"
+	"durassd/internal/repro"
+	"durassd/internal/sim"
+	"durassd/internal/ssd"
+	"durassd/internal/storage"
+	"durassd/internal/vol"
+	"durassd/internal/workload/ycsb"
+)
+
+// Result is one scenario measurement.
+type Result struct {
+	Name   string
+	Events uint64        // engine events processed
+	Wall   time.Duration // host wall-clock time for the run
+	Allocs uint64        // heap allocations during the run
+}
+
+// EventsPerSec returns the throughput of the simulator core.
+func (r Result) EventsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.Wall.Seconds()
+}
+
+// NsPerEvent returns the mean wall-clock cost of one event.
+func (r Result) NsPerEvent() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.Wall.Nanoseconds()) / float64(r.Events)
+}
+
+// AllocsPerEvent returns mean heap allocations per event (whole scenario:
+// workload and device model included, not just the scheduler).
+func (r Result) AllocsPerEvent() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.Allocs) / float64(r.Events)
+}
+
+// Scenario is one fixed seeded workload. run executes it once on a fresh
+// engine and returns the number of engine events processed.
+type Scenario struct {
+	Name string
+	Desc string
+	run  func() (uint64, error)
+}
+
+// Scenarios returns the benchmark suite, in reporting order. Each entry is
+// fully seeded: the virtual-time schedule is identical on every run.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "fio-randwrite-durassd",
+			Desc: "fio 4KB random write, 4 threads, DuraSSD scale 16, preloaded",
+			run:  runFioRandWrite,
+		},
+		{
+			Name: "ycsb-a-striped4",
+			Desc: "YCSB-A (50/50) on a couch store over striped-4 DuraSSD",
+			run:  runYCSBAStriped4,
+		},
+		{
+			Name: "crashexplore-probe",
+			Desc: "crash-point probe run: InnoDB on DuraSSD, no cut, schedule recorded",
+			run:  runCrashExploreProbe,
+		},
+	}
+}
+
+// Find returns the named scenario.
+func Find(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("simbench: unknown scenario %q", name)
+}
+
+func runFioRandWrite() (uint64, error) {
+	rig, err := repro.NewRig(repro.DuraSSD, 16, false)
+	if err != nil {
+		return 0, err
+	}
+	_, err = fio.Run(rig.Eng, rig.FS, fio.Job{
+		Name:    "randwrite",
+		Threads: 4,
+		ReadPct: 0,
+		Ops:     24_000,
+		Seed:    42,
+		Preload: true,
+	})
+	return rig.Eng.Events(), err
+}
+
+func runYCSBAStriped4() (uint64, error) {
+	const docs = 4000
+	eng := sim.New()
+	members := make([]storage.Device, 4)
+	for i := range members {
+		d, err := ssd.New(eng, ssd.DuraSSD(32))
+		if err != nil {
+			return 0, err
+		}
+		members[i] = d
+	}
+	v, err := vol.NewStriped(eng, members, 0)
+	if err != nil {
+		return 0, err
+	}
+	fs := host.NewFS(v, true)
+	st, err := couch.Open(eng, fs, couch.Config{Docs: docs, BatchSize: 100})
+	if err != nil {
+		return 0, err
+	}
+	_, err = ycsb.Run(eng, st, docs, ycsb.Config{
+		Operations: 8000,
+		UpdatePct:  50,
+		Threads:    2,
+		Seed:       7,
+	})
+	return eng.Events(), err
+}
+
+func runCrashExploreProbe() (uint64, error) {
+	var eng *sim.Engine
+	_, err := faults.RunWith(faults.Scenario{
+		Device:  faults.DuraSSD,
+		Engine:  faults.EngineInnoDB,
+		Clients: 8,
+		Updates: 600,
+		Seed:    11,
+	}, faults.Options{
+		NoCut:      true,
+		EngineHook: func(e *sim.Engine) { eng = e },
+	})
+	if err != nil {
+		return 0, err
+	}
+	return eng.Events(), nil
+}
+
+// Measure runs s once and reports its cost. A GC runs first so the
+// allocation delta belongs to the scenario.
+func Measure(s Scenario) (Result, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now() //simlint:allow nowalltime benchmark harness measures host wall-clock speed by design
+	events, err := s.run()
+	wall := time.Since(start) //simlint:allow nowalltime benchmark harness measures host wall-clock speed by design
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return Result{}, fmt.Errorf("simbench: scenario %s: %w", s.Name, err)
+	}
+	if events == 0 {
+		return Result{}, fmt.Errorf("simbench: scenario %s processed no events", s.Name)
+	}
+	return Result{Name: s.Name, Events: events, Wall: wall, Allocs: m1.Mallocs - m0.Mallocs}, nil
+}
+
+// MeasureBest runs s repeat times and keeps the fastest wall clock (the
+// run least disturbed by the host); the event count is identical across
+// repeats by construction, and the allocation count is taken from the
+// first run (later runs hit warmed package-level state).
+func MeasureBest(s Scenario, repeat int) (Result, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	var best Result
+	for i := 0; i < repeat; i++ {
+		r, err := Measure(s)
+		if err != nil {
+			return Result{}, err
+		}
+		if i == 0 {
+			best = r
+			continue
+		}
+		if r.Wall < best.Wall {
+			r.Allocs = best.Allocs
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// Report assembles the shared -json schema from a set of results. Metric
+// keys are "<scenario>/<metric>" so downstream tooling can track each
+// scenario's trajectory independently.
+func Report(results []Result, repeat int) *repro.JSONReport {
+	rep := repro.NewJSONReport("simbench")
+	rep.SetConfig("repeat", repeat)
+	for _, r := range results {
+		rep.AddMetric(r.Name+"/events", float64(r.Events))
+		rep.AddMetric(r.Name+"/wall_ns", float64(r.Wall.Nanoseconds()))
+		rep.AddMetric(r.Name+"/ns_per_event", r.NsPerEvent())
+		rep.AddMetric(r.Name+"/events_per_sec", r.EventsPerSec())
+		rep.AddMetric(r.Name+"/allocs_per_event", r.AllocsPerEvent())
+	}
+	return rep
+}
+
+// CheckRegression compares fresh results against a committed baseline
+// report and returns an error if any scenario's ns/event exceeds factor
+// times its committed value. Scenarios missing from the baseline are
+// ignored (new scenarios start a fresh trajectory).
+func CheckRegression(results []Result, baseline *JSONBaseline, factor float64) error {
+	for _, r := range results {
+		base, ok := baseline.Metrics[r.Name+"/ns_per_event"]
+		if !ok || base <= 0 {
+			continue
+		}
+		if cur := r.NsPerEvent(); cur > base*factor {
+			return fmt.Errorf("simbench: %s regressed: %.1f ns/event vs baseline %.1f (limit %.1fx)",
+				r.Name, cur, base, factor)
+		}
+	}
+	return nil
+}
+
+// JSONBaseline is the subset of the shared report schema the regression
+// check needs.
+type JSONBaseline struct {
+	Schema  int                `json:"schema"`
+	Tool    string             `json:"tool"`
+	Metrics map[string]float64 `json:"metrics"`
+}

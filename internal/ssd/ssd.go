@@ -130,6 +130,35 @@ type Device struct {
 	stats *storage.Stats
 
 	cacheOn bool
+
+	// slotsPool recycles the per-command SlotWrite scratch. A command holds
+	// its slice exclusively from getSlots to putSlots (the cache controller
+	// copies slot data during staging), so concurrent commands simply draw
+	// distinct slices.
+	slotsPool [][]ftl.SlotWrite
+}
+
+func (d *Device) getSlots(n int) []ftl.SlotWrite {
+	if last := len(d.slotsPool) - 1; last >= 0 {
+		s := d.slotsPool[last]
+		d.slotsPool[last] = nil
+		d.slotsPool = d.slotsPool[:last]
+		if cap(s) >= n {
+			s = s[:n]
+			for i := range s {
+				s[i] = ftl.SlotWrite{}
+			}
+			return s
+		}
+	}
+	return make([]ftl.SlotWrite, n)
+}
+
+func (d *Device) putSlots(s []ftl.SlotWrite) {
+	if cap(s) == 0 || len(d.slotsPool) >= 8 {
+		return
+	}
+	d.slotsPool = append(d.slotsPool, s[:0])
 }
 
 // New builds a powered-on, empty device from the profile.
@@ -208,8 +237,8 @@ func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, dat
 	if err := devfront.CheckBuf("ssd: write", data, n, ss); err != nil {
 		return err
 	}
-	release := d.front.Enqueue(p, req)
-	defer release()
+	d.front.Enqueue(p, req)
+	defer d.front.Dequeue()
 
 	// Serialized host-link occupancy: protocol overhead + data transfer.
 	d.front.TransferIn(p, req, n*ss)
@@ -221,7 +250,8 @@ func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, dat
 		return err
 	}
 
-	slots := make([]ftl.SlotWrite, n)
+	slots := d.getSlots(n)
+	defer d.putSlots(slots)
 	for i := 0; i < n; i++ {
 		slots[i].LPN = lpn + storage.LPN(i)
 		slots[i].Origin = req.Origin
@@ -262,8 +292,8 @@ func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf 
 	if err := devfront.CheckBuf("ssd: read", buf, n, ss); err != nil {
 		return err
 	}
-	release := d.front.Enqueue(p, req)
-	defer release()
+	d.front.Enqueue(p, req)
+	defer d.front.Dequeue()
 
 	fsp := req.Begin(p, iotrace.LayerFirmware)
 	p.Sleep(d.prof.FirmwareRead)
@@ -306,12 +336,12 @@ func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf 
 // fsync storms crater throughput (Table 1) and inflate tail latency
 // (Table 3) on every drive that must honor them.
 func (d *Device) Flush(p *sim.Proc, req iotrace.Req) error {
-	release, err := d.front.FlushEnter(p, req)
-	if err != nil {
+	if err := d.front.FlushEnter(p, req); err != nil {
 		return err
 	}
-	defer release()
+	defer d.front.FlushExit()
 	d.reg.Emit(iotrace.EvFlushStart, p.Now())
+	var err error
 	if d.cacheOn {
 		err = d.ctrl.FlushCache(p, req)
 	} else {
