@@ -31,7 +31,23 @@ func main() {
 	checkFactor := flag.Float64("check-factor", 2.0, "ns/event regression factor that fails -check")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
+	shardsweep := flag.Bool("shardsweep", false, "measure the shards scenario at 1/2/4/8 workers and print the scaling table")
 	flag.Parse()
+
+	if *shardsweep {
+		rows, err := simbench.ShardSweep([]int{1, 2, 4, 8}, *repeat)
+		if err != nil {
+			fatal(err)
+		}
+		base := rows[0].Result.EventsPerSec()
+		fmt.Printf("shards scaling on %d CPUs (virtual-time schedule identical in every row):\n", runtime.NumCPU())
+		for _, row := range rows {
+			r := row.Result
+			fmt.Printf("  workers=%d  %9d events  %10.0f events/sec  %7.1f ns/event  %.2fx\n",
+				row.Workers, r.Events, r.EventsPerSec(), r.NsPerEvent(), r.EventsPerSec()/base)
+		}
+		return
+	}
 
 	scenarios := simbench.Scenarios()
 	if *scenario != "" {

@@ -11,7 +11,8 @@
 // processes in these packages must be long-lived (started at construction,
 // living for the device's lifetime) and must carry an audited
 // //simlint:allow procbudget <reason> directive; per-request work belongs
-// in callbacks or on an existing process.
+// in callbacks or on an existing process. sim.Domain.Go — the cluster-era
+// shorthand for Engine().Go — counts against the same budget.
 //
 // Test files are exempt: spawning driver processes is how device tests
 // express workloads, and none of that runs inside measured scenarios.
@@ -58,31 +59,42 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Name() != "Go" || !isEngineMethod(fn) {
+			if !ok || fn.Name() != "Go" {
 				return true
 			}
-			pass.Reportf(call.Pos(), "sim.Engine.Go in device hot-path package %s: per-request processes defeat the zero-alloc scheduler fast path; use Schedule/Timer callbacks or an existing process, or justify a long-lived singleton with //simlint:allow procbudget <reason>", pass.Pkg.Path())
+			recv := spawnReceiver(fn)
+			if recv == "" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "sim.%s.Go in device hot-path package %s: per-request processes defeat the zero-alloc scheduler fast path; use Schedule/Timer callbacks or an existing process, or justify a long-lived singleton with //simlint:allow procbudget <reason>", recv, pass.Pkg.Path())
 			return true
 		})
 	}
 	return nil
 }
 
-// isEngineMethod reports whether fn is a method with receiver
-// *durassd/internal/sim.Engine.
-func isEngineMethod(fn *types.Func) bool {
+// spawnReceiver returns "Engine" or "Domain" when fn is the corresponding
+// process-spawning method of durassd/internal/sim (Domain.Go is just
+// Engine().Go shorthand, so both count against the budget), else "".
+func spawnReceiver(fn *types.Func) string {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
-		return false
+		return ""
 	}
 	ptr, ok := sig.Recv().Type().(*types.Pointer)
 	if !ok {
-		return false
+		return ""
 	}
 	named, ok := ptr.Elem().(*types.Named)
 	if !ok {
-		return false
+		return ""
 	}
 	obj := named.Obj()
-	return obj.Name() == "Engine" && obj.Pkg() != nil && obj.Pkg().Path() == "durassd/internal/sim"
+	if obj.Pkg() == nil || obj.Pkg().Path() != "durassd/internal/sim" {
+		return ""
+	}
+	if n := obj.Name(); n == "Engine" || n == "Domain" {
+		return n
+	}
+	return ""
 }

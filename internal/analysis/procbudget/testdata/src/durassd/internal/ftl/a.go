@@ -28,3 +28,11 @@ func unrelatedGoMethod() {
 	var n notSim
 	n.Go("x", func() {})
 }
+
+func perRequestViaDomain(d *sim.Domain) {
+	d.Go("per-request", func(p *sim.Proc) {}) // want `sim\.Domain\.Go in device hot-path package`
+}
+
+func allowedDomainSingleton(d *sim.Domain) {
+	d.Go("bg-loop", func(p *sim.Proc) {}) //simlint:allow procbudget long-lived singleton started once at construction
+}

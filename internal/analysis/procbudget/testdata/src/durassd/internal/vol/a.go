@@ -8,3 +8,7 @@ import "durassd/internal/sim"
 func spawnFreely(eng *sim.Engine) {
 	eng.Go("vol-io", func(p *sim.Proc) {})
 }
+
+func spawnFreelyViaDomain(d *sim.Domain) {
+	d.Go("vol-io", func(p *sim.Proc) {})
+}

@@ -10,24 +10,35 @@
 // as engine processes (sim.Engine.Go), which are ordinary goroutines
 // *driven* by the engine's handoff protocol.
 //
-// internal/sim itself is exempt: it owns the handoff protocol and is the
-// one place a raw goroutine is part of the design. Anything else needs an
-// audited //simlint:allow simproc <reason> directive.
+// The same fence covers OS-thread pinning: runtime.LockOSThread and
+// runtime.UnlockOSThread exist for the cluster runtime's per-domain
+// workers, whose coroutines must always resume on their creation thread.
+// Pinning anywhere else either does nothing (single-engine code) or
+// fights the cluster's thread discipline (a coroutine resumed under a
+// different lock state aborts the process) — so thread locking outside
+// internal/sim is flagged alongside raw go statements.
+//
+// internal/sim itself is exempt: it owns the handoff protocol and the
+// cluster's worker threads, and is the one place raw goroutines and
+// thread pinning are part of the design. Anything else needs an audited
+// //simlint:allow simproc <reason> directive.
 package simproc
 
 import (
 	"go/ast"
+	"go/types"
 
 	"durassd/internal/analysis"
 )
 
-// ExemptPaths are the packages allowed to start raw goroutines.
+// ExemptPaths are the packages allowed to start raw goroutines and pin OS
+// threads: the engine + cluster runtime only.
 var ExemptPaths = map[string]bool{"durassd/internal/sim": true}
 
 // Analyzer is the simproc check.
 var Analyzer = &analysis.Analyzer{
 	Name: "simproc",
-	Doc:  "forbid raw go statements outside internal/sim; simulated concurrency must go through engine processes so replay stays deterministic",
+	Doc:  "forbid raw go statements and OS-thread pinning outside internal/sim; simulated concurrency must go through engine processes so replay stays deterministic",
 	Run:  run,
 }
 
@@ -37,11 +48,33 @@ func run(pass *analysis.Pass) error {
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			if g, ok := n.(*ast.GoStmt); ok {
-				pass.Reportf(g.Pos(), "raw go statement outside internal/sim: OS-scheduled goroutines break deterministic replay; use sim.Engine.Go to start an engine process")
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw go statement outside internal/sim: OS-scheduled goroutines break deterministic replay; use sim.Engine.Go to start an engine process")
+			case *ast.CallExpr:
+				if name := threadLockCall(pass, n); name != "" {
+					pass.Reportf(n.Pos(), "runtime.%s outside internal/sim: OS-thread pinning belongs to the cluster runtime's domain workers; coroutines resumed under a different lock state abort", name)
+				}
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// threadLockCall returns "LockOSThread"/"UnlockOSThread" when call invokes
+// the corresponding runtime function, else "".
+func threadLockCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "runtime" {
+		return ""
+	}
+	if n := fn.Name(); n == "LockOSThread" || n == "UnlockOSThread" {
+		return n
+	}
+	return ""
 }

@@ -1,8 +1,20 @@
 // Package sim is analyzer testdata standing in for the real engine
-// package: internal/sim owns the process handoff protocol and is the one
-// place a raw goroutine is part of the design.
+// package: internal/sim owns the process handoff protocol and the cluster
+// runtime's per-domain worker threads, so it is the one place raw
+// goroutines and OS-thread pinning are part of the design.
 package sim
+
+import "runtime"
 
 func resume() {
 	go func() {}()
+}
+
+// worker mimics the cluster runtime: each domain worker locks itself to an
+// OS thread so coroutines always resume on their creation thread.
+func worker() {
+	go func() {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}()
 }

@@ -2,6 +2,8 @@
 // internal/sim break deterministic replay and must be flagged.
 package simproc
 
+import "runtime"
+
 func bad() {
 	go func() {}() // want `raw go statement outside internal/sim`
 }
@@ -20,4 +22,27 @@ func closuresWithoutGoAreFine() {
 
 func allowed() {
 	go worker() //simlint:allow simproc audited: drains a host-side channel, never touches sim state
+}
+
+func pinsThread() {
+	runtime.LockOSThread()         // want `runtime\.LockOSThread outside internal/sim`
+	defer runtime.UnlockOSThread() // want `runtime\.UnlockOSThread outside internal/sim`
+}
+
+func allowedPin() {
+	runtime.LockOSThread() //simlint:allow simproc audited: cgo callback thread required by a host library
+}
+
+func otherRuntimeCallsAreFine() {
+	runtime.Gosched()
+	_ = runtime.NumCPU()
+}
+
+type fakeRuntime struct{}
+
+func (fakeRuntime) LockOSThread() {}
+
+func methodOfOtherTypeIsFine() {
+	var r fakeRuntime
+	r.LockOSThread()
 }

@@ -67,6 +67,36 @@ func Run(eng *sim.Engine, fs *host.FS, job Job) (Result, error) {
 // one device and working set across cells. It drives the engine, so the
 // caller must not be inside a simulation process.
 func RunFile(eng *sim.Engine, file *host.File, job Job) (Result, error) {
+	pd, err := Start(eng, file, job)
+	if err != nil {
+		return Result{}, err
+	}
+	eng.Run()
+	return pd.Result()
+}
+
+// Pending is a started but not yet completed job: Start has spawned the
+// client threads, and the caller drives the simulation (Engine.Run, or
+// Cluster.Run when the job is one shard of a multi-domain benchmark).
+// Collect the outcome with Result once the run drains.
+type Pending struct {
+	eng      *sim.Engine
+	res      *Result
+	firstErr *error
+	start    time.Duration
+}
+
+// Result returns the job outcome. Call it only after the simulation has
+// drained; Elapsed is measured from Start to the engine's current time.
+func (pd *Pending) Result() (Result, error) {
+	pd.res.Elapsed = pd.eng.Now() - pd.start
+	return *pd.res, *pd.firstErr
+}
+
+// Start spawns the job's client threads on eng without driving the
+// simulation, in exactly the order RunFile would — the event schedule is
+// identical, only the caller owns the Run.
+func Start(eng *sim.Engine, file *host.File, job Job) (*Pending, error) {
 	if job.Threads <= 0 {
 		job.Threads = 1
 	}
@@ -78,21 +108,22 @@ func RunFile(eng *sim.Engine, file *host.File, job Job) (Result, error) {
 		job.BlockBytes = devPage
 	}
 	if job.BlockBytes%devPage != 0 {
-		return Result{}, fmt.Errorf("fio: block %d not a multiple of device page %d", job.BlockBytes, devPage)
+		return nil, fmt.Errorf("fio: block %d not a multiple of device page %d", job.BlockBytes, devPage)
 	}
 	pagesPerOp := job.BlockBytes / devPage
 	blocks := file.Pages() / int64(pagesPerOp)
 	if blocks <= 0 {
-		return Result{}, fmt.Errorf("fio: file too small for block size")
+		return nil, fmt.Errorf("fio: file too small for block size")
 	}
 
-	res := Result{Job: job}
-	start := eng.Now()
+	pd := &Pending{eng: eng, res: &Result{Job: job}, start: eng.Now()}
+	res := pd.res
 	perThread := job.Ops / job.Threads
 	if perThread == 0 {
 		perThread = 1
 	}
 	var firstErr error
+	pd.firstErr = &firstErr
 	for t := 0; t < job.Threads; t++ {
 		rng := rand.New(rand.NewSource(job.Seed + int64(t)*7919))
 		eng.Go(fmt.Sprintf("fio-%d", t), func(p *sim.Proc) {
@@ -130,10 +161,5 @@ func RunFile(eng *sim.Engine, file *host.File, job Job) (Result, error) {
 			}
 		})
 	}
-	eng.Run()
-	res.Elapsed = eng.Now() - start
-	if firstErr != nil {
-		return res, firstErr
-	}
-	return res, nil
+	return pd, nil
 }

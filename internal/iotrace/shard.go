@@ -1,0 +1,106 @@
+package iotrace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ShardRec is one device event captured in a cluster domain, stamped with
+// the domain id and a per-domain capture sequence. The triple
+// (At, Domain, Seq) is a total order: events at one virtual instant are
+// reported by ascending domain id, and within a domain in emission order.
+type ShardRec struct {
+	At     time.Duration
+	Domain int
+	Seq    uint64
+	Kind   EventKind
+}
+
+// ShardRecorder collects device event streams from registries living in
+// different cluster domains and merges them into one deterministic report.
+// Each domain appends only to its own stream, so recording is safe under
+// the cluster's parallel workers without locks; Merged and Digest must only
+// be called while the cluster is idle (between or after runs).
+//
+// The merged order — (virtual time, domain id, per-domain seq) — depends
+// only on the simulated schedule, never on how worker threads interleaved,
+// so a digest taken at 1 worker is byte-identical to one taken at N.
+type ShardRecorder struct {
+	streams [][]ShardRec
+}
+
+// NewShardRecorder returns a recorder for the given number of domains.
+func NewShardRecorder(domains int) *ShardRecorder {
+	return &ShardRecorder{streams: make([][]ShardRec, domains)}
+}
+
+// Attach installs the recorder as reg's event observer, tagging every
+// captured event with the given domain id. Multiple registries may share a
+// domain; their events interleave in emission order, which the engine's
+// dispatch order makes deterministic.
+func (r *ShardRecorder) Attach(domain int, reg *Registry) {
+	s := &r.streams[domain]
+	reg.SetEventFn(func(kind EventKind, at time.Duration) {
+		*s = append(*s, ShardRec{At: at, Domain: domain, Seq: uint64(len(*s)), Kind: kind})
+	})
+}
+
+// Events returns the total number of captured events across all domains.
+func (r *ShardRecorder) Events() int {
+	n := 0
+	for _, s := range r.streams {
+		n += len(s)
+	}
+	return n
+}
+
+// Merged returns all captured events in (At, Domain, Seq) order.
+func (r *ShardRecorder) Merged() []ShardRec {
+	var all []ShardRec
+	for _, s := range r.streams {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		return a.Seq < b.Seq
+	})
+	return all
+}
+
+// Digest returns a SHA-256 over the merged event stream: the schedule
+// fingerprint used by the worker-sweep equality tests.
+func (r *ShardRecorder) Digest() string {
+	var b strings.Builder
+	for _, rec := range r.Merged() {
+		fmt.Fprintf(&b, "%d %d %s %d\n", rec.Domain, rec.Seq, rec.Kind, int64(rec.At))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// SumStats returns the field-wise sum of the registries' cumulative
+// counters: one report for a device array that spans domains. Stats is all
+// int64 counters; the field walk is in declaration order, so the result is
+// deterministic (and new counters are picked up automatically).
+func SumStats(regs ...*Registry) Stats {
+	var total Stats
+	tv := reflect.ValueOf(&total).Elem()
+	for _, reg := range regs {
+		sv := reflect.ValueOf(reg.Stats()).Elem()
+		for i := 0; i < sv.NumField(); i++ {
+			tv.Field(i).SetInt(tv.Field(i).Int() + sv.Field(i).Int())
+		}
+	}
+	return total
+}

@@ -1,0 +1,72 @@
+package iotrace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShardRecorderMergeOrder(t *testing.T) {
+	r := NewShardRecorder(3)
+	regs := []*Registry{NewRegistry(), NewRegistry(), NewRegistry()}
+	for i, reg := range regs {
+		r.Attach(i, reg)
+	}
+	// Emit out of global time order and with ties at t=10 across domains:
+	// the merge must order ties by domain id, then per-domain seq.
+	regs[2].Emit(EvProgram, 10*time.Microsecond)
+	regs[0].Emit(EvWriteAck, 20*time.Microsecond)
+	regs[1].Emit(EvFlushStart, 10*time.Microsecond)
+	regs[1].Emit(EvFlushEnd, 10*time.Microsecond)
+	regs[0].Emit(EvWriteAck, 5*time.Microsecond)
+
+	got := r.Merged()
+	want := []ShardRec{
+		{At: 5 * time.Microsecond, Domain: 0, Seq: 1, Kind: EvWriteAck},
+		{At: 10 * time.Microsecond, Domain: 1, Seq: 0, Kind: EvFlushStart},
+		{At: 10 * time.Microsecond, Domain: 1, Seq: 1, Kind: EvFlushEnd},
+		{At: 10 * time.Microsecond, Domain: 2, Seq: 0, Kind: EvProgram},
+		{At: 20 * time.Microsecond, Domain: 0, Seq: 0, Kind: EvWriteAck},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("merged[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if r.Events() != 5 {
+		t.Errorf("Events() = %d, want 5", r.Events())
+	}
+}
+
+func TestShardRecorderDigestStable(t *testing.T) {
+	build := func() *ShardRecorder {
+		r := NewShardRecorder(2)
+		a, b := NewRegistry(), NewRegistry()
+		r.Attach(0, a)
+		r.Attach(1, b)
+		b.Emit(EvErase, 7*time.Microsecond)
+		a.Emit(EvProgram, 7*time.Microsecond)
+		a.Emit(EvWriteAck, 9*time.Microsecond)
+		return r
+	}
+	if d1, d2 := build().Digest(), build().Digest(); d1 != d2 {
+		t.Fatalf("digests differ for identical streams: %s vs %s", d1, d2)
+	}
+}
+
+func TestSumStats(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Stats().PagesWritten = 10
+	a.Stats().NANDPrograms = 25
+	b.Stats().PagesWritten = 5
+	b.Stats().FlushCommands = 3
+	sum := SumStats(a, b)
+	if sum.PagesWritten != 15 || sum.NANDPrograms != 25 || sum.FlushCommands != 3 {
+		t.Fatalf("SumStats = %+v", sum)
+	}
+	if got := sum.WriteAmplification(); got != 25.0/15.0 {
+		t.Fatalf("summed WA = %v", got)
+	}
+}

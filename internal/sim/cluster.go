@@ -1,0 +1,460 @@
+// Cluster: deterministic parallel simulation across sharded engines.
+//
+// A Cluster owns N Domains, each wrapping its own Engine. Domains advance in
+// lock-stepped epochs under a conservative virtual-time merge (classic
+// conservative parallel discrete-event simulation): the fixed cross-domain
+// link latency is the lookahead bound, so within one epoch every domain may
+// safely run ahead on its own events without seeing the others — no event it
+// could receive can land inside the window it is executing. Cross-domain
+// sends become timestamped messages queued on per-pair single-producer /
+// single-consumer outboxes; at each epoch barrier the coordinator merges all
+// pending messages in (delivery time, source domain, source sequence) order
+// and injects them into the destination engines before computing the next
+// epoch.
+//
+// # Determinism
+//
+// The same seed produces byte-identical schedules whether the cluster runs
+// on 1 worker or N workers:
+//
+//   - Within an epoch a domain executes alone on its own engine — its event
+//     order is the engine's usual (timestamp, seq) order, unaffected by what
+//     other domains do concurrently.
+//   - Epoch boundaries are pure functions of the domains' next-event times,
+//     which are themselves deterministic.
+//   - Message injection is sorted by (delivery time, source domain, source
+//     seq) — a total order independent of worker interleaving — so injected
+//     events receive identical engine sequence numbers on every run.
+//
+// Wall-clock parallelism therefore never leaks into virtual time; the
+// GOMAXPROCS-sweep digest tests pin this.
+//
+// # Epoch bound
+//
+// With lookahead L and per-domain next-event times peek_j, domain i may
+// execute every event strictly before
+//
+//	limit_i = min( min_{j≠i, j nonempty} peek_j + L,  m + 2L )
+//
+// where m is the global minimum next-event time. The first term bounds
+// messages sent directly by another busy domain (they arrive no earlier
+// than its next event plus one hop). The second bounds relays through
+// currently idle domains: an idle domain can only act after a message
+// reaches it (≥ m+L), so anything it forwards arrives at ≥ m+2L. Deeper
+// relays are later still. Note the domain's own events never constrain it —
+// self-sends are ordinary local events.
+//
+// # Thread pinning
+//
+// In parallel mode each domain gets a dedicated worker goroutine locked to
+// its own OS thread. This is required for correctness, not just affinity:
+// process coroutines (iter.Pull) created on a thread-locked goroutine must
+// always be resumed from that same thread, so a domain's processes are
+// created and resumed exclusively by its worker. The worker mode is fixed
+// at construction for the same reason — a cluster must not alternate
+// between sequential and parallel execution of the same coroutines.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// maxTime is a far-future sentinel used while computing epoch bounds.
+// Dividing by four keeps `sentinel + 2*latency` from overflowing.
+const maxTime = time.Duration(math.MaxInt64 / 4)
+
+// Cluster is a set of simulation domains advanced together under a
+// conservative virtual-time merge. Create one with NewCluster, build each
+// domain's devices and processes on Domain(i).Engine(), then drive the
+// whole cluster with Run/RunUntil. Call Close when done with a parallel
+// cluster to release its worker threads.
+//
+// A Cluster must be driven from a single goroutine. While Run executes,
+// each domain's state may only be touched from that domain's own processes
+// and callbacks; between runs (and before the first) the owning goroutine
+// may touch any domain directly.
+type Cluster struct {
+	latency  time.Duration
+	domains  []*Domain
+	parallel bool
+
+	running bool
+	spawned bool
+	closed  bool
+
+	start []chan time.Duration // per-domain epoch kickoff (parallel mode)
+	done  chan workerDone
+
+	inbox  []xmsg          // merge scratch: all pending cross-domain messages
+	peeks  []time.Duration // scratch: per-domain next-event time (maxTime = none)
+	limits []time.Duration // scratch: per-domain epoch bound
+	panics []any           // scratch: per-domain panic values from one epoch
+}
+
+// Domain is one shard of a Cluster: an Engine plus the cross-domain link
+// endpoints. Devices and processes bind to a domain by being constructed on
+// its Engine.
+type Domain struct {
+	id      int
+	c       *Cluster
+	eng     *Engine
+	out     [][]xmsg // outbox per destination domain; written only by this domain
+	sendSeq uint64
+}
+
+// xmsg is one cross-domain message: a callback to run in the destination
+// engine at the delivery time. (at, src, seq) is a total order.
+type xmsg struct {
+	at  time.Duration
+	src int32
+	dst int32
+	seq uint64
+	fn  func()
+}
+
+type workerDone struct {
+	id       int
+	panicVal any
+}
+
+// NewCluster returns a cluster of n domains connected by links with the
+// given fixed latency (the conservative lookahead; it must be positive).
+// workers <= 1 selects sequential mode: epochs run domain-by-domain on the
+// calling goroutine. workers > 1 selects parallel mode: each domain runs
+// its epochs on a dedicated goroutine locked to its own OS thread. Both
+// modes produce byte-identical schedules.
+func NewCluster(n int, latency time.Duration, workers int) *Cluster {
+	if n <= 0 {
+		panic("sim: cluster needs at least one domain")
+	}
+	if latency <= 0 {
+		panic("sim: cluster link latency (lookahead) must be positive")
+	}
+	c := &Cluster{
+		latency:  latency,
+		domains:  make([]*Domain, n),
+		parallel: workers > 1,
+		peeks:    make([]time.Duration, n),
+		limits:   make([]time.Duration, n),
+		panics:   make([]any, n),
+	}
+	for i := range c.domains {
+		d := &Domain{id: i, c: c, eng: New(), out: make([][]xmsg, n)}
+		d.eng.dom = d
+		c.domains[i] = d
+	}
+	return c
+}
+
+// Domains returns the number of domains.
+func (c *Cluster) Domains() int { return len(c.domains) }
+
+// Latency returns the cross-domain link latency (the lookahead bound).
+func (c *Cluster) Latency() time.Duration { return c.latency }
+
+// Domain returns domain i.
+func (c *Cluster) Domain(i int) *Domain { return c.domains[i] }
+
+// Events returns the total number of events processed across all domains.
+func (c *Cluster) Events() uint64 {
+	var n uint64
+	for _, d := range c.domains {
+		n += d.eng.Events()
+	}
+	return n
+}
+
+// Blocked returns the names of processes parked with no pending wakeup
+// across every domain, in one globally sorted order: neither registration
+// order nor domain layout leaks into the report.
+func (c *Cluster) Blocked() []string {
+	var names []string
+	for _, d := range c.domains {
+		names = append(names, d.eng.Blocked()...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close shuts down the cluster's worker threads (parallel mode). The
+// cluster must not be run again afterwards. Close is idempotent.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	if c.running {
+		panic("sim: Close called while the cluster is running")
+	}
+	c.closed = true
+	if c.spawned {
+		for _, ch := range c.start {
+			close(ch)
+		}
+	}
+}
+
+// Run advances every domain until no events remain anywhere and no
+// cross-domain messages are in flight. Like Engine.Run, processes still
+// waiting on queues or resources are left blocked.
+func (c *Cluster) Run() { c.RunUntil(-1) }
+
+// RunFor advances the cluster by d of virtual time past the latest domain
+// clock.
+func (c *Cluster) RunFor(d time.Duration) {
+	var now time.Duration
+	for _, dom := range c.domains {
+		if t := dom.eng.Now(); t > now {
+			now = t
+		}
+	}
+	c.RunUntil(now + d)
+}
+
+// RunUntil processes events with timestamps <= deadline in every domain,
+// then sets each domain clock to deadline. A negative deadline drains the
+// cluster completely.
+func (c *Cluster) RunUntil(deadline time.Duration) {
+	if c.closed {
+		panic("sim: cluster used after Close")
+	}
+	if c.running {
+		panic("sim: cluster Run called reentrantly")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	if c.parallel && !c.spawned {
+		c.spawn()
+	}
+	for {
+		c.inject()
+		m, second := c.peekAll()
+		if m == maxTime || (deadline >= 0 && m > deadline) {
+			break
+		}
+		c.computeLimits(m, second, deadline)
+		if c.parallel {
+			c.runEpochParallel()
+		} else {
+			c.runEpochSequential()
+		}
+		c.rethrow()
+	}
+	if deadline >= 0 {
+		for _, d := range c.domains {
+			d.eng.advanceTo(deadline)
+		}
+	}
+}
+
+// spawn starts one worker per domain, each locked to its own OS thread.
+func (c *Cluster) spawn() {
+	c.spawned = true
+	c.start = make([]chan time.Duration, len(c.domains))
+	c.done = make(chan workerDone, len(c.domains))
+	for i, d := range c.domains {
+		c.start[i] = make(chan time.Duration, 1)
+		go c.worker(d) // the one sanctioned home for raw goroutines: the cluster runtime
+	}
+}
+
+// worker drives one domain's epochs. It locks itself to an OS thread so the
+// domain's coroutines are always created and resumed on the same thread;
+// the thread is released when the channel closes and the goroutine exits.
+func (c *Cluster) worker(d *Domain) {
+	runtime.LockOSThread()
+	for limit := range c.start[d.id] {
+		var pv any
+		func() {
+			defer func() { pv = recover() }()
+			d.eng.runEpochBefore(limit)
+		}()
+		c.done <- workerDone{id: d.id, panicVal: pv}
+	}
+}
+
+// peekAll fills c.peeks and returns the two smallest next-event times
+// (maxTime when absent).
+func (c *Cluster) peekAll() (m, second time.Duration) {
+	m, second = maxTime, maxTime
+	for i, d := range c.domains {
+		t := maxTime
+		if at, ok := d.eng.peek(); ok {
+			t = at
+		}
+		c.peeks[i] = t
+		if t < m {
+			second = m
+			m = t
+		} else if t < second {
+			second = t
+		}
+	}
+	return m, second
+}
+
+// computeLimits derives each domain's epoch bound from the peek snapshot:
+// events strictly before the bound are safe to execute this epoch.
+func (c *Cluster) computeLimits(m, second time.Duration, deadline time.Duration) {
+	relay := m + 2*c.latency // earliest arrival via a currently idle relay
+	for i := range c.domains {
+		minOther := m
+		if c.peeks[i] == m {
+			minOther = second
+		}
+		limit := relay
+		if minOther != maxTime && minOther+c.latency < limit {
+			limit = minOther + c.latency
+		}
+		if deadline >= 0 && deadline+1 < limit {
+			limit = deadline + 1
+		}
+		c.limits[i] = limit
+	}
+}
+
+// runEpochParallel kicks every domain with work and waits for all of them.
+func (c *Cluster) runEpochParallel() {
+	active := 0
+	for i := range c.domains {
+		c.panics[i] = nil
+		if c.peeks[i] < c.limits[i] {
+			c.start[i] <- c.limits[i]
+			active++
+		}
+	}
+	for ; active > 0; active-- {
+		dn := <-c.done
+		c.panics[dn.id] = dn.panicVal
+	}
+}
+
+// runEpochSequential runs the same epoch on the calling goroutine, domain
+// by domain in id order. Panics are captured per domain (like parallel
+// mode, every domain's epoch completes) and rethrown afterwards.
+func (c *Cluster) runEpochSequential() {
+	for i, d := range c.domains {
+		c.panics[i] = nil
+		if c.peeks[i] >= c.limits[i] {
+			continue
+		}
+		func() {
+			defer func() { c.panics[i] = recover() }()
+			d.eng.runEpochBefore(c.limits[i])
+		}()
+	}
+}
+
+// rethrow re-raises the lowest-domain panic from the last epoch, so the
+// escaping panic is deterministic across worker counts.
+func (c *Cluster) rethrow() {
+	for i, pv := range c.panics {
+		if pv != nil {
+			panic(fmt.Errorf("sim: domain %d: %v", i, pv))
+		}
+	}
+}
+
+// inject drains every outbox and delivers the pending messages into their
+// destination engines in (delivery time, source domain, source seq) order —
+// a total order, so every run assigns the same engine sequence numbers to
+// the same messages regardless of how workers interleaved.
+func (c *Cluster) inject() {
+	buf := c.inbox[:0]
+	for _, d := range c.domains {
+		for dst, q := range d.out {
+			if len(q) == 0 {
+				continue
+			}
+			buf = append(buf, q...)
+			d.out[dst] = q[:0]
+		}
+	}
+	if len(buf) == 0 {
+		c.inbox = buf
+		return
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		a, b := &buf[i], &buf[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for i := range buf {
+		msg := &buf[i]
+		c.domains[msg.dst].eng.pushEvent(msg.at, msg.fn, nil)
+		msg.fn = nil // drop the closure so the scratch buffer doesn't pin it
+	}
+	c.inbox = buf[:0]
+}
+
+// ID returns the domain's index within its cluster.
+func (d *Domain) ID() int { return d.id }
+
+// Cluster returns the owning cluster.
+func (d *Domain) Cluster() *Cluster { return d.c }
+
+// Engine returns the domain's engine. Construct the domain's devices and
+// processes on it; do not call its Run methods directly — the cluster
+// drives it.
+func (d *Domain) Engine() *Engine { return d.eng }
+
+// Now returns the domain's virtual clock.
+func (d *Domain) Now() time.Duration { return d.eng.Now() }
+
+// Go starts a process in this domain (shorthand for Engine().Go).
+func (d *Domain) Go(name string, fn func(p *Proc)) *Proc { return d.eng.Go(name, fn) }
+
+// Send schedules fn to run in dst's domain one link latency after this
+// domain's current virtual time. Messages between one (src, dst) pair are
+// delivered in send order. Send must be called from within this domain's
+// own execution (a process or callback running on its engine) or while the
+// cluster is idle between runs.
+func (d *Domain) Send(dst *Domain, fn func()) {
+	if dst.c != d.c {
+		panic("sim: Send across clusters")
+	}
+	at := d.eng.now + d.c.latency
+	if dst == d {
+		// A self-send is an ordinary local event — no merge involvement.
+		d.eng.pushEvent(at, fn, nil)
+		return
+	}
+	d.out[dst.id] = append(d.out[dst.id], xmsg{
+		at:  at,
+		src: int32(d.id),
+		dst: int32(dst.id),
+		seq: d.sendSeq,
+		fn:  fn,
+	})
+	d.sendSeq++
+}
+
+// Call runs fn as a new process in dst's domain and parks p until it
+// finishes. The request and its completion each take one link-latency hop,
+// so the caller observes at least 2*Latency of round-trip time. fn's
+// writes are visible to the caller when Call returns (the epoch barrier
+// orders them); it is the building block for cross-domain request /
+// completion pairs such as volume member I/O.
+func (d *Domain) Call(p *Proc, dst *Domain, name string, fn func(q *Proc)) {
+	if dst == d {
+		// Local fast path: no hops, run inline on the caller's process.
+		fn(p)
+		return
+	}
+	sig := NewSignal(d.eng)
+	d.Send(dst, func() {
+		dst.eng.Go(name, func(q *Proc) {
+			fn(q)
+			dst.Send(d, sig.Fire)
+		})
+	})
+	sig.Wait(p)
+}

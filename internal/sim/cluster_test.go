@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pingPongDigest builds a deliberately contentious cross-domain workload —
+// every domain streams messages to every other, with overlapping delivery
+// times and relays through otherwise idle domains — and returns a digest of
+// the exact execution order observed. Any sensitivity to worker
+// interleaving shows up as a digest change.
+func pingPongDigest(t *testing.T, domains, workers int) string {
+	t.Helper()
+	c := NewCluster(domains, 100*time.Microsecond, workers)
+	defer c.Close()
+	// Each domain records into its own stream (cross-domain writes to one
+	// shared log would race in parallel mode); the streams are merged by
+	// (virtual time, domain id, per-domain order) after the run — the same
+	// discipline the iotrace shard merge uses.
+	type rec struct {
+		at  time.Duration
+		dom int
+		seq int
+		msg string
+	}
+	logs := make([][]rec, domains)
+	log := func(d *Domain, what string) {
+		logs[d.ID()] = append(logs[d.ID()], rec{at: d.Now(), dom: d.ID(), seq: len(logs[d.ID()]), msg: what})
+	}
+	// Each domain runs a local ticker plus a chatter process that sends a
+	// token around the ring; receipt schedules more local work, so local
+	// event order interleaves with injected messages.
+	for i := 0; i < domains; i++ {
+		d := c.Domain(i)
+		d.Go(fmt.Sprintf("ticker-%d", i), func(p *Proc) {
+			for k := 0; k < 40; k++ {
+				p.Sleep(time.Duration(30+7*d.ID()) * time.Microsecond)
+				log(d, "tick")
+			}
+		})
+	}
+	var hop func(d *Domain, ttl int)
+	hop = func(d *Domain, ttl int) {
+		log(d, "hop")
+		if ttl == 0 {
+			return
+		}
+		next := c.Domain((d.ID() + 1) % domains)
+		d.Send(next, func() { hop(next, ttl-1) })
+		// Also fan out a short-lived burst to every other domain so
+		// multiple sources target one destination at equal times.
+		for j := 0; j < domains; j++ {
+			if j == d.ID() {
+				continue
+			}
+			dst := c.Domain(j)
+			d.Send(dst, func() { log(dst, "burst") })
+		}
+	}
+	first := c.Domain(0)
+	first.Go("kickoff", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		hop(first, 25)
+	})
+	c.Run()
+	var all []rec
+	for _, l := range logs {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		if all[i].dom != all[j].dom {
+			return all[i].dom < all[j].dom
+		}
+		return all[i].seq < all[j].seq
+	})
+	var b strings.Builder
+	for _, r := range all {
+		fmt.Fprintf(&b, "%d %s %d\n", r.dom, r.msg, int64(r.at))
+	}
+	fmt.Fprintf(&b, "events=%d\n", c.Events())
+	for i := 0; i < domains; i++ {
+		fmt.Fprintf(&b, "now%d=%d\n", i, int64(c.Domain(i).Now()))
+	}
+	return b.String()
+}
+
+// TestClusterDeterminism is the core guarantee: the same program produces a
+// byte-identical schedule at 1 worker and N workers, at GOMAXPROCS 1 and N.
+func TestClusterDeterminism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	want := pingPongDigest(t, 4, 1)
+	for _, procs := range []int{1, runtime.NumCPU() + 2} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{1, 2, 4, 8} {
+			if got := pingPongDigest(t, 4, workers); got != want {
+				t.Fatalf("GOMAXPROCS=%d workers=%d: schedule diverged from sequential baseline\n got: %.200s\nwant: %.200s",
+					procs, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestClusterSendLatencyAndFIFO checks delivery timing (exactly one link
+// latency after the send) and per-pair FIFO order, including messages that
+// share one delivery instant.
+func TestClusterSendLatencyAndFIFO(t *testing.T) {
+	const latency = 50 * time.Microsecond
+	c := NewCluster(2, latency, 1)
+	defer c.Close()
+	src, dst := c.Domain(0), c.Domain(1)
+	var got []string
+	src.Go("sender", func(p *Proc) {
+		p.Sleep(30 * time.Microsecond)
+		sent := p.Now()
+		for i := 0; i < 3; i++ {
+			i := i
+			src.Send(dst, func() {
+				if dst.Now() != sent+latency {
+					t.Errorf("msg %d delivered at %v, want %v", i, dst.Now(), sent+latency)
+				}
+				got = append(got, fmt.Sprintf("m%d", i))
+			})
+		}
+	})
+	c.Run()
+	if want := "m0 m1 m2"; strings.Join(got, " ") != want {
+		t.Fatalf("delivery order %v, want %q (per-pair FIFO at one instant)", got, want)
+	}
+}
+
+// TestClusterSelfSend checks that a domain sending to itself behaves like a
+// plain local event one latency in the future.
+func TestClusterSelfSend(t *testing.T) {
+	c := NewCluster(2, 10*time.Microsecond, 1)
+	defer c.Close()
+	d := c.Domain(0)
+	fired := time.Duration(-1)
+	d.Go("self", func(p *Proc) {
+		p.Sleep(5 * time.Microsecond)
+		d.Send(d, func() { fired = d.Now() })
+	})
+	c.Run()
+	if want := 15 * time.Microsecond; fired != want {
+		t.Fatalf("self-send fired at %v, want %v", fired, want)
+	}
+}
+
+// TestClusterCall checks the request/completion round trip: the callee runs
+// in the destination domain, the caller resumes only after the completion
+// hop, and the callee's writes are visible to the caller.
+func TestClusterCall(t *testing.T) {
+	const latency = 25 * time.Microsecond
+	for _, workers := range []int{1, 4} {
+		c := NewCluster(3, latency, workers)
+		src, dst := c.Domain(0), c.Domain(2)
+		var result int
+		var returned time.Duration
+		src.Go("caller", func(p *Proc) {
+			p.Sleep(40 * time.Microsecond)
+			src.Call(p, dst, "callee", func(q *Proc) {
+				if q.Engine() != dst.Engine() {
+					t.Error("callee running on the wrong engine")
+				}
+				q.Sleep(7 * time.Microsecond)
+				result = 42
+			})
+			returned = p.Now()
+		})
+		c.Run()
+		c.Close()
+		if result != 42 {
+			t.Fatalf("workers=%d: callee write not visible: result=%d", workers, result)
+		}
+		// send hop + callee sleep + completion hop
+		if want := 40*time.Microsecond + latency + 7*time.Microsecond + latency; returned != want {
+			t.Fatalf("workers=%d: caller resumed at %v, want %v", workers, returned, want)
+		}
+	}
+}
+
+// TestClusterCallLocal checks the same-domain fast path runs inline with no
+// link hops.
+func TestClusterCallLocal(t *testing.T) {
+	c := NewCluster(2, 25*time.Microsecond, 1)
+	defer c.Close()
+	d := c.Domain(0)
+	var returned time.Duration
+	d.Go("caller", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		d.Call(p, d, "callee", func(q *Proc) { q.Sleep(3 * time.Microsecond) })
+		returned = p.Now()
+	})
+	c.Run()
+	if want := 13 * time.Microsecond; returned != want {
+		t.Fatalf("local call returned at %v, want %v (no link hops)", returned, want)
+	}
+}
+
+// TestClusterBlockedSorted pins the satellite requirement: Cluster.Blocked
+// returns one globally sorted list — domain layout and registration order
+// must not leak into the report.
+func TestClusterBlockedSorted(t *testing.T) {
+	c := NewCluster(3, 10*time.Microsecond, 1)
+	defer c.Close()
+	// Register in an order that is neither sorted globally nor by domain:
+	// domain 2 gets "alpha" last, domain 0 gets "zeta" first.
+	block := func(p *Proc) { NewSignal(p.Engine()).Wait(p) }
+	c.Domain(0).Go("zeta", block)
+	c.Domain(1).Go("mid", block)
+	c.Domain(0).Go("beta", block)
+	c.Domain(2).Go("alpha", block)
+	c.Run()
+	got := strings.Join(c.Blocked(), ",")
+	if want := "alpha,beta,mid,zeta"; got != want {
+		t.Fatalf("Blocked() = %q, want %q", got, want)
+	}
+}
+
+// TestClusterRunUntil checks deadline semantics: events past the deadline
+// stay queued and every domain clock lands exactly on the deadline.
+func TestClusterRunUntil(t *testing.T) {
+	c := NewCluster(2, 10*time.Microsecond, 1)
+	defer c.Close()
+	var late bool
+	c.Domain(1).Engine().Schedule(300*time.Microsecond, func() { late = true })
+	var early bool
+	c.Domain(0).Engine().Schedule(50*time.Microsecond, func() { early = true })
+	c.RunUntil(100 * time.Microsecond)
+	if !early || late {
+		t.Fatalf("early=%v late=%v after RunUntil(100µs)", early, late)
+	}
+	for i := 0; i < 2; i++ {
+		if now := c.Domain(i).Now(); now != 100*time.Microsecond {
+			t.Fatalf("domain %d clock %v, want 100µs", i, now)
+		}
+	}
+	c.Run()
+	if !late {
+		t.Fatal("late event never fired after drain")
+	}
+}
+
+// TestClusterPanicDeterministic checks that a panicking process surfaces
+// from Cluster.Run with domain attribution, identically at any worker
+// count, and that when two domains panic in one epoch the lowest domain id
+// wins.
+func TestClusterPanicDeterministic(t *testing.T) {
+	run := func(workers int) (msg string) {
+		c := NewCluster(4, 10*time.Microsecond, workers)
+		defer c.Close()
+		defer func() { msg = fmt.Sprint(recover()) }()
+		// Both panic at the same virtual instant, in the same epoch.
+		c.Domain(3).Go("boom-hi", func(p *Proc) { p.Sleep(5 * time.Microsecond); panic("hi") })
+		c.Domain(1).Go("boom-lo", func(p *Proc) { p.Sleep(5 * time.Microsecond); panic("lo") })
+		c.Run()
+		return ""
+	}
+	want := run(1)
+	if !strings.Contains(want, "domain 1") || !strings.Contains(want, "boom-lo") {
+		t.Fatalf("sequential panic = %q, want domain-1 attribution", want)
+	}
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != want {
+			t.Fatalf("workers=%d: panic %q, want %q", workers, got, want)
+		}
+	}
+}
+
+// TestClusterOwnedEngineGuard checks that a domain-owned engine refuses
+// direct Run calls.
+func TestClusterOwnedEngineGuard(t *testing.T) {
+	c := NewCluster(1, 10*time.Microsecond, 1)
+	defer c.Close()
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "owned by a cluster domain") {
+			t.Fatalf("recover() = %v, want owned-engine panic", r)
+		}
+	}()
+	c.Domain(0).Engine().Run()
+}
+
+// TestClusterCloseIdempotent checks double-Close and use-after-Close.
+func TestClusterCloseIdempotent(t *testing.T) {
+	c := NewCluster(2, 10*time.Microsecond, 4)
+	c.Domain(0).Go("noop", func(p *Proc) { p.Sleep(time.Microsecond) })
+	c.Run()
+	c.Close()
+	c.Close()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Run after Close did not panic")
+		}
+	}()
+	c.Run()
+}
+
+// TestClusterSingleDomain checks the degenerate 1-domain cluster matches a
+// standalone engine's schedule exactly.
+func TestClusterSingleDomain(t *testing.T) {
+	program := func(eng *Engine, b *strings.Builder) {
+		q := NewQueue(eng)
+		eng.Go("prod", func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Sleep(3 * time.Microsecond)
+				q.WakeOne()
+				fmt.Fprintf(b, "prod %d\n", int64(p.Now()))
+			}
+		})
+		eng.Go("cons", func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				q.Wait(p)
+				fmt.Fprintf(b, "cons %d\n", int64(p.Now()))
+			}
+		})
+	}
+	var solo strings.Builder
+	eng := New()
+	program(eng, &solo)
+	eng.Run()
+
+	var clustered strings.Builder
+	c := NewCluster(1, 10*time.Microsecond, 1)
+	defer c.Close()
+	program(c.Domain(0).Engine(), &clustered)
+	c.Run()
+
+	if solo.String() != clustered.String() {
+		t.Fatalf("1-domain cluster diverged from standalone engine:\n%s\nvs\n%s", clustered.String(), solo.String())
+	}
+}
+
+// TestClusterReuseAcrossRuns checks the cluster can be driven in several
+// RunUntil slices with cross-domain traffic spanning the boundaries.
+func TestClusterReuseAcrossRuns(t *testing.T) {
+	c := NewCluster(2, 20*time.Microsecond, 2)
+	defer c.Close()
+	var delivered []int64
+	a, b := c.Domain(0), c.Domain(1)
+	a.Go("drip", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(15 * time.Microsecond)
+			a.Send(b, func() { delivered = append(delivered, int64(b.Now())) })
+		}
+	})
+	c.RunUntil(40 * time.Microsecond)
+	n := len(delivered)
+	if n == 0 || n == 10 {
+		t.Fatalf("partial run delivered %d messages, want a strict subset", n)
+	}
+	c.Run()
+	if len(delivered) != 10 {
+		t.Fatalf("delivered %d messages total, want 10", len(delivered))
+	}
+	for i := 1; i < len(delivered); i++ {
+		if delivered[i] <= delivered[i-1] {
+			t.Fatalf("deliveries out of order: %v", delivered)
+		}
+	}
+}

@@ -56,6 +56,8 @@ type Engine struct {
 	live     []*Proc // started-or-pending, not yet finished (for Blocked)
 	current  *Proc   // process being resumed (panic attribution); nil in callbacks
 	panicVal any     // re-raised by Run if a process or callback panicked
+
+	dom *Domain // owning cluster domain; nil for a standalone engine
 }
 
 type event struct {
@@ -80,6 +82,10 @@ func New() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// Domain returns the cluster domain that owns this engine, or nil for a
+// standalone engine driven directly with Run.
+func (e *Engine) Domain() *Domain { return e.dom }
 
 // Events returns the total number of events processed since creation
 // (process resumptions plus callback firings). Benchmark harnesses divide
@@ -122,6 +128,9 @@ func (e *Engine) RunFor(d time.Duration) {
 // RunUntil processes events with timestamps <= deadline and then sets the
 // clock to deadline. A negative deadline means run until the heap is empty.
 func (e *Engine) RunUntil(deadline time.Duration) {
+	if e.dom != nil {
+		panic("sim: engine is owned by a cluster domain; drive it via Cluster.Run")
+	}
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
@@ -133,6 +142,45 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 	if deadline >= 0 && deadline > e.now {
 		e.now = deadline
 	}
+	if pv := e.panicVal; pv != nil {
+		e.panicVal = nil
+		panic(pv)
+	}
+}
+
+// peek reports the timestamp of the earliest queued event, if any. The
+// cluster merge uses it to compute epoch bounds.
+func (e *Engine) peek() (time.Duration, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
+// advanceTo moves the clock forward to t without processing anything;
+// Cluster.RunUntil uses it to align all domain clocks on the deadline.
+func (e *Engine) advanceTo(t time.Duration) {
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// runEpochBefore processes every event with a timestamp strictly below
+// limit — one conservative epoch. Unlike RunUntil it never advances the
+// clock past the last processed event: between epochs the domain's time is
+// simply its progress so far, and only the final Cluster.RunUntil aligns
+// clocks on the deadline. Panics from processes or callbacks are re-raised
+// to the caller (the cluster worker), which forwards them to the merge
+// loop for deterministic rethrow.
+func (e *Engine) runEpochBefore(limit time.Duration) {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	e.deadline = limit - 1
+	e.loop()
+	e.running = false
+	e.deadline = -1
 	if pv := e.panicVal; pv != nil {
 		e.panicVal = nil
 		panic(pv)

@@ -89,6 +89,16 @@ func Scenarios() []Scenario {
 			Desc: "crash-point probe run: InnoDB on DuraSSD, no cut, schedule recorded",
 			run:  runCrashExploreProbe,
 		},
+		{
+			Name: "shards",
+			Desc: "4 DuraSSD domains (2×fio randwrite, 2×YCSB-A), parallel merge, 4 workers",
+			run:  func() (uint64, error) { return runShards(shardsWorkers) },
+		},
+		{
+			Name: "shards-seq",
+			Desc: "same 4-domain program through the sequential merge (1 worker)",
+			run:  func() (uint64, error) { return runShards(1) },
+		},
 	}
 }
 
@@ -227,18 +237,26 @@ func Report(results []Result, repeat int) *repro.JSONReport {
 }
 
 // CheckRegression compares fresh results against a committed baseline
-// report and returns an error if any scenario's ns/event exceeds factor
-// times its committed value. Scenarios missing from the baseline are
-// ignored (new scenarios start a fresh trajectory).
+// report and returns an error if any scenario's ns/event or allocs/event
+// exceeds factor times its committed value. Scenarios missing from the
+// baseline are ignored (new scenarios start a fresh trajectory).
 func CheckRegression(results []Result, baseline *JSONBaseline, factor float64) error {
 	for _, r := range results {
-		base, ok := baseline.Metrics[r.Name+"/ns_per_event"]
-		if !ok || base <= 0 {
-			continue
+		if base, ok := baseline.Metrics[r.Name+"/ns_per_event"]; ok && base > 0 {
+			if cur := r.NsPerEvent(); cur > base*factor {
+				return fmt.Errorf("simbench: %s regressed: %.1f ns/event vs baseline %.1f (limit %.1fx)",
+					r.Name, cur, base, factor)
+			}
 		}
-		if cur := r.NsPerEvent(); cur > base*factor {
-			return fmt.Errorf("simbench: %s regressed: %.1f ns/event vs baseline %.1f (limit %.1fx)",
-				r.Name, cur, base, factor)
+		// Allocation regressions are wall-clock-independent, so this arm of
+		// the gate is immune to noisy CI hosts. The +0.05 floor keeps
+		// near-zero baselines (the zero-alloc hot paths) from turning one
+		// stray allocation into a failure.
+		if base, ok := baseline.Metrics[r.Name+"/allocs_per_event"]; ok && base > 0 {
+			if cur := r.AllocsPerEvent(); cur > base*factor+0.05 {
+				return fmt.Errorf("simbench: %s regressed: %.3f allocs/event vs baseline %.3f (limit %.1fx)",
+					r.Name, cur, base, factor)
+			}
 		}
 	}
 	return nil

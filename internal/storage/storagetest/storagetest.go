@@ -27,10 +27,26 @@ import (
 	"durassd/internal/storage"
 )
 
-// Harness bundles one fresh device on its own engine.
+// Harness bundles one fresh device on its own engine. For a device that
+// spans cluster domains, Eng is the front domain's engine (where host
+// processes run) and Cluster is the owning cluster: the suite then drives
+// the simulation through Cluster.Run, since a domain-owned engine refuses
+// direct Run calls. The factory is responsible for Cluster cleanup
+// (typically t.Cleanup(c.Close)).
 type Harness struct {
-	Eng *sim.Engine
-	Dev storage.Device
+	Eng     *sim.Engine
+	Dev     storage.Device
+	Cluster *sim.Cluster
+}
+
+// run drains the simulation: the whole cluster when the device spans
+// domains, the single engine otherwise.
+func (h Harness) run() {
+	if h.Cluster != nil {
+		h.Cluster.Run()
+		return
+	}
+	h.Eng.Run()
 }
 
 // Factory builds a fresh powered-on device for one subtest.
@@ -52,7 +68,7 @@ func Run(t *testing.T, f Factory) {
 func drive(t *testing.T, h Harness, fn func(p *sim.Proc)) {
 	t.Helper()
 	h.Eng.Go("storagetest", fn)
-	h.Eng.Run()
+	h.run()
 }
 
 // testBounds: commands with zero/negative length, starting past the end,
@@ -223,7 +239,7 @@ func testPowerCycleDuringQueuedFlush(t *testing.T, h Harness) {
 		flushDone = true
 	})
 	h.Eng.Schedule(100*time.Microsecond, func() { pc.PowerFail() })
-	h.Eng.Run()
+	h.run()
 	if !flushDone {
 		t.Fatal("flush proc never returned after the power cut")
 	}

@@ -55,6 +55,35 @@ func (r *Result) OPS() float64 { return stats.Throughput(r.Ops, r.Elapsed) }
 // Run drives cfg against the store and returns the result. It runs the
 // simulation to completion.
 func Run(eng *sim.Engine, st *couch.Store, docs int64, cfg Config) (*Result, error) {
+	pd := Start(eng, st, docs, cfg)
+	eng.Run()
+	return pd.Result()
+}
+
+// Pending is a started run whose simulation the caller drives (Engine.Run,
+// or Cluster.Run when this store is one shard of a multi-domain
+// benchmark). Collect the outcome with Result after the run drains.
+type Pending struct {
+	eng      *sim.Engine
+	res      *Result
+	firstErr *error
+	start    time.Duration
+}
+
+// Result returns the run outcome; call it only after the simulation has
+// drained.
+func (pd *Pending) Result() (*Result, error) {
+	if *pd.firstErr != nil {
+		return nil, *pd.firstErr
+	}
+	pd.res.Elapsed = pd.eng.Now() - pd.start
+	return pd.res, nil
+}
+
+// Start spawns the client threads on eng without driving the simulation,
+// in exactly the order Run would — the event schedule is identical, only
+// the caller owns the Run.
+func Start(eng *sim.Engine, st *couch.Store, docs int64, cfg Config) *Pending {
 	cfg.defaults()
 	res := &Result{}
 	perThread := cfg.Operations / cfg.Threads
@@ -62,7 +91,7 @@ func Run(eng *sim.Engine, st *couch.Store, docs int64, cfg Config) (*Result, err
 		perThread = 1
 	}
 	var firstErr error
-	start := eng.Now()
+	pd := &Pending{eng: eng, res: res, firstErr: &firstErr, start: eng.Now()}
 	for t := 0; t < cfg.Threads; t++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*22695477))
 		zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(docs-1))
@@ -90,10 +119,5 @@ func Run(eng *sim.Engine, st *couch.Store, docs int64, cfg Config) (*Result, err
 			}
 		})
 	}
-	eng.Run()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	res.Elapsed = eng.Now() - start
-	return res, nil
+	return pd
 }
