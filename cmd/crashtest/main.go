@@ -133,27 +133,28 @@ func randomCampaign(trials int, seed int64) []string {
 func exploreCampaign(points, updates int, seed int64) []string {
 	var failures []string
 	tbl := stats.NewTable("Systematic crash-point exploration (engine × device × config)",
-		"Config", "Points", "AfterAck", "MidProg", "MidDump", "MidMigr", "Lost", "Torn", "Unsafe", "Digest")
+		"Config", "Points", "AfterAck", "MidProg", "MidDump", "MidMigr", "Lost", "Torn", "VolLost", "Unsafe", "Digest")
 	for _, c := range crashpoint.Matrix(points, updates, seed) {
 		res, err := crashpoint.Explore(c)
 		if err != nil {
-			failures = append(failures, fmt.Sprintf("%s: %v", c.Scenario.Name(), err))
+			failures = append(failures, fmt.Sprintf("%s: %v", c.Name(), err))
 			continue
 		}
 		counts := res.KindCounts()
-		tbl.AddRow(c.Scenario.Name(), len(res.Points),
+		tbl.AddRow(c.Name(), len(res.Points),
 			counts[crashpoint.AfterAck], counts[crashpoint.MidProgram], counts[crashpoint.MidDump],
 			counts[crashpoint.MidMigration],
-			res.Lost, res.Torn, res.Unsafe, res.Digest[:12])
+			res.Lost, res.Torn, res.VolatileLost, res.Unsafe, res.Digest[:12])
 		for _, o := range res.Outcomes {
 			if o.Verdict.Err != nil {
 				failures = append(failures, fmt.Sprintf("%s %s at %v: %v",
-					c.Scenario.Name(), o.Point.Kind, o.Point.At, o.Verdict.Err))
+					c.Name(), o.Point.Kind, o.Point.At, o.Verdict.Err))
 			}
 		}
 	}
 	tbl.AddComment("Each point is one deterministic replay with the cut pinned to that instant")
 	tbl.AddComment("Digest: SHA-256 prefix of the canonical schedule (same seed => same digest)")
+	tbl.AddComment("VolLost: expected losses on the MidBurst campaign's volatile-cache shards")
 	fmt.Println(tbl)
 	return failures
 }

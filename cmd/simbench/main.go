@@ -41,10 +41,18 @@ func main() {
 		}
 		base := rows[0].Result.EventsPerSec()
 		fmt.Printf("shards scaling on %d CPUs (virtual-time schedule identical in every row):\n", runtime.NumCPU())
+		if runtime.NumCPU() == 1 {
+			fmt.Println("  single-core host: the ratios below measure thread overhead, not parallel speedup")
+		}
 		for _, row := range rows {
 			r := row.Result
 			fmt.Printf("  workers=%d  %9d events  %10.0f events/sec  %7.1f ns/event  %.2fx\n",
 				row.Workers, r.Events, r.EventsPerSec(), r.NsPerEvent(), r.EventsPerSec()/base)
+		}
+		if *jsonPath != "" {
+			if err := simbench.SweepReport(rows, *repeat).WriteFile(*jsonPath); err != nil {
+				fatal(err)
+			}
 		}
 		return
 	}

@@ -27,6 +27,7 @@ import (
 
 	"durassd/internal/faults"
 	"durassd/internal/iotrace"
+	"durassd/internal/serve"
 )
 
 // Kind classifies a crash point by the schedule feature it attacks.
@@ -88,7 +89,14 @@ type Point struct {
 type Campaign struct {
 	// Scenario is the workload and device configuration to explore. Its
 	// CutAfter is ignored: the exploration chooses the cut instants.
+	// Ignored when Burst is set.
 	Scenario faults.Scenario
+	// Burst, when non-nil, explores the serving-layer mid-burst scenario
+	// instead of a single-engine database scenario: a multi-tenant write
+	// burst through internal/serve across mixed DuraSSD/volatile shards,
+	// with the cut hitting every shard at the derived instant. Its
+	// CutAfter is ignored, like Scenario's.
+	Burst *serve.BurstSpec
 	// MaxPoints caps the number of replayed crash points (default 24). The
 	// cap is split evenly across the kinds present in the schedule, and
 	// each kind's points are sampled evenly across its timeline, so the
@@ -100,15 +108,28 @@ type Campaign struct {
 	DumpTears int
 }
 
-// Outcome pairs a crash point with its audited verdict.
+// Name summarizes the campaign's configuration, whichever runner it uses.
+func (c Campaign) Name() string {
+	if c.Burst != nil {
+		return c.Burst.Name()
+	}
+	return c.Scenario.Name()
+}
+
+// Outcome pairs a crash point with its audited verdict. For burst
+// campaigns, Verdict carries the DuraSSD-side tallies (the claim under
+// test) and Burst the full split-by-device-class verdict.
 type Outcome struct {
 	Point   Point
 	Verdict *faults.Verdict
+	Burst   *serve.BurstVerdict
 }
 
 // Result is the outcome of one exploration.
 type Result struct {
 	Scenario faults.Scenario
+	// Name is the campaign name the result belongs to (Campaign.Name()).
+	Name string
 	// Points are the enumerated crash points, in execution order.
 	Points []Point
 	// Digest is the SHA-256 of the canonical schedule serialization: the
@@ -117,10 +138,16 @@ type Result struct {
 	// Outcomes holds one verdict per point, aligned with Points.
 	Outcomes []Outcome
 	// Unsafe counts outcomes that lost an acked commit, exposed a torn
-	// page, or failed to recover at all.
+	// page, or failed to recover at all. For burst campaigns only the
+	// DuraSSD shards count: volatile-shard loss is the expected control
+	// outcome, tallied separately below.
 	Unsafe int
-	// Lost and Torn total the losses across all outcomes.
+	// Lost and Torn total the losses across all outcomes (DuraSSD shards
+	// only for burst campaigns).
 	Lost, Torn int
+	// VolatileLost and VolatileTorn total the expected losses on the
+	// volatile-cache shards of burst campaigns (0 for engine campaigns).
+	VolatileLost, VolatileTorn int
 }
 
 // KindCounts tallies the enumerated points by kind.
@@ -147,6 +174,9 @@ func Explore(c Campaign) (*Result, error) {
 	}
 	if c.DumpTears == 0 {
 		c.DumpTears = 3
+	}
+	if c.Burst != nil {
+		return exploreBurst(c)
 	}
 	s := c.Scenario
 	s.CutAfter = 0
@@ -199,7 +229,7 @@ func Explore(c Campaign) (*Result, error) {
 	sortPoints(points)
 	points = dedupePoints(points)
 
-	res := &Result{Scenario: s, Points: points, Digest: digest(s, len(events), points)}
+	res := &Result{Scenario: s, Name: s.Name(), Points: points, Digest: digest(s, len(events), points)}
 
 	// Replay: one deterministic trial per point. The interrupted-erase
 	// fault is armed in every trial — it only changes behaviour when an

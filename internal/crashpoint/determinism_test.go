@@ -19,13 +19,16 @@ func TestMatrixDigestSetDeterminism(t *testing.T) {
 		for _, c := range Matrix(3, 60, 11) {
 			res, err := Explore(c)
 			if err != nil {
-				t.Fatalf("%s: %v", c.Scenario.Name(), err)
+				t.Fatalf("%s: %v", c.Name(), err)
 			}
-			fmt.Fprintf(&b, "%s %s", res.Scenario.Name(), res.Digest)
+			fmt.Fprintf(&b, "%s %s", res.Name, res.Digest)
 			for _, o := range res.Outcomes {
 				fmt.Fprintf(&b, " | %s@%d tear=%d acked=%d lost=%d torn=%d safe=%t",
 					o.Point.Kind, int64(o.Point.At), o.Point.DumpTear,
 					o.Verdict.AckedCommits, o.Verdict.LostCommits, o.Verdict.TornPages, o.Verdict.Safe())
+				if o.Burst != nil {
+					fmt.Fprintf(&b, " vlost=%d vtorn=%d", o.Burst.VolatileLost, o.Burst.VolatileTorn)
+				}
 			}
 			b.WriteByte('\n')
 		}
@@ -36,7 +39,7 @@ func TestMatrixDigestSetDeterminism(t *testing.T) {
 	if first != second {
 		t.Fatalf("explore matrix diverged between identical-seed runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
 	}
-	if !strings.Contains(first, " ") || strings.Count(first, "\n") != 8 {
+	if !strings.Contains(first, " ") || strings.Count(first, "\n") != 9 {
 		t.Fatalf("unexpected digest-set shape:\n%s", first)
 	}
 }

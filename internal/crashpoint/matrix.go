@@ -1,6 +1,9 @@
 package crashpoint
 
-import "durassd/internal/faults"
+import (
+	"durassd/internal/faults"
+	"durassd/internal/serve"
+)
 
 // Matrix returns the canonical exploration campaign set that
 // `crashtest -explore` runs: both engines crossed with the three host
@@ -10,6 +13,13 @@ import "durassd/internal/faults"
 // safe-but-slow configuration (where software protection saves it) — plus
 // a wear-out cell: DuraSSD in the fast configuration with bad-block
 // retirement armed, so the exploration also cuts power mid-migration.
+//
+// The ninth campaign is MidBurst: a multi-tenant write burst through the
+// internal/serve gateway over four shards, two DuraSSD and two volatile,
+// all in the fast configuration, with the cut hitting every shard at the
+// derived instant. It extends the claim one layer up: an ack returned
+// through the serving layer is durable exactly when the shard underneath
+// has a durable cache.
 //
 // Keeping the matrix here, rather than inlined in cmd/crashtest, lets the
 // determinism regression test replay the exact same campaign set twice and
@@ -39,5 +49,14 @@ func Matrix(points, updates int, seed int64) []Campaign {
 			})
 		}
 	}
+	out = append(out, Campaign{
+		Burst: &serve.BurstSpec{
+			Shards:   4,
+			Volatile: []int{1, 3},
+			Updates:  updates,
+			Seed:     seed,
+		},
+		MaxPoints: points,
+	})
 	return out
 }

@@ -1,0 +1,104 @@
+package crashpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"durassd/internal/faults"
+	"durassd/internal/iotrace"
+	"durassd/internal/serve"
+)
+
+// exploreBurst is Explore's runner for the serving-layer MidBurst campaign:
+// a multi-tenant write burst through internal/serve over mixed
+// DuraSSD/volatile shards, with the cut landing on every shard at once.
+// The probe records the merged device schedule across all shards; the
+// derived points (after each ack, mid program, mid flush drain, mid erase)
+// therefore attack whichever shard was busiest at each instant. Mid-dump
+// tears are an engine-campaign refinement and are not enumerated here.
+//
+// Outcome accounting is split by device class: a point is unsafe only if a
+// DuraSSD shard lost an acked write or tore a page — that is the paper's
+// claim surviving the serving layer. Volatile-shard loss is the expected
+// control result and is tallied in Result.VolatileLost/VolatileTorn.
+func exploreBurst(c Campaign) (*Result, error) {
+	sp := *c.Burst
+	sp.CutAfter = 0
+
+	// Probe: run the burst to completion, recording the schedule.
+	var events []event
+	probe, err := serve.RunBurst(sp, serve.BurstOptions{
+		NoCut: true,
+		EventFn: func(member int, kind iotrace.EventKind, at time.Duration) {
+			events = append(events, event{member, kind, at})
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crashpoint: burst probe run: %w", err)
+	}
+	if probe.Err != nil {
+		return nil, fmt.Errorf("crashpoint: burst probe audit: %w", probe.Err)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("crashpoint: burst probe recorded no device events")
+	}
+
+	// Program/erase midpoints come from the DuraSSD profile; the volatile
+	// members' windows differ slightly, but every derived instant is still
+	// a legitimate adversarial cut — the replay audit, not the point
+	// placement, decides safety.
+	prof, err := faults.Profile(faults.DuraSSD)
+	if err != nil {
+		return nil, err
+	}
+	points, _ := derivePoints(events, prof.NAND.ProgramLatency, prof.NAND.EraseLatency)
+	points = samplePoints(points, c.MaxPoints)
+	sortPoints(points)
+	points = dedupePoints(points)
+
+	res := &Result{
+		Name:   c.Name(),
+		Points: points,
+		Digest: digestBurst(sp, len(events), points),
+	}
+	for _, pt := range points {
+		sp2 := sp
+		sp2.CutAfter = pt.At
+		bv, err := serve.RunBurst(sp2, serve.BurstOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("crashpoint: burst %s at %v: %w", pt.Kind, pt.At, err)
+		}
+		// The faults.Verdict mirror carries the DuraSSD-side tallies so
+		// the shared reporting (Safe(), failure listings) reads the claim
+		// under test; the full split verdict rides along.
+		v := &faults.Verdict{
+			AckedCommits: bv.AckedCommits,
+			LostCommits:  bv.DuraLost,
+			TornPages:    bv.DuraTorn,
+			Err:          bv.Err,
+		}
+		res.Outcomes = append(res.Outcomes, Outcome{Point: pt, Verdict: v, Burst: bv})
+		if !bv.Safe() {
+			res.Unsafe++
+		}
+		res.Lost += bv.DuraLost
+		res.Torn += bv.DuraTorn
+		res.VolatileLost += bv.VolatileLost
+		res.VolatileTorn += bv.VolatileTorn
+	}
+	return res, nil
+}
+
+// digestBurst serializes the burst schedule canonically and hashes it.
+func digestBurst(sp serve.BurstSpec, eventCount int, pts []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario=%s seed=%d events=%d\n", sp.Name(), sp.Seed, eventCount)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s@%d tear=%d\n", p.Kind, int64(p.At), p.DumpTear)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -212,6 +212,20 @@ func (r *Registry) AddOriginGC(o Origin, n int) {
 // Counter returns the named legacy counter, or nil if unknown.
 func (r *Registry) Counter(name string) *int64 { return r.named[name] }
 
+// RegisterCounter adds a named counter to the registry and returns its
+// storage; registering an existing name returns the same counter. Layers
+// above the device (the serving gateway's shed/throttle accounting, for
+// example) use this to publish their tallies through the same reporting
+// surface as the device counters.
+func (r *Registry) RegisterCounter(name string) *int64 {
+	if c, ok := r.named[name]; ok {
+		return c
+	}
+	c := new(int64)
+	r.named[name] = c
+	return c
+}
+
 // CounterNames returns all registered counter names, sorted.
 func (r *Registry) CounterNames() []string {
 	names := make([]string, 0, len(r.named))

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/ssd"
+	"durassd/internal/storage"
+)
+
+// The MidBurst crash scenario: a multi-tenant write burst through the full
+// serving layer (gateway, ring, admission, group-commit shard stores) with
+// the power cut mid-burst across every shard at the same instant — the
+// whole box loses its supply, exactly the event the paper's §5.2 study
+// injects. Shards are a mix of DuraSSD and volatile-cache SSD-A drives,
+// all in the fast no-barrier configuration, so one campaign demonstrates
+// both halves of the claim at the serving layer: an ack returned through
+// the gateway is durable on DuraSSD shards and is not on volatile ones.
+
+// burstLatency is the gateway<->shard link latency of the crash rig.
+const burstLatency = 100 * time.Microsecond
+
+// BurstSpec configures one mid-burst crash run.
+type BurstSpec struct {
+	// Shards is the shard count (default 4; at least 2).
+	Shards int
+	// Volatile lists the shard indices built on volatile-cache SSD-A
+	// drives; the rest are DuraSSD. Default: every odd shard.
+	Volatile []int
+	// Tenants is the number of writer tenants (default 3), Clients the
+	// writer processes per tenant (default 2).
+	Tenants int
+	Clients int
+	// Updates is the total number of Put attempts across all writers
+	// (default 240).
+	Updates int
+	// Keys is the per-tenant key-space size (default 64).
+	Keys int
+	Seed int64
+	// CutAfter is the power-cut instant; every shard loses power at the
+	// same virtual time. Zero with NoCut unset means 5ms.
+	CutAfter time.Duration
+}
+
+func (sp *BurstSpec) defaults() {
+	if sp.Shards < 2 {
+		sp.Shards = 4
+	}
+	if sp.Volatile == nil {
+		for i := 1; i < sp.Shards; i += 2 {
+			sp.Volatile = append(sp.Volatile, i)
+		}
+	}
+	if sp.Tenants <= 0 {
+		sp.Tenants = 3
+	}
+	if sp.Clients <= 0 {
+		sp.Clients = 2
+	}
+	if sp.Updates <= 0 {
+		sp.Updates = 240
+	}
+	if sp.Keys <= 0 {
+		sp.Keys = 64
+	}
+	if sp.CutAfter == 0 {
+		sp.CutAfter = 5 * time.Millisecond
+	}
+}
+
+// Name summarizes the configuration (stable: it feeds schedule digests).
+func (sp BurstSpec) Name() string {
+	cp := sp
+	cp.defaults()
+	return fmt.Sprintf("serve midburst shards=%d volatile=%d barrier=off", cp.Shards, len(cp.Volatile))
+}
+
+// BurstOptions are the probe/replay knobs crash-point exploration layers on
+// a BurstSpec, mirroring faults.Options.
+type BurstOptions struct {
+	// NoCut runs the burst to completion without a power cut (the probe
+	// run that records the command schedule).
+	NoCut bool
+	// EventFn observes device events on every shard (member = shard index).
+	EventFn func(member int, kind iotrace.EventKind, at time.Duration)
+}
+
+// BurstVerdict is the audited outcome of one mid-burst crash, split by
+// device class: the Dura tallies are the paper's claim under test (must be
+// zero), the Volatile tallies are the expected failure of the control
+// group.
+type BurstVerdict struct {
+	AckedCommits int // Puts acknowledged through the gateway before the cut
+	DuraKeys     int // distinct acked keys audited on DuraSSD shards
+	VolatileKeys int // distinct acked keys audited on volatile-cache shards
+	DuraLost     int // acked versions missing on DuraSSD shards after recovery
+	DuraTorn     int // DuraSSD pages failing their image checksum
+	VolatileLost int // acked versions missing on volatile shards
+	VolatileTorn int // volatile pages failing their image checksum
+	Shed         int // Puts shed by admission control (never acknowledged)
+	Err          error
+}
+
+// Safe reports whether the DuraSSD shards preserved every guarantee. The
+// volatile tallies are deliberately not part of this: their loss is the
+// expected outcome, not a failure.
+func (v *BurstVerdict) Safe() bool {
+	return v.Err == nil && v.DuraLost == 0 && v.DuraTorn == 0
+}
+
+// tenantKey builds tenant t's i-th key: disjoint per-tenant key spaces.
+func tenantKey(t, i int) uint64 { return uint64(t+1)<<32 | uint64(i) }
+
+// RunBurst executes the mid-burst crash scenario and audits the aftermath.
+func RunBurst(sp BurstSpec, o BurstOptions) (*BurstVerdict, error) {
+	sp.defaults()
+	v := &BurstVerdict{}
+
+	// The campaign replays need determinism of the recorded schedule, not
+	// wall-clock speed: one worker keeps event capture order trivially
+	// deterministic (and the digest-identity sweeps cover the parallel case
+	// separately).
+	cluster := sim.NewCluster(sp.Shards+1, burstLatency, 1)
+	defer cluster.Close()
+	front := cluster.Domain(0)
+
+	ring := NewRing(sp.Shards)
+	var keys []uint64
+	for t := 0; t < sp.Tenants; t++ {
+		for i := 0; i < sp.Keys; i++ {
+			keys = append(keys, tenantKey(t, i))
+		}
+	}
+	parts := PartitionKeys(ring, keys)
+
+	isVolatile := make([]bool, sp.Shards)
+	for _, i := range sp.Volatile {
+		if i < 0 || i >= sp.Shards {
+			return nil, fmt.Errorf("serve: volatile shard index %d out of range", i)
+		}
+		isVolatile[i] = true
+	}
+	devs := make([]storage.Device, sp.Shards)
+	stores := make([]*Store, sp.Shards)
+	for i := 0; i < sp.Shards; i++ {
+		dom := cluster.Domain(i + 1)
+		prof := ssd.DuraSSD(16)
+		if isVolatile[i] {
+			prof = ssd.SSDA(16)
+		}
+		dev, err := ssd.New(dom.Engine(), prof)
+		if err != nil {
+			return nil, err
+		}
+		devs[i] = dev
+		st, err := OpenStore(dom, dev, parts[i], StoreConfig{Barrier: false, RealBytes: true})
+		if err != nil {
+			return nil, err
+		}
+		stores[i] = st
+		if o.EventFn != nil {
+			member := i
+			dev.Registry().SetEventFn(func(kind iotrace.EventKind, at time.Duration) {
+				o.EventFn(member, kind, at)
+			})
+		}
+	}
+	srv, err := New(front, stores, Config{Concurrency: 8, QueueDepth: 64, CacheSize: 64})
+	if err != nil {
+		return nil, err
+	}
+	srv.BuildFilters(parts)
+
+	// Writer tenants: Put random keys from their own space, record the
+	// acked versions. An ack through the gateway is the durability contract
+	// under audit.
+	acked := make(map[uint64]uint64)
+	perClient := sp.Updates / (sp.Tenants * sp.Clients)
+	for t := 0; t < sp.Tenants; t++ {
+		acct := NewTenantAccount(fmt.Sprintf("tenant%d", t), 1_000_000, 64)
+		for c := 0; c < sp.Clients; c++ {
+			tn, cn := t, c
+			rng := sim.NewRand(sp.Seed + int64(tn)*104_729 + int64(cn)*7_919)
+			front.Go(fmt.Sprintf("burst-%d-%d", tn, cn), func(p *sim.Proc) {
+				for i := 0; i < perClient; i++ {
+					key := tenantKey(tn, rng.Intn(sp.Keys))
+					ver, err := srv.Put(p, acct, key)
+					if err == ErrOverloaded {
+						v.Shed++
+						continue
+					}
+					if err != nil {
+						return // power failed mid-operation
+					}
+					if ver > acked[key] {
+						acked[key] = ver
+					}
+					v.AckedCommits++
+				}
+			})
+		}
+	}
+
+	if !o.NoCut {
+		for i := 0; i < sp.Shards; i++ {
+			cy := devs[i].(storage.PowerCycler)
+			cluster.Domain(i+1).Engine().Schedule(sp.CutAfter, cy.PowerFail)
+		}
+	}
+	cluster.Run()
+	for _, dev := range devs {
+		dev.Registry().SetEventFn(nil) // the schedule covers the workload only
+	}
+
+	// Partition the acked keys by owning shard, in sorted key order so the
+	// audit schedule never depends on map iteration.
+	sortedKeys := make([]uint64, 0, len(acked))
+	for k := range acked {
+		sortedKeys = append(sortedKeys, k)
+	}
+	sort.Slice(sortedKeys, func(i, j int) bool { return sortedKeys[i] < sortedKeys[j] })
+	byShard := make([][]uint64, sp.Shards)
+	for _, k := range sortedKeys {
+		sh := ring.Lookup(k)
+		byShard[sh] = append(byShard[sh], k)
+		if isVolatile[sh] {
+			v.VolatileKeys++
+		} else {
+			v.DuraKeys++
+		}
+	}
+
+	// Reboot every shard (firmware recovery) and audit: each acked version
+	// must still parse from its page image at or above the acked version.
+	lost := make([]int, sp.Shards)
+	torn := make([]int, sp.Shards)
+	auditErr := make([]error, sp.Shards)
+	for i := 0; i < sp.Shards; i++ {
+		i := i
+		st := stores[i]
+		st.Domain().Go(fmt.Sprintf("recover-%d", i), func(p *sim.Proc) {
+			if !o.NoCut {
+				if err := devs[i].(storage.PowerCycler).Reboot(p); err != nil {
+					auditErr[i] = fmt.Errorf("shard %d reboot: %w", i, err)
+					return
+				}
+			}
+			for _, k := range byShard[i] {
+				got, ok, err := st.CrashRead(p, k)
+				if err != nil {
+					auditErr[i] = fmt.Errorf("shard %d audit: %w", i, err)
+					return
+				}
+				if !ok {
+					torn[i]++
+					lost[i]++
+					continue
+				}
+				if got < acked[k] {
+					lost[i]++
+				}
+			}
+		})
+	}
+	cluster.Run()
+	for i := 0; i < sp.Shards; i++ {
+		if auditErr[i] != nil && v.Err == nil {
+			v.Err = auditErr[i]
+		}
+		if isVolatile[i] {
+			v.VolatileLost += lost[i]
+			v.VolatileTorn += torn[i]
+		} else {
+			v.DuraLost += lost[i]
+			v.DuraTorn += torn[i]
+		}
+	}
+	return v, nil
+}

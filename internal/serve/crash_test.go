@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// MidBurst crash tests: the paper's §5.2 durability claim, audited through
+// the full serving layer. A power cut lands mid-burst on every shard of a
+// mixed DuraSSD/SSD-A box running with barriers off; acked writes on the
+// DuraSSD shards must all survive, and the volatile-cache shards must lose
+// some — the control group that proves the audit has teeth.
+
+// TestMidBurstDuraSafeVolatileLossy is the headline assertion.
+func TestMidBurstDuraSafeVolatileLossy(t *testing.T) {
+	v, err := RunBurst(BurstSpec{Seed: 1}, BurstOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Err != nil {
+		t.Fatalf("audit error: %v", v.Err)
+	}
+	if v.AckedCommits == 0 {
+		t.Fatal("no commit was acknowledged before the cut")
+	}
+	if v.DuraKeys == 0 || v.VolatileKeys == 0 {
+		t.Fatalf("audit did not cover both device classes: dura=%d volatile=%d keys",
+			v.DuraKeys, v.VolatileKeys)
+	}
+	if v.DuraLost != 0 || v.DuraTorn != 0 {
+		t.Errorf("DuraSSD shards lost %d / tore %d acked writes; the durable cache claim is broken",
+			v.DuraLost, v.DuraTorn)
+	}
+	if v.VolatileLost == 0 {
+		t.Error("volatile-cache shards lost nothing: the cut landed after everything drained, so the audit proves nothing")
+	}
+	if !v.Safe() {
+		t.Error("verdict not Safe despite clean DuraSSD tallies")
+	}
+}
+
+// TestMidBurstNoCutClean: without a power cut the burst completes and the
+// audit finds every acked version on every shard, volatile included — loss
+// in the cut runs comes from the cut, not from the rig.
+func TestMidBurstNoCutClean(t *testing.T) {
+	v, err := RunBurst(BurstSpec{Seed: 1}, BurstOptions{NoCut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Err != nil {
+		t.Fatalf("audit error: %v", v.Err)
+	}
+	if v.AckedCommits == 0 {
+		t.Fatal("no commits acknowledged")
+	}
+	if v.DuraLost+v.DuraTorn+v.VolatileLost+v.VolatileTorn != 0 {
+		t.Errorf("losses without a power cut: %+v", v)
+	}
+}
+
+// TestMidBurstAllDuraSafe: a box built entirely from DuraSSD shards survives
+// the same cut with zero loss anywhere.
+func TestMidBurstAllDuraSafe(t *testing.T) {
+	v, err := RunBurst(BurstSpec{Volatile: []int{}, Seed: 1}, BurstOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.VolatileKeys != 0 {
+		t.Fatalf("no shard is volatile but %d keys audited as volatile", v.VolatileKeys)
+	}
+	if !v.Safe() || v.DuraLost != 0 || v.DuraTorn != 0 {
+		t.Errorf("all-DuraSSD box lost data: %+v", v)
+	}
+}
+
+// TestMidBurstDeterminism: identical spec and seed reproduce the identical
+// verdict — the property the crashpoint campaign's replays depend on.
+func TestMidBurstDeterminism(t *testing.T) {
+	run := func() string {
+		v, err := RunBurst(BurstSpec{Seed: 3}, BurstOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", v)
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("mid-burst verdict diverged between identical runs:\n%s\n--- vs ---\n%s", first, second)
+	}
+}

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"durassd/internal/sim"
+)
+
+// Property tests for the serving-layer primitives. All randomness is drawn
+// from sim.Rand with fixed seeds, so every run checks the same cases.
+
+// TestBloomNoFalseNegatives is the filter's load-bearing property: the
+// negative-lookup path turns "not in filter" into a client-visible
+// ErrNotFound without touching the shard, so a false negative would make the
+// gateway deny a key that exists. Members must always test positive.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 10, 1000, 20000} {
+		rng := sim.NewRand(int64(n))
+		b := NewBloom(n)
+		members := make([]uint64, n)
+		for i := range members {
+			members[i] = rng.Uint64()
+			b.Add(members[i])
+		}
+		for i, k := range members {
+			if !b.Contains(k) {
+				t.Fatalf("n=%d: false negative on member %d (key %#x)", n, i, k)
+			}
+		}
+		// False positives are allowed but must stay near the designed rate
+		// (10 bits/key, 7 hashes => ~1%); a broken hash would blow past this.
+		fp := 0
+		const probes = 20000
+		for i := 0; i < probes; i++ {
+			if b.Contains(rng.Uint64()) {
+				fp++
+			}
+		}
+		if rate := float64(fp) / probes; rate > 0.03 {
+			t.Errorf("n=%d: false-positive rate %.4f, want < 0.03", n, rate)
+		}
+	}
+}
+
+// TestSketchOverestimateOnly: a count-min sketch may overestimate (hash
+// collisions add counts) but must never underestimate below the saturation
+// cap — TinyLFU admission leans on estimates never being too small for the
+// keys that matter.
+func TestSketchOverestimateOnly(t *testing.T) {
+	rng := sim.NewRand(42)
+	s := NewSketch(4096) // halve limit 40960: stay under it
+	truth := make(map[uint64]int)
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	for total := 0; total < 10000; total++ {
+		k := keys[rng.Intn(len(keys))]
+		if truth[k] >= 14 {
+			continue // stay below the 4-bit saturation cap
+		}
+		s.Increment(k)
+		truth[k]++
+	}
+	for _, k := range keys {
+		if got, want := s.Estimate(k), truth[k]; got < want {
+			t.Fatalf("underestimate: key %#x counted %d, estimated %d", k, want, got)
+		}
+	}
+}
+
+// TestSketchSaturatesAndHalves: counters cap at 15 instead of wrapping, and
+// Halve (the TinyLFU aging step) divides every counter by two.
+func TestSketchSaturatesAndHalves(t *testing.T) {
+	s := NewSketch(64)
+	key := uint64(0xdeadbeef)
+	for i := 0; i < 100; i++ {
+		s.Increment(key)
+	}
+	if got := s.Estimate(key); got != 15 {
+		t.Fatalf("saturated estimate = %d, want 15", got)
+	}
+	s.Halve()
+	if got := s.Estimate(key); got != 7 {
+		t.Fatalf("estimate after Halve = %d, want 7", got)
+	}
+}
+
+// TestTokenBucketNeverAdmitsAboveRate: the GCRA property. Whatever the
+// arrival pattern, the conforming times handed out by Take never exceed
+// burst + rate*W operations inside any window of length W.
+func TestTokenBucketNeverAdmitsAboveRate(t *testing.T) {
+	const (
+		rate  = 1000 // ops/sec
+		burst = 20
+	)
+	rng := sim.NewRand(7)
+	tb := NewTokenBucket(rate, burst)
+	var admits []time.Duration
+	now := time.Duration(0)
+	for i := 0; i < 5000; i++ {
+		// Bursty arrivals: mostly back-to-back, occasional long gaps.
+		if rng.Intn(10) == 0 {
+			now += time.Duration(rng.Intn(20)) * time.Millisecond
+		} else {
+			now += time.Duration(rng.Intn(50)) * time.Microsecond
+		}
+		wait := tb.Take(now)
+		if wait < 0 {
+			t.Fatalf("op %d: negative wait %v", i, wait)
+		}
+		admits = append(admits, now+wait)
+	}
+	if !sort.SliceIsSorted(admits, func(i, j int) bool { return admits[i] < admits[j] }) {
+		t.Fatal("conforming times went backwards")
+	}
+	for _, window := range []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second} {
+		allowed := burst + int(int64(rate)*int64(window)/int64(time.Second))
+		lo := 0
+		for hi := range admits {
+			for admits[hi]-admits[lo] > window {
+				lo++
+			}
+			if count := hi - lo + 1; count > allowed+1 {
+				t.Fatalf("window %v ending at op %d admitted %d ops, allowed %d",
+					window, hi, count, allowed)
+			}
+		}
+	}
+}
+
+// TestTokenBucketIdleRefill: after a long idle gap the bucket admits a full
+// burst immediately, but not more.
+func TestTokenBucketIdleRefill(t *testing.T) {
+	tb := NewTokenBucket(100, 10)
+	now := 10 * time.Second
+	for i := 0; i < 10; i++ {
+		if wait := tb.Take(now); wait != 0 {
+			t.Fatalf("burst op %d after idle: wait %v, want 0", i, wait)
+		}
+	}
+	if wait := tb.Take(now); wait <= 0 {
+		t.Fatalf("op past the burst: wait %v, want > 0", wait)
+	}
+}
+
+// TestRingDeterminismAndCoverage: two rings over the same shard count route
+// every key identically; PartitionKeys assigns every key to exactly one
+// shard; and the 64-vnode placement keeps the load roughly balanced.
+func TestRingDeterminismAndCoverage(t *testing.T) {
+	const shards = 4
+	r1, r2 := NewRing(shards), NewRing(shards)
+	rng := sim.NewRand(3)
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	counts := make([]int, shards)
+	for _, k := range keys {
+		sh := r1.Lookup(k)
+		if sh != r2.Lookup(k) {
+			t.Fatalf("rings disagree on key %#x", k)
+		}
+		counts[sh]++
+	}
+	parts := PartitionKeys(r1, keys)
+	total := 0
+	for sh, part := range parts {
+		total += len(part)
+		if len(part) != counts[sh] {
+			t.Errorf("shard %d: partition %d keys, lookup %d", sh, len(part), counts[sh])
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("partition covers %d of %d keys", total, len(keys))
+	}
+	for sh, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.08 || frac > 0.50 {
+			t.Errorf("shard %d owns %.3f of the space; balance broken", sh, frac)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the property consistent hashing buys: growing
+// the ring by one shard relocates only a minority of keys.
+func TestRingMinimalMovement(t *testing.T) {
+	const shards = 4
+	small, big := NewRing(shards), NewRing(shards+1)
+	rng := sim.NewRand(9)
+	moved, n := 0, 10000
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		if small.Lookup(k) != big.Lookup(k) {
+			moved++
+		}
+	}
+	// Ideal is 1/(shards+1) = 20%; allow headroom for vnode variance.
+	if frac := float64(moved) / float64(n); frac > 0.40 {
+		t.Errorf("adding one shard moved %.3f of keys, want < 0.40", frac)
+	}
+}
+
+// TestCacheAdmissionAndMonotonicVersions: TinyLFU admits freely while there
+// is spare capacity, rejects cold candidates against a hot victim once full,
+// and never rolls a cached version backwards (Put completions can race at
+// the gateway, so stale completions must lose).
+func TestCacheAdmissionAndMonotonicVersions(t *testing.T) {
+	c := NewCache(4)
+	for k := uint64(1); k <= 4; k++ {
+		if !c.Admit(k, 1) {
+			t.Fatalf("admission with spare capacity rejected key %d", k)
+		}
+	}
+	// Heat the residents: every Get feeds the frequency sketch.
+	for i := 0; i < 8; i++ {
+		for k := uint64(1); k <= 4; k++ {
+			c.Get(k)
+		}
+	}
+	if c.Admit(99, 1) {
+		t.Error("cold candidate evicted a hot resident")
+	}
+	// A candidate hotter than the LRU victim does get in.
+	for i := 0; i < 20; i++ {
+		c.Get(77) // misses, but each miss feeds the sketch
+	}
+	if !c.Admit(77, 1) {
+		t.Error("hot candidate rejected against a colder victim")
+	}
+	// Version monotonicity (key 4 was the most recently heated resident, so
+	// it survived the eviction above).
+	c.Update(4, 9)
+	c.Update(4, 5)
+	if v, ok := c.Get(4); !ok || v != 9 {
+		t.Errorf("version rolled back: got (%d, %t), want (9, true)", v, ok)
+	}
+	c.Admit(4, 3)
+	if v, _ := c.Get(4); v != 9 {
+		t.Errorf("Admit rolled a resident version back to %d", v)
+	}
+}

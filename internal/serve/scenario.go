@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/ssd"
+	"durassd/internal/stats"
+)
+
+// The mixed-tenant serving scenario: three database tenants with the
+// traffic shapes of the repo's workload suites — YCSB-A (50/50 read/update,
+// zipfian), LinkBench (read-heavy social graph, zipfian, a slice of reads
+// for absent keys), and TPC-C (write-heavy order entry, uniform, rate-
+// capped) — sharing one sharded serving box. It is the serving-layer
+// analogue of the paper's Tables 4/5: concurrent clients, one storage
+// stack, throughput and tail latency per tenant.
+
+// TenantSpec shapes one tenant's traffic.
+type TenantSpec struct {
+	Name     string
+	Ops      int   // operations across all threads
+	Threads  int   // client processes
+	WritePct int   // percentage of operations that are Puts
+	Zipf     bool  // zipfian key popularity (vs uniform)
+	MissPct  int   // percentage of reads that target absent keys
+	Rate     int   // token-bucket ops/sec (the tenant's QoS contract)
+	Burst    int   // token-bucket burst
+	Keys     int   // tenant key-space size
+	Seed     int64 // offset into the scenario seed
+}
+
+// ScenarioConfig configures one mixed-tenant run.
+type ScenarioConfig struct {
+	Shards  int           // engine shards (default 4)
+	Workers int           // cluster worker threads (default 1)
+	Latency time.Duration // gateway<->shard link latency (default 100µs)
+	Seed    int64
+	Serve   Config       // gateway tuning
+	Tenants []TenantSpec // default: DefaultTenants()
+}
+
+func (c *ScenarioConfig) defaults() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Latency <= 0 {
+		c.Latency = 100 * time.Microsecond
+	}
+	// Deliberately shallow per-shard admission: the default mix should
+	// overload occasionally so shedding and queueing are exercised, not
+	// just representable.
+	if c.Serve.Concurrency == 0 {
+		c.Serve.Concurrency = 2
+	}
+	if c.Serve.QueueDepth == 0 {
+		c.Serve.QueueDepth = 4
+	}
+	if c.Serve.CacheSize == 0 {
+		c.Serve.CacheSize = 512
+	}
+	if c.Tenants == nil {
+		c.Tenants = DefaultTenants()
+	}
+}
+
+// DefaultTenants returns the canonical three-tenant mix.
+func DefaultTenants() []TenantSpec {
+	return []TenantSpec{
+		{Name: "ycsb-a", Ops: 3000, Threads: 4, WritePct: 50, Zipf: true,
+			Rate: 100_000, Burst: 64, Keys: 2000, Seed: 1},
+		{Name: "linkbench", Ops: 3000, Threads: 4, WritePct: 25, Zipf: true,
+			MissPct: 10, Rate: 100_000, Burst: 64, Keys: 2000, Seed: 2},
+		{Name: "tpcc", Ops: 1500, Threads: 2, WritePct: 60, Zipf: false,
+			Rate: 2000, Burst: 16, Keys: 1000, Seed: 3},
+	}
+}
+
+// TenantResult is one tenant's slice of the report.
+type TenantResult struct {
+	Name       string
+	Ops        int64 // operations answered (including definitive not-founds)
+	Shed       int64 // rejected with ErrOverloaded
+	Throttled  int64 // operations delayed by the token bucket
+	ThrottleT  time.Duration
+	CacheHits  int64
+	BloomSkips int64
+	ReadP50    time.Duration
+	ReadP99    time.Duration
+	WriteP50   time.Duration
+	WriteP99   time.Duration
+}
+
+// ScenarioResult is the deterministic outcome of one run: everything in it
+// is a pure function of the configuration, so two runs with the same seed
+// render byte-identical reports at any worker count.
+type ScenarioResult struct {
+	Config      ScenarioConfig
+	Tenants     []TenantResult // in spec order
+	ShedByShard []int64
+	CacheHits   int64
+	CacheRatio  float64
+	Digest      string // merged iotrace event digest across all shards
+	Events      uint64 // engine events processed across the cluster
+	Elapsed     time.Duration
+}
+
+// RunScenario builds the serving box on a fresh cluster and drives the
+// tenant mix to completion.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	cfg.defaults()
+	cluster := sim.NewCluster(cfg.Shards+1, cfg.Latency, cfg.Workers)
+	defer cluster.Close()
+	front := cluster.Domain(0)
+
+	// Key layout: tenant-prefixed spaces partitioned over the ring.
+	ring := NewRing(cfg.Shards)
+	var keys []uint64
+	for t, ts := range cfg.Tenants {
+		for i := 0; i < ts.Keys; i++ {
+			keys = append(keys, tenantKey(t, i))
+		}
+	}
+	parts := PartitionKeys(ring, keys)
+
+	rec := iotrace.NewShardRecorder(cfg.Shards + 1)
+	stores := make([]*Store, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		dom := cluster.Domain(i + 1)
+		dev, err := ssd.New(dom.Engine(), ssd.DuraSSD(16))
+		if err != nil {
+			return nil, err
+		}
+		// The paper's fast configuration: no barriers, the durable device
+		// cache carries the ack. Timing mode — the crash campaigns cover
+		// the real-bytes audit.
+		st, err := OpenStore(dom, dev, parts[i], StoreConfig{Barrier: false})
+		if err != nil {
+			return nil, err
+		}
+		stores[i] = st
+		rec.Attach(i+1, dev.Registry())
+	}
+	srv, err := New(front, stores, cfg.Serve)
+	if err != nil {
+		return nil, err
+	}
+	srv.BuildFilters(parts)
+
+	// Tenant clients. Each thread owns a seeded generator, so the issued
+	// op stream is a pure function of (scenario seed, tenant, thread).
+	accounts := make([]*TenantAccount, len(cfg.Tenants))
+	tenantErr := make([]error, len(cfg.Tenants))
+	for t, ts := range cfg.Tenants {
+		acct := NewTenantAccount(ts.Name, ts.Rate, ts.Burst)
+		accounts[t] = acct
+		perThread := ts.Ops / ts.Threads
+		for th := 0; th < ts.Threads; th++ {
+			tn, thn, spec := t, th, ts
+			rng := rand.New(rand.NewSource(cfg.Seed + ts.Seed*1_000_003 + int64(th)*22_695_477))
+			var zipf *rand.Zipf
+			if spec.Zipf {
+				zipf = rand.NewZipf(rng, 1.01, 20, uint64(spec.Keys-1))
+			}
+			front.Go(fmt.Sprintf("%s-%d", spec.Name, thn), func(p *sim.Proc) {
+				for i := 0; i < perThread; i++ {
+					var idx int
+					if zipf != nil {
+						idx = int(zipf.Uint64())
+					} else {
+						idx = rng.Intn(spec.Keys)
+					}
+					write := rng.Intn(100) < spec.WritePct
+					var err error
+					if write {
+						_, err = srv.Put(p, acct, tenantKey(tn, idx))
+					} else {
+						key := tenantKey(tn, idx)
+						if spec.MissPct > 0 && rng.Intn(100) < spec.MissPct {
+							key = tenantKey(tn, spec.Keys+idx) // absent key
+						}
+						_, err = srv.Get(p, acct, key)
+					}
+					switch err {
+					case nil, ErrNotFound, ErrOverloaded:
+						// Answered, definitively absent, or shed: all are
+						// legitimate serving outcomes, already accounted.
+					default:
+						if tenantErr[tn] == nil {
+							tenantErr[tn] = fmt.Errorf("serve: tenant %s thread %d: %w", spec.Name, thn, err)
+						}
+						return
+					}
+				}
+			})
+		}
+	}
+	cluster.Run()
+	for _, st := range stores {
+		st.Device().Registry().SetEventFn(nil)
+	}
+	for _, err := range tenantErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &ScenarioResult{Config: cfg, Events: cluster.Events(), Digest: rec.Digest()}
+	for i := 0; i < cfg.Shards; i++ {
+		res.ShedByShard = append(res.ShedByShard, srv.ShedCount(i))
+	}
+	hits, misses, _, _, _ := srv.Cache().Counters()
+	res.CacheHits = hits
+	if hits+misses > 0 {
+		res.CacheRatio = float64(hits) / float64(hits+misses)
+	}
+	var last time.Duration
+	for i := 0; i <= cfg.Shards; i++ {
+		if now := cluster.Domain(i).Now(); now > last {
+			last = now
+		}
+	}
+	res.Elapsed = last
+	for _, acct := range accounts {
+		res.Tenants = append(res.Tenants, TenantResult{
+			Name:       acct.Name,
+			Ops:        acct.Ops,
+			Shed:       acct.Shed,
+			Throttled:  acct.Throttled,
+			ThrottleT:  acct.ThrottleT,
+			CacheHits:  acct.CacheHits,
+			BloomSkips: acct.BloomSkip,
+			ReadP50:    acct.Reads.Percentile(50),
+			ReadP99:    acct.Reads.Percentile(99),
+			WriteP50:   acct.Writes.Percentile(50),
+			WriteP99:   acct.Writes.Percentile(99),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the per-tenant report.
+func (r *ScenarioResult) Table() *stats.Table {
+	// The title deliberately omits the worker count: the rendered report is
+	// the byte string the determinism sweeps compare across worker counts.
+	tbl := stats.NewTable(
+		fmt.Sprintf("Mixed-tenant serving: %d shards, seed %d",
+			r.Config.Shards, r.Config.Seed),
+		"Tenant", "Ops", "Shed", "Throttled", "CacheHit", "BloomSkip",
+		"ReadP50", "ReadP99", "WriteP50", "WriteP99")
+	for _, t := range r.Tenants {
+		tbl.AddRow(t.Name, t.Ops, t.Shed, t.Throttled, t.CacheHits, t.BloomSkips,
+			t.ReadP50, t.ReadP99, t.WriteP50, t.WriteP99)
+	}
+	tbl.AddComment("shed by shard: %v; cache hit ratio %.3f; virtual elapsed %v",
+		r.ShedByShard, r.CacheRatio, r.Elapsed)
+	tbl.AddComment("iotrace digest %s (identical at any worker count for this seed)", r.Digest[:16])
+	return tbl
+}
+
+// Render returns the canonical textual report: the byte string the
+// determinism sweeps compare across worker counts and GOMAXPROCS values.
+func (r *ScenarioResult) Render() string { return r.Table().String() }

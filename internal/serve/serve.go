@@ -1,0 +1,283 @@
+// Package serve is the sharded multi-tenant serving layer above the
+// simulated storage stack: the front end ROADMAP item 1 asks for. One
+// gateway domain routes tenant requests over a consistent-hash ring to N
+// engine shards, each a durable document store on its own device in its
+// own sim.Domain. The gateway adds the three things a real serving box
+// adds — admission control (bounded queues, typed shedding), a host-side
+// read cache (TinyLFU admission, negative-lookup bloom filters), and
+// per-tenant QoS (token buckets, tail-latency accounting) — while the
+// whole tower stays deterministic: identical seeds produce byte-identical
+// per-tenant reports and iotrace digests at any cluster worker count.
+//
+// Crash semantics survive the layer. An acknowledged Put means the shard's
+// group-commit fdatasync completed; whether that ack survives a power cut
+// mid-burst is decided by the device, which is the paper's claim — DuraSSD
+// shards keep every acked write in the fast (no-barrier) configuration,
+// volatile-cache shards do not. The MidBurst crashpoint campaign audits
+// exactly this across shards.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+)
+
+// Typed serving errors. Callers branch on these: ErrOverloaded is the
+// backpressure signal (retry later, or count as shed), ErrNotFound is a
+// definitive negative answer.
+var (
+	ErrOverloaded = errors.New("serve: shard overloaded, request shed")
+	ErrNotFound   = errors.New("serve: key not found")
+)
+
+// Config tunes the gateway.
+type Config struct {
+	// Concurrency is the per-shard in-flight operation limit (the size of
+	// each shard's dispatch window). Default 8.
+	Concurrency int
+	// QueueDepth bounds each shard's admission queue: a request arriving
+	// with the window full and QueueDepth waiters ahead of it is shed with
+	// ErrOverloaded instead of queuing unboundedly. Default 16.
+	QueueDepth int
+	// CacheSize is the gateway read cache capacity in entries. Default 1024.
+	CacheSize int
+}
+
+func (c *Config) defaults() {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+}
+
+// Gateway CPU costs: the host-side work of answering from the cache or
+// rejecting via the bloom filter, and the routing/dispatch overhead paid
+// by every request that goes to a shard.
+const (
+	cacheHitCPU = 2 * time.Microsecond
+	dispatchCPU = 1 * time.Microsecond
+)
+
+// Server is the gateway: it lives in one cluster domain (the front) and
+// ships storage operations to shard domains with Domain.Call. All methods
+// taking a *sim.Proc must run on the front domain's engine; the gateway's
+// state (cache, ring, accounting) is confined to that domain, so it needs
+// no locks and evolves in deterministic virtual-time order.
+type Server struct {
+	front  *sim.Domain
+	ring   *Ring
+	shards []*Store
+	neg    []*Bloom        // per-shard negative-lookup filter
+	admit  []*sim.Resource // per-shard dispatch windows (front domain)
+	cache  *Cache
+	cfg    Config
+	reg    *iotrace.Registry // gateway counters (shed, throttle, cache)
+
+	shedByShard []*int64
+	shedTotal   *int64
+	throttles   *int64
+	cacheHits   *int64
+	bloomSkips  *int64
+}
+
+// New builds a gateway in domain front over the given shard stores. Shard
+// i of the ring is stores[i]; the caller built each store in its own
+// domain. The per-shard bloom filters are built here, over each shard's
+// full key space — the only property the read path relies on is that a
+// present key is never reported absent.
+func New(front *sim.Domain, stores []*Store, cfg Config) (*Server, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("serve: need at least one shard store")
+	}
+	cfg.defaults()
+	s := &Server{
+		front:  front,
+		ring:   NewRing(len(stores)),
+		shards: stores,
+		neg:    make([]*Bloom, len(stores)),
+		admit:  make([]*sim.Resource, len(stores)),
+		cache:  NewCache(cfg.CacheSize),
+		cfg:    cfg,
+		reg:    iotrace.NewRegistry(),
+	}
+	s.shedByShard = make([]*int64, len(stores))
+	for i, st := range stores {
+		if st.Domain().Cluster() != front.Cluster() {
+			return nil, fmt.Errorf("serve: shard %d lives in a different cluster", i)
+		}
+		s.admit[i] = sim.NewResource(front.Engine(), cfg.Concurrency)
+		s.shedByShard[i] = s.reg.RegisterCounter(fmt.Sprintf("serve_shed_shard%d", i))
+	}
+	s.shedTotal = s.reg.RegisterCounter("serve_shed")
+	s.throttles = s.reg.RegisterCounter("serve_throttled")
+	s.cacheHits = s.reg.RegisterCounter("serve_cache_hits")
+	s.bloomSkips = s.reg.RegisterCounter("serve_bloom_skips")
+	return s, nil
+}
+
+// BuildFilters (re)builds the per-shard negative-lookup filters from the
+// stores' key spaces. New calls it; it is exposed so conformance tests can
+// exercise rebuild-after-load.
+func (s *Server) BuildFilters(keysByShard [][]uint64) {
+	for i := range s.neg {
+		b := NewBloom(len(keysByShard[i]))
+		for _, k := range keysByShard[i] {
+			b.Add(k)
+		}
+		s.neg[i] = b
+	}
+}
+
+// PartitionKeys splits a key set by ring ownership: the slice at index i
+// is shard i's key space, each in input order. Build the shard stores from
+// this partition so routing and placement agree.
+func PartitionKeys(ring *Ring, keys []uint64) [][]uint64 {
+	parts := make([][]uint64, ring.Shards())
+	for _, k := range keys {
+		sh := ring.Lookup(k)
+		parts[sh] = append(parts[sh], k)
+	}
+	return parts
+}
+
+// Ring returns the server's consistent-hash ring (for partitioning keys
+// before the stores exist: NewRing(n) with the same n builds the identical
+// ring, since placement is a pure function of the shard count).
+func (s *Server) Ring() *Ring { return s.ring }
+
+// Cache returns the gateway read cache.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Registry returns the gateway's metrics registry (shed, throttle and
+// cache counters, published alongside the device registries).
+func (s *Server) Registry() *iotrace.Registry { return s.reg }
+
+// Shards returns the shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's store.
+func (s *Server) Shard(i int) *Store { return s.shards[i] }
+
+// ShardFor returns the shard index owning key.
+func (s *Server) ShardFor(key uint64) int { return s.ring.Lookup(key) }
+
+// ShedCount returns the number of requests shed at shard i.
+func (s *Server) ShedCount(i int) int64 { return *s.shedByShard[i] }
+
+// throttle charges the tenant's token bucket and sleeps out any
+// non-conformance. The bucket runs on virtual time, so pacing is exact and
+// deterministic.
+func (s *Server) throttle(p *sim.Proc, t *TenantAccount) {
+	if wait := t.Bucket.Take(p.Now()); wait > 0 {
+		t.Throttled++
+		t.ThrottleT += wait
+		*s.throttles++
+		p.Sleep(wait)
+	}
+}
+
+// admitShard claims a slot in shard sh's dispatch window, queuing behind
+// at most QueueDepth waiters. It reports false — the request is shed —
+// when the queue is already full; the caller returns ErrOverloaded.
+func (s *Server) admitShard(p *sim.Proc, sh int, t *TenantAccount) bool {
+	r := s.admit[sh]
+	if r.InUse() >= r.Capacity() && r.QueueLen() >= s.cfg.QueueDepth {
+		t.Shed++
+		*s.shedByShard[sh]++
+		*s.shedTotal++
+		return false
+	}
+	r.Acquire(p, 1)
+	return true
+}
+
+// Get serves a read for the tenant: token bucket, then cache, then the
+// shard's bloom filter, then (on a miss) an admission-controlled shard
+// round trip. The end-to-end latency — including throttle and queueing —
+// lands in the tenant's read histogram; that is the p99 the report shows.
+func (s *Server) Get(p *sim.Proc, t *TenantAccount, key uint64) (uint64, error) {
+	start := p.Now()
+	s.throttle(p, t)
+	if v, ok := s.cache.Get(key); ok {
+		p.Sleep(cacheHitCPU)
+		t.CacheHits++
+		*s.cacheHits++
+		t.Ops++
+		t.Reads.Record(p.Now() - start)
+		return v, nil
+	}
+	sh := s.ring.Lookup(key)
+	if !s.neg[sh].Contains(key) {
+		p.Sleep(cacheHitCPU)
+		t.BloomSkip++
+		*s.bloomSkips++
+		t.Ops++
+		t.Reads.Record(p.Now() - start)
+		return 0, ErrNotFound
+	}
+	if !s.admitShard(p, sh, t) {
+		return 0, ErrOverloaded
+	}
+	p.Sleep(dispatchCPU)
+	st := s.shards[sh]
+	var (
+		v     uint64
+		found bool
+		err   error
+	)
+	s.front.Call(p, st.Domain(), "serve/get", func(q *sim.Proc) {
+		v, found, err = st.Get(q, key)
+	})
+	s.admit[sh].Release(1)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		// Bloom false positive: the shard answered definitively.
+		t.Ops++
+		t.Reads.Record(p.Now() - start)
+		return 0, ErrNotFound
+	}
+	s.cache.Admit(key, v)
+	t.Ops++
+	t.Reads.Record(p.Now() - start)
+	return v, nil
+}
+
+// Put serves a durable write for the tenant and returns the acknowledged
+// version. A nil error is the serving layer's commit ack: the shard wrote
+// the page image and its covering group-commit fdatasync completed.
+func (s *Server) Put(p *sim.Proc, t *TenantAccount, key uint64) (uint64, error) {
+	start := p.Now()
+	s.throttle(p, t)
+	sh := s.ring.Lookup(key)
+	if !s.admitShard(p, sh, t) {
+		return 0, ErrOverloaded
+	}
+	p.Sleep(dispatchCPU)
+	st := s.shards[sh]
+	var (
+		v   uint64
+		err error
+	)
+	s.front.Call(p, st.Domain(), "serve/put", func(q *sim.Proc) {
+		v, err = st.Put(q, key)
+	})
+	s.admit[sh].Release(1)
+	if err != nil {
+		return 0, err
+	}
+	s.cache.Update(key, v)
+	t.Ops++
+	t.Writes.Record(p.Now() - start)
+	return v, nil
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"durassd/internal/host"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// Store is one shard's durable document store: a fixed key space laid out
+// one key per device page behind a host.FS file. A Put writes the key's
+// canonical page image (storage.BuildPageImage: id, version, CRC) and group-
+// commits an fdatasync before acknowledging, so "Put returned nil" means
+// exactly what a database commit ack means — and whether that ack survives
+// a power cut is decided by the device underneath, which is the paper's
+// whole argument: with barriers off, fdatasync never flushes the device
+// cache, so a DuraSSD shard keeps every acked write while a volatile-cache
+// shard loses whatever had not drained.
+//
+// A Store is confined to its shard's domain: every method taking a
+// *sim.Proc must run on that domain's engine (the Server ships operations
+// over with Domain.Call).
+type Store struct {
+	dom   *sim.Domain
+	dev   storage.Device
+	fs    *host.FS
+	file  *host.File
+	slots map[uint64]int64  // key -> page offset in the file
+	vers  map[uint64]uint64 // key -> last durably acked version
+	real  bool              // write real page images (crash campaigns) vs timing-only
+
+	// Striped write locks: Puts to the same key serialize, so a later ack
+	// always means a later (or equal) on-media version — the property the
+	// crash audit's "max acked version per key" bookkeeping relies on.
+	stripes []*sim.Resource
+
+	// Group commit: writers wait for a sync generation covering their
+	// write; one of them leads the fdatasync, the rest ride along.
+	writeGen uint64
+	syncGen  uint64
+	syncing  bool
+	syncDone *sim.Queue
+
+	puts  int64
+	gets  int64
+	syncs int64
+}
+
+const storeStripes = 64
+
+// StoreConfig configures one shard store.
+type StoreConfig struct {
+	// Barrier sets the host filesystem's write-barrier mode. The paper's
+	// fast configuration is false: fdatasync costs CPU only and relies on
+	// the device cache being durable.
+	Barrier bool
+	// RealBytes selects checksummed page images (crash campaigns audit
+	// them) over timing-only nil buffers (benchmarks).
+	RealBytes bool
+}
+
+// OpenStore lays the key set out on dev (one page per key, slot order =
+// sorted key order, so the layout is deterministic) and preloads every
+// page so reads of never-written keys are well-defined version-0 hits.
+func OpenStore(dom *sim.Domain, dev storage.Device, keys []uint64, cfg StoreConfig) (*Store, error) {
+	if int64(len(keys))+1 > dev.Pages() {
+		return nil, fmt.Errorf("serve: %d keys exceed device capacity %d pages", len(keys), dev.Pages())
+	}
+	sorted := make([]uint64, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("serve: duplicate key %d in shard key set", sorted[i])
+		}
+	}
+	fs := host.NewFS(dev, cfg.Barrier)
+	file, err := fs.Create("shard", int64(len(sorted)))
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		dom:      dom,
+		dev:      dev,
+		fs:       fs,
+		file:     file,
+		slots:    make(map[uint64]int64, len(sorted)),
+		vers:     make(map[uint64]uint64, len(sorted)),
+		real:     cfg.RealBytes,
+		stripes:  make([]*sim.Resource, storeStripes),
+		syncDone: sim.NewQueue(dom.Engine()),
+	}
+	for i := range st.stripes {
+		st.stripes[i] = sim.NewResource(dom.Engine(), 1)
+	}
+	for i, k := range sorted {
+		st.slots[k] = int64(i)
+	}
+	if err := st.preload(sorted); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// preload installs the initial version-0 image of every key instantly
+// (virtual time does not advance), in chunks to bound the staging buffer.
+func (st *Store) preload(sorted []uint64) error {
+	const chunk = 256
+	ps := st.file.PageSize()
+	var buf []byte
+	if st.real {
+		buf = make([]byte, chunk*ps)
+	}
+	for off := 0; off < len(sorted); off += chunk {
+		n := len(sorted) - off
+		if n > chunk {
+			n = chunk
+		}
+		var data []byte
+		if st.real {
+			data = buf[:n*ps]
+			for i := 0; i < n; i++ {
+				storage.BuildPageImage(data[i*ps:(i+1)*ps], sorted[off+i], 0)
+			}
+		}
+		if err := st.file.Preload(int64(off), int64(n), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Domain returns the shard's simulation domain.
+func (st *Store) Domain() *sim.Domain { return st.dom }
+
+// Device returns the shard's device.
+func (st *Store) Device() storage.Device { return st.dev }
+
+// Keys returns the shard's key count.
+func (st *Store) Keys() int { return len(st.slots) }
+
+// Counters returns cumulative put/get/fdatasync tallies.
+func (st *Store) Counters() (puts, gets, syncs int64) { return st.puts, st.gets, st.syncs }
+
+// Put durably writes the next version of key and returns it. The version
+// is assigned under the key's stripe lock, so concurrent Puts to one key
+// serialize and versions land on media in ascending order. The returned
+// version is acknowledged: the write and its covering fdatasync completed.
+func (st *Store) Put(p *sim.Proc, key uint64) (uint64, error) {
+	slot, ok := st.slots[key]
+	if !ok {
+		return 0, fmt.Errorf("serve: put of unknown key %d", key)
+	}
+	lock := st.stripes[mix64(key)%storeStripes]
+	lock.Acquire(p, 1)
+	defer lock.Release(1)
+
+	version := st.vers[key] + 1
+	var data []byte
+	if st.real {
+		data = make([]byte, st.file.PageSize())
+		storage.BuildPageImage(data, key, version)
+	}
+	if err := st.file.WritePages(p, slot, 1, data); err != nil {
+		return 0, err
+	}
+	st.writeGen++
+	if err := st.syncThrough(p, st.writeGen); err != nil {
+		return 0, err
+	}
+	st.vers[key] = version
+	st.puts++
+	return version, nil
+}
+
+// Get reads the key's page and returns its current version. A key outside
+// the shard's key space returns found=false without device traffic (the
+// gateway's bloom filter makes this path rare, but false positives land
+// here). In real-bytes mode the version comes from the page image itself
+// (a corrupt image is an error — serving never papers over a failed
+// checksum); in timing mode the device read still happens but the version
+// is tracked in memory.
+func (st *Store) Get(p *sim.Proc, key uint64) (version uint64, found bool, err error) {
+	slot, ok := st.slots[key]
+	if !ok {
+		return 0, false, nil
+	}
+	var buf []byte
+	if st.real {
+		buf = make([]byte, st.file.PageSize())
+	}
+	if err := st.file.ReadPages(p, slot, 1, buf); err != nil {
+		return 0, false, err
+	}
+	st.gets++
+	if !st.real {
+		return st.vers[key], true, nil
+	}
+	id, version, ok := storage.ParsePageImage(buf)
+	if !ok || id != key {
+		return 0, false, fmt.Errorf("serve: corrupt page image for key %d", key)
+	}
+	return version, true, nil
+}
+
+// syncThrough blocks until a completed fdatasync covers write generation
+// gen. The first waiter of a round leads the sync; everyone whose write
+// preceded the leader's snapshot is acknowledged by the same device round
+// trip — classic group commit.
+func (st *Store) syncThrough(p *sim.Proc, gen uint64) error {
+	for st.syncGen < gen {
+		if st.syncing {
+			st.syncDone.Wait(p)
+			continue
+		}
+		st.syncing = true
+		covered := st.writeGen
+		err := st.file.Fdatasync(p)
+		st.syncing = false
+		st.syncDone.WakeAll()
+		if err != nil {
+			return err
+		}
+		st.syncs++
+		if covered > st.syncGen {
+			st.syncGen = covered
+		}
+	}
+	return nil
+}
+
+// CrashRead reads the key's page image after a crash and reboot, returning
+// the on-media version. ok is false when the image fails its checksum (a
+// torn page) or carries the wrong key. Only meaningful in real-bytes mode.
+func (st *Store) CrashRead(p *sim.Proc, key uint64) (version uint64, ok bool, err error) {
+	slot, present := st.slots[key]
+	if !present {
+		return 0, false, fmt.Errorf("serve: crash read of unknown key %d", key)
+	}
+	buf := make([]byte, st.file.PageSize())
+	if err := st.file.ReadPages(p, slot, 1, buf); err != nil {
+		return 0, false, err
+	}
+	id, version, ok := storage.ParsePageImage(buf)
+	if !ok || id != key {
+		return 0, false, nil
+	}
+	return version, true, nil
+}

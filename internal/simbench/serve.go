@@ -1,0 +1,18 @@
+package simbench
+
+import (
+	"durassd/internal/serve"
+)
+
+// runServeMixed drives the mixed-tenant serving scenario (YCSB-A, LinkBench
+// and TPC-C tenants over a 4-shard DuraSSD box) at one worker: the simbench
+// entry tracks the serving layer's scheduler cost — gateway dispatch, group
+// commit, admission queues — on a fixed seed. The virtual-time result is
+// pinned separately by the serve package's determinism tests.
+func runServeMixed() (uint64, error) {
+	res, err := serve.RunScenario(serve.ScenarioConfig{Workers: 1, Seed: 1})
+	if err != nil {
+		return 0, err
+	}
+	return res.Events, nil
+}

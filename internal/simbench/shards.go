@@ -2,11 +2,13 @@ package simbench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"durassd/internal/couch"
 	"durassd/internal/fio"
 	"durassd/internal/host"
+	"durassd/internal/repro"
 	"durassd/internal/sim"
 	"durassd/internal/ssd"
 	"durassd/internal/storage"
@@ -142,6 +144,24 @@ func runShards(workers int) (uint64, error) {
 type ShardSweepRow struct {
 	Workers int
 	Result  Result
+}
+
+// SweepReport assembles the shared -json schema from a worker sweep. On a
+// single-CPU host the report carries "single_core": true — the scaling
+// ratios in it compare thread scheduling overhead, not parallelism.
+func SweepReport(rows []ShardSweepRow, repeat int) *repro.JSONReport {
+	rep := repro.NewJSONReport("simbench-shardsweep")
+	rep.SetConfig("repeat", repeat)
+	rep.SetConfig("num_cpu", runtime.NumCPU())
+	annotateSingleCore(rep, runtime.NumCPU())
+	for _, row := range rows {
+		prefix := fmt.Sprintf("shards-w%d", row.Workers)
+		rep.AddMetric(prefix+"/events", float64(row.Result.Events))
+		rep.AddMetric(prefix+"/wall_ns", float64(row.Result.Wall.Nanoseconds()))
+		rep.AddMetric(prefix+"/ns_per_event", row.Result.NsPerEvent())
+		rep.AddMetric(prefix+"/events_per_sec", row.Result.EventsPerSec())
+	}
+	return rep
 }
 
 // ShardSweep measures the shards scenario at each worker count (repeat

@@ -99,6 +99,11 @@ func Scenarios() []Scenario {
 			Desc: "same 4-domain program through the sequential merge (1 worker)",
 			run:  func() (uint64, error) { return runShards(1) },
 		},
+		{
+			Name: "serve-mixed",
+			Desc: "mixed-tenant serving (YCSB-A + LinkBench + TPC-C) over a 4-shard DuraSSD box",
+			run:  runServeMixed,
+		},
 	}
 }
 
@@ -220,12 +225,23 @@ func MeasureBest(s Scenario, repeat int) (Result, error) {
 	return best, nil
 }
 
+// annotateSingleCore marks reports produced on a single-CPU host: wall-clock
+// comparisons between parallel and sequential scenarios are meaningless
+// there (the BENCH_7.json caveat), and downstream tooling needs to know
+// without guessing from the numbers.
+func annotateSingleCore(rep *repro.JSONReport, numCPU int) {
+	if numCPU == 1 {
+		rep.SetConfig("single_core", true)
+	}
+}
+
 // Report assembles the shared -json schema from a set of results. Metric
 // keys are "<scenario>/<metric>" so downstream tooling can track each
 // scenario's trajectory independently.
 func Report(results []Result, repeat int) *repro.JSONReport {
 	rep := repro.NewJSONReport("simbench")
 	rep.SetConfig("repeat", repeat)
+	annotateSingleCore(rep, runtime.NumCPU())
 	for _, r := range results {
 		rep.AddMetric(r.Name+"/events", float64(r.Events))
 		rep.AddMetric(r.Name+"/wall_ns", float64(r.Wall.Nanoseconds()))
