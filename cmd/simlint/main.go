@@ -1,15 +1,21 @@
 // Command simlint mechanically enforces the repository's determinism and
 // crash-safety invariants with a suite of custom static analyzers:
 //
-//	nowalltime  no wall-clock time in sim-driven packages
-//	seededrand  no global math/rand; randomness flows from the run seed
-//	simproc     no raw goroutines outside internal/sim
-//	maporder    no map-iteration order leaking into digests or reports
-//	devcheck    no discarded storage.Device / PowerCycler errors
+//	crossdomain     no state shared with or retained by another sim.Domain
+//	                outside Send/Call message values
+//	devcheck        no discarded storage.Device / PowerCycler errors
+//	directiveaudit  no stale //simlint:allow directives
+//	hotalloc        no heap allocation reachable from //simlint:hotpath
+//	                functions
+//	maporder        no map-iteration order leaking into digests or reports
+//	nowalltime      no wall-clock time in sim-driven packages
+//	procbudget      event-handler budgets respected
+//	seededrand      no global math/rand; randomness flows from the run seed
+//	simproc         no raw goroutines outside internal/sim
 //
 // Usage:
 //
-//	go run ./cmd/simlint [-fix] [-only a,b] [-notests] [packages]
+//	go run ./cmd/simlint [flags] [packages]
 //
 // Packages default to ./.... Exit status is 0 when the tree is clean, 1
 // when findings are reported, 2 on an internal error. Audited exceptions
@@ -18,11 +24,20 @@
 //
 //	//simlint:allow nowalltime progress meter shows real elapsed time
 //
-// -fix applies the mechanical rewrites (currently: routing global
-// math/rand calls through the unique *rand.Rand already in scope).
+// -fix applies the mechanical rewrites (routing global math/rand calls
+// through the unique *rand.Rand already in scope; deleting stale allow
+// directives). -json emits machine-readable diagnostics for CI artifacts.
+//
+// Packages are analyzed in parallel (dependency order, -workers bounds the
+// fan-out) and results are cached on disk keyed on the simlint binary, Go
+// version, analyzer set, source hashes and dependency export data — edit
+// any input and the affected packages re-analyze, touch nothing and the
+// run is instant. The cache lives under os.UserCacheDir()/durassd-simlint
+// (override with $SIMLINT_CACHE or -cachedir; bypass with -nocache).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,16 +52,30 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Package  string `json:"package"`
+}
+
 func run() int {
 	fix := flag.Bool("fix", false, "apply suggested fixes instead of reporting them")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	notests := flag.Bool("notests", false, "skip _test.go files")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	nocache := flag.Bool("nocache", false, "bypass the on-disk result cache")
+	cachedir := flag.String("cachedir", "", "result cache directory (default: $SIMLINT_CACHE or the user cache dir)")
+	workers := flag.Int("workers", 0, "max packages analyzed in parallel (default: GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range all.Analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -73,23 +102,47 @@ func run() int {
 		patterns = []string{"./..."}
 	}
 
-	loader := driver.NewLoader("", !*notests)
-	pkgs, err := loader.Load(patterns...)
+	res, err := driver.Analyze(driver.Options{
+		Patterns:  patterns,
+		Analyzers: analyzers,
+		Tests:     !*notests,
+		Fix:       *fix,
+		NoCache:   *nocache,
+		CacheDir:  *cachedir,
+		Workers:   *workers,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		return 2
 	}
-	res, err := driver.Run(pkgs, analyzers, *fix)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
-		return 2
-	}
-	for _, f := range res.Findings {
-		fmt.Println(f)
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(res.Findings))
+		for _, f := range res.Findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Position.Filename,
+				Line:     f.Position.Line,
+				Col:      f.Position.Column,
+				Message:  f.Message,
+				Package:  f.Package,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
 	}
 	if res.Fixed > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: applied %d fixes\n", res.Fixed)
 	}
+	fmt.Fprintf(os.Stderr, "simlint: %d packages analyzed (%d from cache)\n", res.Packages, res.CacheHits)
 	if len(res.Findings) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d findings\n", len(res.Findings))
 		return 1

@@ -5,7 +5,10 @@ package all
 
 import (
 	"durassd/internal/analysis"
+	"durassd/internal/analysis/crossdomain"
 	"durassd/internal/analysis/devcheck"
+	"durassd/internal/analysis/directiveaudit"
+	"durassd/internal/analysis/hotalloc"
 	"durassd/internal/analysis/maporder"
 	"durassd/internal/analysis/nowalltime"
 	"durassd/internal/analysis/procbudget"
@@ -15,7 +18,10 @@ import (
 
 // Analyzers is the full simlint suite, in reporting order.
 var Analyzers = []*analysis.Analyzer{
+	crossdomain.Analyzer,
 	devcheck.Analyzer,
+	directiveaudit.Analyzer,
+	hotalloc.Analyzer,
 	maporder.Analyzer,
 	nowalltime.Analyzer,
 	procbudget.Analyzer,

@@ -14,6 +14,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -34,6 +35,15 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
+// PackageFacts is one package's exported facts for one analyzer: a map
+// from object key (conventionally types.Func.FullName of the summarized
+// function) to an opaque JSON-encoded summary. Facts are how analyzers see
+// across package boundaries: the driver analyzes packages in dependency
+// order, so by the time a package runs, the facts of everything it imports
+// are available — either computed this run or restored from the on-disk
+// result cache.
+type PackageFacts map[string]json.RawMessage
+
 // Pass presents one package to an Analyzer.Run.
 type Pass struct {
 	Analyzer *Analyzer
@@ -47,7 +57,61 @@ type Pass struct {
 	// TypesInfo holds the type-checking results for Files.
 	TypesInfo *types.Info
 
-	report func(Diagnostic)
+	report   func(Diagnostic)
+	imported func(pkgPath string) PackageFacts
+	exported PackageFacts
+	allowed  func(analyzer string, pos token.Pos) bool
+}
+
+// Allowed reports whether a //simlint:allow directive for this pass's
+// analyzer covers pos, and marks the directive used. Most analyzers never
+// call it — the driver suppresses allowed diagnostics after the fact —
+// but interprocedural analyzers consult it up front so that an allowed
+// site is also dropped from exported summary facts, keeping one audited
+// directive from echoing as findings at every transitive call site.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	return p.allowed != nil && p.allowed(p.Analyzer.Name, pos)
+}
+
+// SetAllowSource wires the driver's allow lookup into the pass. The
+// callback must mark matching directives as used.
+func (p *Pass) SetAllowSource(allowed func(analyzer string, pos token.Pos) bool) {
+	p.allowed = allowed
+}
+
+// ImportedFacts returns the facts this analyzer exported when it analyzed
+// pkgPath (a dependency of the current package), or nil when the driver
+// has none — either because the dependency exports no facts or because the
+// pass runs outside a fact-threading driver.
+func (p *Pass) ImportedFacts(pkgPath string) PackageFacts {
+	if p.imported == nil {
+		return nil
+	}
+	return p.imported(pkgPath)
+}
+
+// ExportFact records a fact for the current package under key, visible to
+// later passes of the same analyzer over packages that import this one.
+// The value must be JSON-serializable; facts survive process boundaries
+// through the driver's result cache.
+func (p *Pass) ExportFact(key string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("%s: encoding fact %q: %w", p.Analyzer.Name, key, err)
+	}
+	if p.exported == nil {
+		p.exported = make(PackageFacts)
+	}
+	p.exported[key] = raw
+	return nil
+}
+
+// ExportedFacts returns the facts recorded by ExportFact (nil when none).
+func (p *Pass) ExportedFacts() PackageFacts { return p.exported }
+
+// SetFactSource wires the driver's imported-fact lookup into the pass.
+func (p *Pass) SetFactSource(imported func(pkgPath string) PackageFacts) {
+	p.imported = imported
 }
 
 // Report emits a finding.

@@ -35,7 +35,7 @@ import (
 // diagnostics against want comments.
 func Run(t *testing.T, pkgPath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	runPkg(t, pkgPath, analyzers, false)
+	runPkgs(t, []string{pkgPath}, analyzers, false)
 }
 
 // RunFix is Run plus suggested-fix verification: after matching
@@ -43,26 +43,46 @@ func Run(t *testing.T, pkgPath string, analyzers ...*analysis.Analyzer) {
 // changed file against the sibling <name>.golden file.
 func RunFix(t *testing.T, pkgPath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	runPkg(t, pkgPath, analyzers, true)
+	runPkgs(t, []string{pkgPath}, analyzers, true)
 }
 
-func runPkg(t *testing.T, pkgPath string, analyzers []*analysis.Analyzer, fix bool) {
+// RunDirs loads several testdata packages in the given order (dependencies
+// first — later packages may import earlier ones by their pkgPath) and
+// applies the analyzers to the whole set, threading exported facts along
+// the chain. This is how the interprocedural analyzers' cross-package
+// behavior is golden-tested: the want comments in a downstream package
+// assert on findings that only exist if the upstream package's summary
+// facts arrived.
+func RunDirs(t *testing.T, pkgPaths []string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+	runPkgs(t, pkgPaths, analyzers, false)
+}
+
+func runPkgs(t *testing.T, pkgPaths []string, analyzers []*analysis.Analyzer, fix bool) {
+	t.Helper()
 	loader := driver.NewLoader("", true)
-	pkg, err := loader.LoadDir(pkgPath, dir)
-	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+	var pkgs []*driver.Package
+	for _, pkgPath := range pkgPaths {
+		dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+		pkg, err := loader.LoadDir(pkgPath, dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("testdata must type-check: %v", e)
+		}
+		pkgs = append(pkgs, pkg)
 	}
-	for _, e := range pkg.TypeErrors {
-		t.Errorf("testdata must type-check: %v", e)
-	}
-	res, err := driver.Run([]*driver.Package{pkg}, analyzers, false)
+	res, err := driver.Run(pkgs, analyzers, false)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
 
-	wants := parseWants(t, pkg.Fset, pkg.Files)
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	wants := parseWants(t, loader.Fset(), files)
 	matched := make([]bool, len(wants))
 	for _, f := range res.Findings {
 		key := posKey{filepath.Base(f.Position.Filename), f.Position.Line}
@@ -85,7 +105,7 @@ func runPkg(t *testing.T, pkgPath string, analyzers []*analysis.Analyzer, fix bo
 	}
 
 	if fix {
-		verifyFixes(t, pkg, res)
+		verifyFixes(t, loader.Fset(), res)
 	}
 }
 
@@ -130,7 +150,7 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
 
 // verifyFixes applies the suggested fixes in memory and diffs the result
 // against <file>.golden.
-func verifyFixes(t *testing.T, pkg *driver.Package, res *driver.Result) {
+func verifyFixes(t *testing.T, fset *token.FileSet, res *driver.Result) {
 	t.Helper()
 	type edit struct {
 		start, end int
@@ -142,8 +162,8 @@ func verifyFixes(t *testing.T, pkg *driver.Package, res *driver.Result) {
 			continue
 		}
 		for _, te := range f.SuggestedFixes[0].TextEdits {
-			p := pkg.Fset.Position(te.Pos)
-			byFile[p.Filename] = append(byFile[p.Filename], edit{p.Offset, pkg.Fset.Position(te.End).Offset, te.NewText})
+			p := fset.Position(te.Pos)
+			byFile[p.Filename] = append(byFile[p.Filename], edit{p.Offset, fset.Position(te.End).Offset, te.NewText})
 		}
 	}
 	for name, edits := range byFile {

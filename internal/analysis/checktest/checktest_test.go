@@ -1,0 +1,29 @@
+package checktest_test
+
+import (
+	"strings"
+	"testing"
+
+	"durassd/internal/analysis/checktest"
+	"durassd/internal/analysis/directiveaudit"
+	"durassd/internal/analysis/nowalltime"
+)
+
+// TestHarnessSelfTest runs the harness against its own testdata: want
+// matching, allow handling, and the fix-vs-golden diff all on one
+// package.
+func TestHarnessSelfTest(t *testing.T) {
+	checktest.RunFix(t, "selftest", nowalltime.Analyzer, directiveaudit.Analyzer)
+}
+
+// TestDiagnostics returns raw findings for callers that assert on them
+// directly.
+func TestDiagnostics(t *testing.T) {
+	findings := checktest.Diagnostics(t, "selftest", nowalltime.Analyzer)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	if !strings.Contains(findings[0].Message, "time.Now") {
+		t.Errorf("unexpected finding %v", findings[0])
+	}
+}

@@ -1,0 +1,17 @@
+// Package selftest exercises the golden harness itself: a matched want,
+// a used allow, and a stale allow whose fix is diffed against the golden.
+package selftest
+
+import "time"
+
+func flagged() {
+	_ = time.Now() // want `wall-clock time\.Now`
+}
+
+func allowed(d time.Duration) {
+	time.Sleep(d) //simlint:allow nowalltime throttle outside the sim
+}
+
+func stale() time.Duration {
+	return 2 * time.Second //simlint:allow nowalltime durations are values // want `stale //simlint:allow nowalltime directive`
+}

@@ -1,0 +1,10 @@
+// Package dep exports a shipping wrapper: the ships fact it exports lets
+// importers' call sites get full Send scrutiny.
+package dep
+
+import "durassd/internal/sim"
+
+// ShipAsync forwards fn to dst asynchronously.
+func ShipAsync(d, dst *sim.Domain, fn func()) {
+	d.Send(dst, fn)
+}

@@ -1,0 +1,16 @@
+// Package use calls dep's shipping wrapper: the finding below only
+// exists if dep's ships fact crossed the package boundary.
+package use
+
+import (
+	"crossdomain/dep"
+
+	"durassd/internal/sim"
+)
+
+func leak(d, dst *sim.Domain, buf []byte) byte {
+	dep.ShipAsync(d, dst, func() { // want `variable buf is captured by a closure sent to another domain but still used by the sender`
+		buf[0] = 1
+	})
+	return buf[0]
+}

@@ -49,11 +49,22 @@ func run(pass *analysis.Pass) error {
 			case *ast.DeferStmt:
 				check(pass, ifaces, st.Call)
 			case *ast.AssignStmt:
-				// Flag only when every error-position LHS is blank; a
-				// partial use like `n, _ := ...` on a single error result
-				// still discards it.
-				if len(st.Rhs) == 1 && allBlank(st.Lhs) {
-					check(pass, ifaces, st.Rhs[0])
+				if len(st.Rhs) == 1 {
+					// Single call (possibly multi-valued): the error is the
+					// last result, so a blank in the last LHS position —
+					// `_ =` or `n, _ :=` — discards it.
+					if isBlank(st.Lhs[len(st.Lhs)-1]) {
+						check(pass, ifaces, st.Rhs[0])
+					}
+				} else {
+					// Tuple assignment: each RHS pairs with its own LHS, so
+					// `_, err = a.Flush(...), b.Flush(...)` discards only
+					// the first error.
+					for i, rhs := range st.Rhs {
+						if i < len(st.Lhs) && isBlank(st.Lhs[i]) {
+							check(pass, ifaces, rhs)
+						}
+					}
 				}
 			}
 			return true
@@ -62,14 +73,9 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func allBlank(lhs []ast.Expr) bool {
-	for _, e := range lhs {
-		id, ok := e.(*ast.Ident)
-		if !ok || id.Name != "_" {
-			return false
-		}
-	}
-	return true
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
 }
 
 // check reports expr if it is a call to an error-returning guarded method.
@@ -78,7 +84,7 @@ func check(pass *analysis.Pass, ifaces map[*types.Interface][]string, expr ast.E
 	if !ok {
 		return
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return
 	}

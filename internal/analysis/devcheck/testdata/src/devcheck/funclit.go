@@ -1,0 +1,41 @@
+package devcheck
+
+import (
+	"durassd/internal/iotrace"
+	"durassd/internal/sim"
+	"durassd/internal/storage"
+)
+
+// Discards buried in deferred closures and function literals are exactly
+// as dangerous as top-level ones: the deferred cleanup path is where
+// recovery errors surface.
+func deferredClosure(p *sim.Proc, dev storage.Device) {
+	defer func() {
+		dev.Flush(p, iotrace.Req{}) // want `error from \(storage\.Device\)\.Flush discarded`
+	}()
+	defer func() {
+		_ = dev.Flush(p, iotrace.Req{}) // want `error from \(storage\.Device\)\.Flush discarded`
+	}()
+	cleanup := func(pc storage.PowerCycler) {
+		_ = pc.Reboot(p) // want `error from \(storage\.PowerCycler\)\.Reboot discarded`
+	}
+	cleanup(nil)
+}
+
+// Tuple assignment pairs each RHS with its own LHS: both errors here are
+// discarded and both must be flagged.
+func tupleDiscard(p *sim.Proc, a, b storage.Device) {
+	_, _ = a.Flush(p, iotrace.Req{}), b.Flush(p, iotrace.Req{}) // want `error from \(storage\.Device\)\.Flush discarded` // want `error from \(storage\.Device\)\.Flush discarded`
+}
+
+// A consumed error in a tuple assignment must not be flagged.
+func tupleConsumed(p *sim.Proc, a, b storage.Device) error {
+	var err error
+	_, err = a.Flush(p, iotrace.Req{}), b.Flush(p, iotrace.Req{}) // want `error from \(storage\.Device\)\.Flush discarded`
+	return err
+}
+
+// Parenthesizing the callee must not hide the discard.
+func parenthesized(p *sim.Proc, dev storage.Device) {
+	(dev.Flush)(p, iotrace.Req{}) // want `error from \(storage\.Device\)\.Flush discarded`
+}

@@ -17,15 +17,42 @@ import (
 // recorded justification is itself a finding.
 const AllowPrefix = "//simlint:allow"
 
+// HotpathPrefix marks a function declaration as a zero-allocation hot
+// path:
+//
+//	//simlint:hotpath <optional note>
+//
+// It must appear in the doc comment of a FuncDecl. The hotalloc analyzer
+// treats the function and everything statically reachable from it —
+// across package boundaries, via exported summary facts — as forbidden
+// from heap allocation.
+const HotpathPrefix = "//simlint:hotpath"
+
+// DirectiveAuditName is the analyzer name under which stale-allow
+// findings are reported. The analyzer itself (package directiveaudit) is
+// declarative: the driver implements the check, because only the driver
+// knows which directives suppressed a finding after every other analyzer
+// has run.
+const DirectiveAuditName = "directiveaudit"
+
 // Allow is one parsed //simlint:allow directive.
 type Allow struct {
 	Pos      token.Pos
+	End      token.Pos
 	Analyzer string // analyzer name, "" if missing
 	Reason   string // justification text, "" if missing
 	// Line is the source line the directive suppresses: the directive's
 	// own line for trailing comments, the following line otherwise.
 	Line int
 	File string
+	// OwnLine reports whether the directive stands on a line of its own
+	// (guarding the next line) rather than trailing code.
+	OwnLine bool
+	// DelPos/DelEnd is the source range a fix deletes to remove the
+	// directive: the whole line (newline included) for own-line
+	// directives, the comment plus the whitespace separating it from the
+	// code for trailing ones.
+	DelPos, DelEnd token.Pos
 }
 
 // ParseAllows extracts every //simlint:allow directive from files.
@@ -40,12 +67,14 @@ func ParseAllows(fset *token.FileSet, files []*ast.File) []Allow {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				a := Allow{Pos: c.Pos(), Line: pos.Line, File: pos.Filename}
+				a := Allow{Pos: c.Pos(), End: c.End(), Line: pos.Line, File: pos.Filename}
 				// A comment with no code before it on its line guards the
 				// next line instead of its own.
-				if ownLine(fset, srcs, c.Pos()) {
+				a.OwnLine = ownLine(fset, srcs, c.Pos())
+				if a.OwnLine {
 					a.Line++
 				}
+				a.DelPos, a.DelEnd = deletionRange(fset, srcs, c, a.OwnLine)
 				fields := strings.Fields(rest)
 				if len(fields) > 0 {
 					a.Analyzer = fields[0]
@@ -58,27 +87,98 @@ func ParseAllows(fset *token.FileSet, files []*ast.File) []Allow {
 	return out
 }
 
-// ownLine reports whether only whitespace precedes pos on its source line.
-// srcs caches file contents across calls.
-func ownLine(fset *token.FileSet, srcs map[string][]byte, pos token.Pos) bool {
-	tf := fset.File(pos)
-	src, ok := srcs[tf.Name()]
-	if !ok {
-		src, _ = os.ReadFile(tf.Name())
-		srcs[tf.Name()] = src
+// HotpathFuncs returns the function declarations in files whose doc
+// comment carries a //simlint:hotpath directive, plus the positions of
+// misplaced directives (hotpath comments that are not part of a FuncDecl
+// doc comment — those mark nothing and are reported as findings).
+func HotpathFuncs(files []*ast.File) (marked []*ast.FuncDecl, misplaced []token.Pos) {
+	inDoc := make(map[*ast.Comment]bool)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			hot := false
+			for _, c := range fd.Doc.List {
+				inDoc[c] = true
+				if strings.HasPrefix(c.Text, HotpathPrefix) {
+					hot = true
+				}
+			}
+			if hot {
+				marked = append(marked, fd)
+			}
+		}
 	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, HotpathPrefix) && !inDoc[c] {
+					misplaced = append(misplaced, c.Pos())
+				}
+			}
+		}
+	}
+	return marked, misplaced
+}
+
+// src returns the cached contents of the file containing pos (nil when
+// unreadable).
+func src(fset *token.FileSet, srcs map[string][]byte, pos token.Pos) (*token.File, []byte) {
+	tf := fset.File(pos)
+	b, ok := srcs[tf.Name()]
+	if !ok {
+		b, _ = os.ReadFile(tf.Name())
+		srcs[tf.Name()] = b
+	}
+	return tf, b
+}
+
+// ownLine reports whether only whitespace precedes pos on its source line.
+func ownLine(fset *token.FileSet, srcs map[string][]byte, pos token.Pos) bool {
+	tf, b := src(fset, srcs, pos)
 	start := tf.Offset(tf.LineStart(fset.Position(pos).Line))
 	end := tf.Offset(pos)
-	if src == nil || end > len(src) {
+	if b == nil || end > len(b) {
 		// Source unavailable: treat as a trailing comment.
 		return false
 	}
-	return strings.TrimSpace(string(src[start:end])) == ""
+	return strings.TrimSpace(string(b[start:end])) == ""
+}
+
+// deletionRange computes the source range that removes directive c
+// cleanly: the full line (trailing newline included) for an own-line
+// directive, or the comment together with the whitespace that separates it
+// from the code for a trailing one.
+func deletionRange(fset *token.FileSet, srcs map[string][]byte, c *ast.Comment, own bool) (token.Pos, token.Pos) {
+	tf, b := src(fset, srcs, c.Pos())
+	if b == nil {
+		return c.Pos(), c.End()
+	}
+	if own {
+		line := fset.Position(c.Pos()).Line
+		start := tf.LineStart(line)
+		end := c.End()
+		// Extend through the newline so no blank line is left behind.
+		if off := tf.Offset(end); off < len(b) && b[off] == '\n' {
+			end++
+		}
+		return start, end
+	}
+	start := c.Pos()
+	for off := tf.Offset(start); off > 0 && (b[off-1] == ' ' || b[off-1] == '\t'); off-- {
+		start--
+	}
+	return start, c.End()
 }
 
 // AllowSet indexes directives for suppression lookups.
 type AllowSet struct {
-	byKey map[allowKey]bool
+	byKey map[allowKey]*allowUse
+	// entries holds the well-formed directives in parse order, so the
+	// driver can audit which of them actually suppressed something.
+	entries []Allow
 }
 
 type allowKey struct {
@@ -87,12 +187,16 @@ type allowKey struct {
 	analyzer string
 }
 
+type allowUse struct {
+	used bool
+}
+
 // NewAllowSet indexes the given directives. Malformed directives (missing
 // analyzer or reason, or an analyzer name not in known) are returned as
 // diagnostics attributed to the pseudo-analyzer "simlint" and do not
 // suppress anything.
 func NewAllowSet(allows []Allow, known map[string]bool) (*AllowSet, []Diagnostic) {
-	s := &AllowSet{byKey: make(map[allowKey]bool)}
+	s := &AllowSet{byKey: make(map[allowKey]*allowUse)}
 	var bad []Diagnostic
 	for _, a := range allows {
 		switch {
@@ -115,15 +219,41 @@ func NewAllowSet(allows []Allow, known map[string]bool) (*AllowSet, []Diagnostic
 				Message:  "missing reason in //simlint:allow " + a.Analyzer + " directive",
 			})
 		default:
-			s.byKey[allowKey{a.File, a.Line, a.Analyzer}] = true
+			key := allowKey{a.File, a.Line, a.Analyzer}
+			if s.byKey[key] == nil {
+				s.byKey[key] = &allowUse{}
+				s.entries = append(s.entries, a)
+			}
 		}
 	}
 	return s, bad
 }
 
 // Allows reports whether a diagnostic from analyzer at position pos is
-// suppressed by a well-formed directive.
+// suppressed by a well-formed directive, and marks that directive used.
 func (s *AllowSet) Allows(fset *token.FileSet, analyzer string, pos token.Pos) bool {
 	p := fset.Position(pos)
-	return s.byKey[allowKey{p.Filename, p.Line, analyzer}]
+	u := s.byKey[allowKey{p.Filename, p.Line, analyzer}]
+	if u == nil {
+		return false
+	}
+	u.used = true
+	return true
+}
+
+// Unused returns the well-formed directives that suppressed nothing, in
+// parse order, restricted to analyzers for which pred returns true (so a
+// partial run — `simlint -only hotalloc` — never flags directives it could
+// not have exercised).
+func (s *AllowSet) Unused(pred func(analyzer string) bool) []Allow {
+	var out []Allow
+	for _, a := range s.entries {
+		if !pred(a.Analyzer) {
+			continue
+		}
+		if !s.byKey[allowKey{a.File, a.Line, a.Analyzer}].used {
+			out = append(out, a)
+		}
+	}
+	return out
 }

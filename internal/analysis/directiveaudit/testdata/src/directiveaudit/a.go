@@ -1,0 +1,30 @@
+// Package directiveaudit is testdata for the driver-implemented stale
+// directive audit: used allows survive, stale ones become findings whose
+// fix deletes them cleanly, and a directiveaudit allow can vouch for a
+// deliberately kept directive.
+package directiveaudit
+
+import "time"
+
+func used(d time.Duration) {
+	time.Sleep(d) //simlint:allow nowalltime throttles a log follower outside the sim
+}
+
+func staleTrailing() time.Duration {
+	return 3 * time.Millisecond //simlint:allow nowalltime durations are values // want `stale //simlint:allow nowalltime directive suppresses no finding; delete it`
+}
+
+func staleOwnLine() time.Duration {
+	//simlint:allow nowalltime guards a line that is clean // want `stale //simlint:allow nowalltime directive suppresses no finding; delete it`
+	return time.Duration(0)
+}
+
+func vouched() time.Duration {
+	//simlint:allow directiveaudit kept deliberately: fires only under -race instrumentation
+	return time.Duration(1) //simlint:allow nowalltime fires only under -race instrumentation
+}
+
+func staleVoucher() time.Duration {
+	//simlint:allow directiveaudit vouches for nothing // want `stale //simlint:allow directiveaudit directive suppresses no finding; delete it`
+	return time.Duration(2)
+}

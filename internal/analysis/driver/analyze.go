@@ -1,0 +1,292 @@
+package driver
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"durassd/internal/analysis"
+)
+
+// Options configures one Analyze run.
+type Options struct {
+	// Dir is the working directory for go command invocations.
+	Dir string
+	// Patterns are go package patterns; empty means ./...
+	Patterns []string
+	// Analyzers is the suite to apply.
+	Analyzers []*analysis.Analyzer
+	// Tests includes _test.go files.
+	Tests bool
+	// Fix applies suggested fixes. Fixing disables the cache: suggested
+	// fixes carry token.Pos values that do not survive serialization.
+	Fix bool
+	// NoCache bypasses the on-disk result cache entirely.
+	NoCache bool
+	// CacheDir overrides the cache location (default: $SIMLINT_CACHE,
+	// else the user cache dir + /durassd-simlint).
+	CacheDir string
+	// Workers bounds concurrent package analysis; <=0 means GOMAXPROCS.
+	Workers int
+}
+
+// node is one schedulable unit: a package (with its in-package test files
+// when Tests is set) or an external test package.
+type node struct {
+	path    string // import path; external tests get a "_test" suffix
+	dir     string
+	files   []string // file names relative to dir
+	imports []string // direct imports (module-external ones keyed by export hash)
+	deps    []*node  // imports that are themselves analyzed this run
+	key     string   // cache key, filled in topological order
+}
+
+// Analyze lists the pattern packages, orders them topologically, and runs
+// the analyzer suite over them — in parallel across packages within each
+// dependency level, threading summary facts along import edges, and
+// consulting the on-disk result cache so unchanged packages cost one
+// key computation instead of a parse, type check, and analyzer sweep.
+func Analyze(opts Options) (*Result, error) {
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l := NewLoader(opts.Dir, opts.Tests)
+	roots, err := l.list(patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	nodes, byPath := buildNodes(roots, opts.Tests)
+	levels, err := topoLevels(nodes, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	var cache *diskCache
+	if !opts.NoCache && !opts.Fix {
+		cache = openCache(opts.CacheDir)
+	}
+	h := newHasher()
+	for _, level := range levels {
+		for _, n := range level {
+			n.key = cacheKey(n, byPath, l, h, opts)
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	res := &Result{Packages: len(nodes)}
+	store := NewFactStore()
+	fixer := newFixer()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, workers)
+	for _, level := range levels {
+		var wg sync.WaitGroup
+		for _, n := range level {
+			wg.Add(1)
+			// Parallelism across packages of one dependency level; the
+			// level barrier guarantees dependency facts are in the store
+			// before any dependent starts.
+			go func(n *node) { //simlint:allow simproc host-side lint driver, never runs inside the simulator
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+
+				if cache != nil {
+					if ent, ok := cache.get(n.key); ok {
+						store.PutAll(n.path, ent.Facts)
+						mu.Lock()
+						res.Findings = append(res.Findings, fromCached(ent.Findings)...)
+						res.CacheHits++
+						mu.Unlock()
+						return
+					}
+				}
+				pkg, err := l.check(n.path, n.dir, n.files)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("loading %s: %w", n.path, err)
+					}
+					mu.Unlock()
+					return
+				}
+				findings, facts, err := runPackage(pkg, opts.Analyzers, store, fixer, opts.Fix)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				store.PutAll(n.path, facts)
+				if cache != nil {
+					cache.put(n.key, &cacheEntry{Findings: toCached(findings), Facts: facts})
+				}
+				mu.Lock()
+				res.Findings = append(res.Findings, findings...)
+				mu.Unlock()
+			}(n)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	if opts.Fix {
+		n, err := fixer.apply()
+		if err != nil {
+			return nil, err
+		}
+		res.Fixed = n
+	}
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+// buildNodes converts listed packages into schedulable nodes: one per
+// package (GoFiles plus TestGoFiles when tests are loaded) and one per
+// non-empty external test package.
+func buildNodes(roots []*listedPkg, tests bool) ([]*node, map[string]*node) {
+	var nodes []*node
+	byPath := make(map[string]*node)
+	add := func(n *node) {
+		nodes = append(nodes, n)
+		byPath[n.path] = n
+	}
+	for _, r := range roots {
+		if r.Standard {
+			continue
+		}
+		files := append([]string{}, r.GoFiles...)
+		imports := append([]string{}, r.Imports...)
+		if tests {
+			files = append(files, r.TestGoFiles...)
+			imports = append(imports, r.TestImports...)
+		}
+		if len(files) > 0 {
+			add(&node{path: r.ImportPath, dir: r.Dir, files: files, imports: dedup(imports)})
+		}
+		if tests && len(r.XTestGoFiles) > 0 {
+			ximports := append([]string{}, r.XTestImports...)
+			// The external test package depends on its subject even when
+			// it does not import it (e.g. a pure TestMain wrapper).
+			ximports = append(ximports, r.ImportPath)
+			add(&node{path: r.ImportPath + "_test", dir: r.Dir, files: append([]string{}, r.XTestGoFiles...), imports: dedup(ximports)})
+		}
+	}
+	for _, n := range nodes {
+		for _, imp := range n.imports {
+			if dep, ok := byPath[imp]; ok && dep != n {
+				n.deps = append(n.deps, dep)
+			}
+		}
+	}
+	return nodes, byPath
+}
+
+// topoLevels groups nodes into dependency levels: everything in level i
+// depends only on nodes in levels < i. Packages within a level are
+// independent and safe to analyze concurrently.
+func topoLevels(nodes []*node, byPath map[string]*node) ([][]*node, error) {
+	depth := make(map[*node]int, len(nodes))
+	state := make(map[*node]int, len(nodes)) // 0 new, 1 visiting, 2 done
+	var visit func(n *node) error
+	visit = func(n *node) error {
+		switch state[n] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", n.path)
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		d := 0
+		for _, dep := range n.deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[n] = d
+		state[n] = 2
+		return nil
+	}
+	maxDepth := 0
+	for _, n := range nodes {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+		if depth[n] > maxDepth {
+			maxDepth = depth[n]
+		}
+	}
+	levels := make([][]*node, maxDepth+1)
+	for _, n := range nodes {
+		levels[depth[n]] = append(levels[depth[n]], n)
+	}
+	// Deterministic order within a level keeps scheduling (and any error
+	// reporting) stable run to run.
+	for _, level := range levels {
+		sort.Slice(level, func(i, j int) bool { return level[i].path < level[j].path })
+	}
+	return levels, nil
+}
+
+// cacheKey derives the content hash that addresses n's cache entry. Any
+// input that can change the analysis outcome feeds it: the entry schema,
+// toolchain and binary, the analyzer set, the package's own sources, and —
+// transitively, via chained keys — every analyzed dependency, plus the
+// export data of module-external ones.
+func cacheKey(n *node, byPath map[string]*node, l *Loader, h *hasher, opts Options) string {
+	k := newKey()
+	k.add(cacheSchema, runtime.Version(), exeHash(), fmt.Sprintf("tests=%t", opts.Tests))
+	names := make([]string, 0, len(opts.Analyzers))
+	for _, a := range opts.Analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	k.add(names...)
+	k.add(n.path)
+	files := append([]string{}, n.files...)
+	sort.Strings(files)
+	for _, f := range files {
+		k.add(f, h.file(joinDir(n.dir, f)))
+	}
+	imports := append([]string{}, n.imports...)
+	sort.Strings(imports)
+	for _, imp := range imports {
+		if imp == "C" || imp == "unsafe" {
+			continue
+		}
+		if dep, ok := byPath[imp]; ok && dep != n {
+			k.add("dep", imp, dep.key)
+			continue
+		}
+		k.add("export", imp, h.file(l.exportFile(imp)))
+	}
+	return k.sum()
+}
+
+func dedup(ss []string) []string {
+	seen := make(map[string]bool, len(ss))
+	out := ss[:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

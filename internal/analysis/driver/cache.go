@@ -1,0 +1,212 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"durassd/internal/analysis"
+)
+
+// cacheSchema versions the on-disk entry format; bumping it orphans every
+// existing entry.
+const cacheSchema = "durassd-simlint-cache-v1"
+
+// CacheDir resolves the result-cache directory: explicit dir if non-empty,
+// else $SIMLINT_CACHE, else <user cache dir>/durassd-simlint.
+func CacheDir(dir string) string {
+	if dir != "" {
+		return dir
+	}
+	if env := os.Getenv("SIMLINT_CACHE"); env != "" {
+		return env
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	return filepath.Join(base, "durassd-simlint")
+}
+
+// diskCache is a best-effort content-addressed result cache: one JSON file
+// per (package, analyzer set, toolchain) key. Reads that fail for any
+// reason are misses; writes that fail are dropped. Invalidation is purely
+// by key — source bytes, dependency export data, the analyzer set, the go
+// version, and the simlint binary itself all feed the hash, so a stale hit
+// is only possible when all of them are unchanged.
+type diskCache struct {
+	dir string
+}
+
+func openCache(dir string) *diskCache {
+	dir = CacheDir(dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil
+	}
+	return &diskCache{dir: dir}
+}
+
+// cacheEntry is one package's cached outcome: its surviving findings
+// (positions resolved, since token.Pos values do not survive the process)
+// and the facts each analyzer exported.
+type cacheEntry struct {
+	Findings []cachedFinding                  `json:"findings,omitempty"`
+	Facts    map[string]analysis.PackageFacts `json:"facts,omitempty"`
+}
+
+type cachedFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Package  string `json:"package"`
+}
+
+func (c *diskCache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key[2:]+".json")
+}
+
+func (c *diskCache) get(key string) (*cacheEntry, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(b, &e) != nil {
+		return nil, false
+	}
+	return &e, true
+}
+
+func (c *diskCache) put(key string, e *cacheEntry) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	p := c.path(key)
+	if os.MkdirAll(filepath.Dir(p), 0o755) != nil {
+		return
+	}
+	// Write-to-temp + rename keeps concurrent runs from observing a
+	// half-written entry.
+	tmp, err := os.CreateTemp(filepath.Dir(p), "tmp-")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	tmp.Close()
+	if os.Rename(tmp.Name(), p) != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// toCached converts live findings for storage.
+func toCached(fs []Finding) []cachedFinding {
+	out := make([]cachedFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, cachedFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Col:      f.Position.Column,
+			Message:  f.Message,
+			Package:  f.Package,
+		})
+	}
+	return out
+}
+
+// fromCached rehydrates findings; Pos is NoPos (suggested fixes do not
+// survive the cache, which is why fixing disables it).
+func fromCached(cs []cachedFinding) []Finding {
+	out := make([]Finding, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, Finding{
+			Diagnostic: analysis.Diagnostic{Analyzer: c.Analyzer, Message: c.Message},
+			Position:   token.Position{Filename: c.File, Line: c.Line, Column: c.Col},
+			Package:    c.Package,
+		})
+	}
+	return out
+}
+
+// hasher memoizes content hashes of files feeding cache keys.
+type hasher struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+func newHasher() *hasher { return &hasher{m: make(map[string]string)} }
+
+// file returns the hex sha256 of the file's contents, "absent" when it
+// cannot be read.
+func (h *hasher) file(path string) string {
+	h.mu.Lock()
+	if v, ok := h.m[path]; ok {
+		h.mu.Unlock()
+		return v
+	}
+	h.mu.Unlock()
+	v := "absent"
+	if f, err := os.Open(path); err == nil {
+		sum := sha256.New()
+		if _, err := io.Copy(sum, f); err == nil {
+			v = hex.EncodeToString(sum.Sum(nil))
+		}
+		f.Close()
+	}
+	h.mu.Lock()
+	h.m[path] = v
+	h.mu.Unlock()
+	return v
+}
+
+var exeHashOnce struct {
+	sync.Once
+	v string
+}
+
+// exeHash hashes the running binary, so rebuilding simlint (any analyzer
+// change) invalidates every cached entry automatically.
+func exeHash() string {
+	exeHashOnce.Do(func() {
+		exeHashOnce.v = "unknown-exe"
+		if exe, err := os.Executable(); err == nil {
+			h := newHasher()
+			exeHashOnce.v = h.file(exe)
+		}
+	})
+	return exeHashOnce.v
+}
+
+// keyWriter builds a cache key incrementally.
+type keyWriter struct {
+	h io.Writer
+	s interface{ Sum([]byte) []byte }
+}
+
+func newKey() *keyWriter {
+	s := sha256.New()
+	return &keyWriter{h: s, s: s}
+}
+
+func (k *keyWriter) add(parts ...string) {
+	for _, p := range parts {
+		fmt.Fprintf(k.h, "%d:%s\n", len(p), p)
+	}
+}
+
+func (k *keyWriter) sum() string {
+	return hex.EncodeToString(k.s.Sum(nil))
+}

@@ -2,8 +2,12 @@
 //
 // It plays the role golang.org/x/tools/go/analysis's multichecker driver
 // plays for standard analyzers: list packages with the go command, type
-// check them against compiled export data, run every analyzer, honor
-// //simlint:allow directives, and optionally apply suggested fixes.
+// check them against compiled export data, run every analyzer in
+// dependency order so per-function summary facts flow across package
+// boundaries, honor //simlint:allow directives, audit stale ones, and
+// optionally apply suggested fixes. Analyze adds parallel per-package
+// scheduling with an on-disk result cache keyed on source and export-data
+// hashes.
 package driver
 
 import (
@@ -26,57 +30,40 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
 }
 
-// Result is the outcome of one Run.
+// Result is the outcome of one Run or Analyze.
 type Result struct {
 	Findings []Finding
-	// Fixed counts text edits applied (only when Run was asked to fix).
+	// Fixed counts text edits applied (only when fixing was requested).
 	Fixed int
+	// Packages and CacheHits describe an Analyze run: how many packages
+	// were scheduled and how many were satisfied from the result cache.
+	Packages  int
+	CacheHits int
 }
 
-// Run applies analyzers to pkgs. Diagnostics on lines carrying a
+// Run applies analyzers to pkgs in the given order, threading exported
+// facts from earlier packages to later ones (callers pass dependencies
+// first; Load returns packages sorted by import path, which is dependency
+// order for the flat testdata trees the golden harness uses — Analyze
+// computes a true topological order). Diagnostics on lines carrying a
 // well-formed //simlint:allow directive for the same analyzer are
-// suppressed; malformed directives are themselves findings. When fix is
+// suppressed; malformed directives are themselves findings; when the
+// directiveaudit analyzer is in the set, well-formed directives that
+// suppressed nothing become findings with a deletion fix. When fix is
 // true, the first suggested fix of every surviving diagnostic is applied
 // to the source files on disk and the fixed diagnostics are dropped from
 // the result.
 func Run(pkgs []*Package, analyzers []*analysis.Analyzer, fix bool) (*Result, error) {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
-
 	res := &Result{}
+	store := NewFactStore()
 	fixer := newFixer()
 	for _, pkg := range pkgs {
-		allows, bad := analysis.NewAllowSet(analysis.ParseAllows(pkg.Fset, pkg.Files), known)
-		for _, d := range bad {
-			res.Findings = append(res.Findings, Finding{Diagnostic: d, Position: pkg.Fset.Position(d.Pos), Package: pkg.ImportPath})
+		findings, facts, err := runPackage(pkg, analyzers, store, fixer, fix)
+		if err != nil {
+			return nil, err
 		}
-		for _, err := range pkg.TypeErrors {
-			res.Findings = append(res.Findings, Finding{
-				Diagnostic: analysis.Diagnostic{Analyzer: "typecheck", Message: err.Error()},
-				Package:    pkg.ImportPath,
-			})
-		}
-		for _, a := range analyzers {
-			var diags []analysis.Diagnostic
-			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, func(d analysis.Diagnostic) {
-				diags = append(diags, d)
-			})
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
-			}
-			for _, d := range diags {
-				if allows.Allows(pkg.Fset, d.Analyzer, d.Pos) {
-					continue
-				}
-				if fix && len(d.SuggestedFixes) > 0 {
-					fixer.add(pkg.Fset, d.SuggestedFixes[0])
-					continue
-				}
-				res.Findings = append(res.Findings, Finding{Diagnostic: d, Position: pkg.Fset.Position(d.Pos), Package: pkg.ImportPath})
-			}
-		}
+		store.PutAll(pkg.ImportPath, facts)
+		res.Findings = append(res.Findings, findings...)
 	}
 	if fix {
 		n, err := fixer.apply()
@@ -85,8 +72,112 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer, fix bool) (*Result, er
 		}
 		res.Fixed = n
 	}
-	sort.Slice(res.Findings, func(i, j int) bool {
-		a, b := res.Findings[i], res.Findings[j]
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+// runPackage runs the analyzer set over one loaded package: directive
+// handling, fact threading, and the stale-allow audit. It returns the
+// surviving findings and the facts each analyzer exported. Fixable
+// findings are absorbed into fixer when fix is true.
+func runPackage(pkg *Package, analyzers []*analysis.Analyzer, store *FactStore, fixer *fixer, fix bool) ([]Finding, map[string]analysis.PackageFacts, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	allows, bad := analysis.NewAllowSet(analysis.ParseAllows(pkg.Fset, pkg.Files), known)
+	for _, d := range bad {
+		findings = append(findings, Finding{Diagnostic: d, Position: pkg.Fset.Position(d.Pos), Package: pkg.ImportPath})
+	}
+	for _, err := range pkg.TypeErrors {
+		findings = append(findings, Finding{
+			Diagnostic: analysis.Diagnostic{Analyzer: "typecheck", Message: err.Error()},
+			Package:    pkg.ImportPath,
+		})
+	}
+
+	keep := func(d analysis.Diagnostic) {
+		if fix && len(d.SuggestedFixes) > 0 {
+			fixer.add(pkg.Fset, d.SuggestedFixes[0])
+			return
+		}
+		findings = append(findings, Finding{Diagnostic: d, Position: pkg.Fset.Position(d.Pos), Package: pkg.ImportPath})
+	}
+
+	facts := make(map[string]analysis.PackageFacts)
+	ran := make(map[string]bool, len(analyzers))
+	audit := false
+	for _, a := range analyzers {
+		if a.Name == analysis.DirectiveAuditName {
+			// The audit needs the other analyzers' allow usage; it runs
+			// after them, below.
+			audit = true
+			continue
+		}
+		ran[a.Name] = true
+		var diags []analysis.Diagnostic
+		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		a := a
+		pass.SetFactSource(func(dep string) analysis.PackageFacts { return store.Get(dep, a.Name) })
+		pass.SetAllowSource(func(name string, pos token.Pos) bool { return allows.Allows(pkg.Fset, name, pos) })
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+		if exported := pass.ExportedFacts(); len(exported) > 0 {
+			facts[a.Name] = exported
+		}
+		for _, d := range diags {
+			if allows.Allows(pkg.Fset, d.Analyzer, d.Pos) {
+				continue
+			}
+			keep(d)
+		}
+	}
+
+	if audit {
+		// Round one: directives for analyzers that ran but suppressed
+		// nothing. A directiveaudit allow can vouch for a deliberately
+		// kept directive (e.g. one guarding a platform-specific finding);
+		// checking suppression here marks it used.
+		for _, a := range allows.Unused(func(name string) bool { return ran[name] }) {
+			d := staleAllowDiagnostic(a)
+			if allows.Allows(pkg.Fset, analysis.DirectiveAuditName, d.Pos) {
+				continue
+			}
+			keep(d)
+		}
+		// Round two: directiveaudit allows that vouched for nothing are
+		// themselves stale. No further suppression — the regress stops
+		// here.
+		for _, a := range allows.Unused(func(name string) bool { return name == analysis.DirectiveAuditName }) {
+			keep(staleAllowDiagnostic(a))
+		}
+	}
+	return findings, facts, nil
+}
+
+// staleAllowDiagnostic builds the directiveaudit finding for one unused
+// directive, with a fix that deletes it cleanly.
+func staleAllowDiagnostic(a analysis.Allow) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Analyzer: analysis.DirectiveAuditName,
+		Pos:      a.Pos,
+		Message:  fmt.Sprintf("stale //simlint:allow %s directive suppresses no finding; delete it", a.Analyzer),
+		SuggestedFixes: []analysis.SuggestedFix{{
+			Message:   "delete stale directive",
+			TextEdits: []analysis.TextEdit{{Pos: a.DelPos, End: a.DelEnd}},
+		}},
+	}
+}
+
+// sortFindings orders findings by file, line, column, analyzer.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Position.Filename != b.Position.Filename {
 			return a.Position.Filename < b.Position.Filename
 		}
@@ -98,5 +189,4 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer, fix bool) (*Result, er
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return res, nil
 }

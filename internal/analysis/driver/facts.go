@@ -1,0 +1,47 @@
+package driver
+
+import (
+	"sync"
+
+	"durassd/internal/analysis"
+)
+
+// FactStore accumulates per-package, per-analyzer summary facts as the
+// driver works through packages in dependency order. By the time a package
+// is analyzed, the facts of every analyzed dependency are present — either
+// computed this run or restored from the on-disk result cache — so
+// analyzers can see across package boundaries without loading dependency
+// source.
+type FactStore struct {
+	mu sync.Mutex
+	m  map[string]map[string]analysis.PackageFacts // pkg path -> analyzer -> facts
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[string]map[string]analysis.PackageFacts)}
+}
+
+// Get returns the facts analyzer exported for pkgPath, or nil.
+func (s *FactStore) Get(pkgPath, analyzer string) analysis.PackageFacts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[pkgPath][analyzer]
+}
+
+// PutAll records every analyzer's facts for pkgPath.
+func (s *FactStore) PutAll(pkgPath string, byAnalyzer map[string]analysis.PackageFacts) {
+	if len(byAnalyzer) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst := s.m[pkgPath]
+	if dst == nil {
+		dst = make(map[string]analysis.PackageFacts, len(byAnalyzer))
+		s.m[pkgPath] = dst
+	}
+	for name, facts := range byAnalyzer {
+		dst[name] = facts
+	}
+}

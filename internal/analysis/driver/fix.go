@@ -6,12 +6,15 @@ import (
 	"go/token"
 	"os"
 	"sort"
+	"sync"
 
 	"durassd/internal/analysis"
 )
 
-// fixer accumulates text edits per file and applies them in one pass.
+// fixer accumulates text edits per file and applies them in one pass. add
+// is safe for concurrent use (Analyze feeds it from parallel packages).
 type fixer struct {
+	mu    sync.Mutex
 	edits map[string][]edit // file name -> edits
 }
 
@@ -23,6 +26,8 @@ type edit struct {
 func newFixer() *fixer { return &fixer{edits: make(map[string][]edit)} }
 
 func (f *fixer) add(fset *token.FileSet, fix analysis.SuggestedFix) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, te := range fix.TextEdits {
 		p := fset.Position(te.Pos)
 		f.edits[p.Filename] = append(f.edits[p.Filename], edit{

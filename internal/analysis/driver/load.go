@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package, ready for
@@ -45,6 +46,7 @@ type listedPkg struct {
 	GoFiles      []string
 	TestGoFiles  []string
 	XTestGoFiles []string
+	Imports      []string
 	TestImports  []string
 	XTestImports []string
 	Incomplete   bool
@@ -58,7 +60,14 @@ type listedErr struct {
 
 // Loader loads packages for analysis using the go command for metadata and
 // compiled export data, and go/types for type checking. It is safe to load
-// several pattern sets through one Loader; export data is shared.
+// several pattern sets through one Loader, and — for the Analyze pipeline —
+// to type-check several packages concurrently: the go/importer state and
+// the local source-package registry are mutex-guarded, and token.FileSet
+// is internally synchronized. Packages type-checked from source register
+// themselves and take precedence over export data for later imports, which
+// both gives external test packages visibility into in-package test
+// helpers and lets testdata trees form multi-package import chains without
+// any export data existing for them.
 type Loader struct {
 	// Dir is the working directory for go command invocations; empty
 	// means the current directory. It must lie inside the target module.
@@ -66,34 +75,81 @@ type Loader struct {
 	// Tests includes _test.go files in the returned packages.
 	Tests bool
 
-	fset    *token.FileSet
+	fset *token.FileSet
+
+	// impMu serializes the gc importer (stateful, not concurrency-safe)
+	// and the local source-package registry; mu guards the export-data
+	// map, which lookup touches while impMu is held.
+	impMu   sync.Mutex
+	mu      sync.Mutex
 	exports map[string]string // import path -> export data file
-	imp     types.Importer
+	local   map[string]*types.Package
+	gc      types.Importer
 }
 
 // NewLoader returns a Loader rooted at dir.
 func NewLoader(dir string, tests bool) *Loader {
-	l := &Loader{Dir: dir, Tests: tests, fset: token.NewFileSet(), exports: make(map[string]string)}
-	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	l := &Loader{
+		Dir:     dir,
+		Tests:   tests,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		local:   make(map[string]*types.Package),
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", l.lookup)
 	return l
 }
 
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
-// lookup feeds compiled export data to the gc importer.
-func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+// Import resolves an import for type checking: local source-checked
+// packages first, then gc export data. It serializes access to the gc
+// importer, which is not safe for concurrent use.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	l.impMu.Lock()
+	defer l.impMu.Unlock()
+	if p := l.local[path]; p != nil {
+		return p, nil
+	}
+	return l.gc.Import(path)
+}
+
+// export returns the recorded export-data file for path.
+func (l *Loader) export(path string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	exp, ok := l.exports[path]
+	return exp, ok
+}
+
+// exportFile returns the compiled export data file for path, resolving it
+// on demand, or "" when the package has none.
+func (l *Loader) exportFile(path string) string {
+	if exp, ok := l.export(path); ok {
+		return exp
+	}
+	_ = l.goList(nil, "-export", "--", path)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Cache the miss too, so repeated keys don't re-shell out.
+	if _, ok := l.exports[path]; !ok {
+		l.exports[path] = ""
+	}
+	return l.exports[path]
+}
+
+// lookup feeds compiled export data to the gc importer (it runs under
+// impMu, never mu).
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	exp, ok := l.export(path)
 	if !ok {
 		// Test-only or testdata-only dependency not covered by the root
 		// `go list -deps` sweep: resolve it on demand.
 		if err := l.goList(nil, "-export", "--", path); err != nil {
 			return nil, fmt.Errorf("resolving import %q: %w", path, err)
 		}
-		exp, ok = l.exports[path]
-		if !ok || exp == "" {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
+		exp, _ = l.export(path)
 	}
 	if exp == "" {
 		return nil, fmt.Errorf("no export data for %q", path)
@@ -103,9 +159,10 @@ func (l *Loader) lookup(path string) (io.ReadCloser, error) {
 
 // goList runs `go list -json` with the given extra flags and arguments,
 // recording export data for every listed package and appending non-DepOnly
-// entries to roots (when roots is non-nil).
+// entries to roots (when roots is non-nil). It must be called without l.mu
+// held.
 func (l *Loader) goList(roots *[]*listedPkg, extra ...string) error {
-	args := []string{"list", "-e", "-json=Dir,ImportPath,Name,Export,Standard,DepOnly,GoFiles,TestGoFiles,XTestGoFiles,TestImports,XTestImports,Incomplete,Error,DepsErrors"}
+	args := []string{"list", "-e", "-json=Dir,ImportPath,Name,Export,Standard,DepOnly,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports,Incomplete,Error,DepsErrors"}
 	args = append(args, extra...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.Dir
@@ -126,9 +183,11 @@ func (l *Loader) goList(roots *[]*listedPkg, extra ...string) error {
 		if p.Error != nil {
 			return fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
 		}
+		l.mu.Lock()
 		if p.Export != "" {
 			l.exports[p.ImportPath] = p.Export
 		}
+		l.mu.Unlock()
 		if roots != nil && !p.DepOnly {
 			q := p
 			*roots = append(*roots, &q)
@@ -137,9 +196,9 @@ func (l *Loader) goList(roots *[]*listedPkg, extra ...string) error {
 	return nil
 }
 
-// Load lists patterns, type-checks every matched package, and returns them
-// sorted by import path.
-func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+// list resolves patterns to root packages with export data for their
+// dependency closure, including test-only imports when tests are loaded.
+func (l *Loader) list(patterns ...string) ([]*listedPkg, error) {
 	var roots []*listedPkg
 	if err := l.goList(&roots, append([]string{"-deps", "-export", "--"}, patterns...)...); err != nil {
 		return nil, err
@@ -148,6 +207,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	// non-test edges); resolve them in one batched call up front.
 	if l.Tests {
 		missing := map[string]bool{}
+		l.mu.Lock()
 		for _, r := range roots {
 			for _, imp := range append(append([]string{}, r.TestImports...), r.XTestImports...) {
 				if _, ok := l.exports[imp]; !ok && imp != "C" && imp != "unsafe" {
@@ -155,6 +215,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 				}
 			}
 		}
+		l.mu.Unlock()
 		if len(missing) > 0 {
 			paths := make([]string, 0, len(missing))
 			for p := range missing {
@@ -165,6 +226,16 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 				return nil, err
 			}
 		}
+	}
+	return roots, nil
+}
+
+// Load lists patterns, type-checks every matched package, and returns them
+// sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	roots, err := l.list(patterns...)
+	if err != nil {
+		return nil, err
 	}
 
 	var pkgs []*Package
@@ -197,7 +268,9 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 
 // LoadDir parses and type-checks the .go files of one directory outside the
 // go command's view (e.g. a testdata source tree), under the given import
-// path. Imports resolve through the same export-data cache as Load.
+// path. Imports resolve through earlier LoadDir packages first, then the
+// shared export-data cache — so testdata trees can form multi-package
+// import chains.
 func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -216,7 +289,7 @@ func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
 }
 
 // check parses and type-checks one package from the given file names
-// (relative to dir).
+// (relative to dir), registering the result for later imports.
 func (l *Loader) check(importPath, dir string, fileNames []string) (*Package, error) {
 	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: l.fset}
 	for _, name := range fileNames {
@@ -235,7 +308,7 @@ func (l *Loader) check(importPath, dir string, fileNames []string) (*Package, er
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: importerFunc(l.Import),
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
 	tpkg, err := conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
@@ -243,5 +316,16 @@ func (l *Loader) check(importPath, dir string, fileNames []string) (*Package, er
 		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
 	}
 	pkg.Types = tpkg
+	l.impMu.Lock()
+	l.local[importPath] = tpkg
+	l.impMu.Unlock()
 	return pkg, nil
 }
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// joinDir joins a package directory and a file name.
+func joinDir(dir, name string) string { return filepath.Join(dir, name) }

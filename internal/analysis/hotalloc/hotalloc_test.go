@@ -1,0 +1,19 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"durassd/internal/analysis/checktest"
+	"durassd/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	checktest.Run(t, "hotalloc", hotalloc.Analyzer)
+}
+
+// TestHotallocFacts runs a two-package chain: dep exports allocation
+// summaries, hot imports dep and must report the call site with the
+// cross-package attribution chain.
+func TestHotallocFacts(t *testing.T) {
+	checktest.RunDirs(t, []string{"hotalloc/dep", "hotalloc/hot"}, hotalloc.Analyzer)
+}

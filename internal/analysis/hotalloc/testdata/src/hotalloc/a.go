@@ -1,0 +1,86 @@
+// Package hotalloc is analyzer testdata: every allocation class on a hot
+// path must be flagged, amortized and cold-region idioms must not, and
+// allow directives must silence sites and whole functions.
+package hotalloc
+
+import "fmt"
+
+type buf struct {
+	b []byte
+	n int
+}
+
+func sink(v any) { _ = v }
+
+var global []byte
+
+//simlint:hotpath
+func Hot(scratch []byte, s string) {
+	_ = make([]byte, 8)          // want `heap allocation on hot path: make allocates`
+	_ = new(buf)                 // want `heap allocation on hot path: new allocates`
+	_ = &buf{n: 1}               // want `composite literal escapes to the heap \(&hotalloc\.buf\{…\}\)`
+	_ = []int{1, 2}              // want `slice literal allocates its backing array`
+	_ = map[string]int{"k": 1}   // want `map literal allocates`
+	scratch = append(global, 0)  // want `append may grow and reallocate its backing array`
+	scratch = append(scratch, 0) // amortized in-place idiom: no finding
+	scratch = append(scratch[:0], 1)
+	_ = s + "suffix"    // want `string concatenation allocates`
+	_ = []byte(s)       // want `string-to-slice conversion allocates`
+	_ = string(scratch) // want `slice-to-string conversion allocates`
+	sink(len(scratch))  // want `argument boxed into interface parameter \(int\)`
+	sink(nil)           // nil boxes nothing
+	fmt.Sprintln(s)     // want `call to fmt\.Sprintln allocates`
+	n := 0
+	f := func() { n++ } // want `closure captures n and allocates`
+	f()
+	g := func() {} // captures nothing: no finding
+	g()
+	helper()
+}
+
+// helper is unmarked but reachable from Hot, so its sites are attributed.
+func helper() {
+	_ = new(int) // want `heap allocation on hot path: new allocates \(reached via hotalloc\.Hot → hotalloc\.helper\)`
+}
+
+// Unmarked is not reachable from any hot root: it may allocate freely.
+func Unmarked() []byte {
+	return make([]byte, 64)
+}
+
+//simlint:hotpath
+func HotRecover() {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = fmt.Sprint(r) // cold region: deferred recover closure
+		}
+	}()
+	if global == nil {
+		panic("state " + "lost") // cold region: panic arguments
+	}
+}
+
+//simlint:hotpath
+func HotAllowedSite(pool [][]byte) []byte {
+	if len(pool) > 0 {
+		return pool[0]
+	}
+	return make([]byte, 64) //simlint:allow hotalloc pool miss fallback exercised only at warmup
+}
+
+//simlint:hotpath
+func HotGateway() {
+	coldChain()
+}
+
+// coldChain opts out wholesale: the allow on the declaration line exempts
+// every site inside and stops the hot walk at its boundary.
+func coldChain() { //simlint:allow hotalloc cold retirement path runs at most once per failure
+	_ = make([]byte, 1)
+	_ = fmt.Sprintf("%d", 1)
+}
+
+func misplacedHost() int {
+	//simlint:hotpath // want `misplaced //simlint:hotpath directive: it must appear in a function declaration's doc comment`
+	return 0
+}

@@ -1,0 +1,14 @@
+// Package dep is the upstream half of the cross-package hotalloc golden:
+// it has no hot roots of its own, so nothing is reported here, but its
+// allocation summaries are exported as facts for importers.
+package dep
+
+// Scratch builds a fresh buffer on every call.
+func Scratch() []byte {
+	return make([]byte, 64)
+}
+
+// Quiet is allocation-free.
+func Quiet(b []byte) int {
+	return len(b)
+}

@@ -1,0 +1,12 @@
+// Package hot is the downstream half of the cross-package hotalloc
+// golden: the findings below only exist if dep's summary facts crossed
+// the package boundary.
+package hot
+
+import "hotalloc/dep"
+
+//simlint:hotpath
+func Hot() int {
+	b := dep.Scratch() // want `call on hot path reaches heap allocation: make allocates at a\.go:\d+:\d+ \(via hotalloc/hot\.Hot → hotalloc/dep\.Scratch\)`
+	return dep.Quiet(b)
+}

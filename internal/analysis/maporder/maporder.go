@@ -13,10 +13,11 @@
 // A loop body is considered order-sensitive when it (transitively, inside
 // the loop's AST) calls into the report-producing packages
 // (internal/iotrace, internal/stats, internal/repro, internal/crashpoint),
-// prints via fmt (Print/Fprint family), or calls Write on any io.Writer —
-// which covers hash.Hash digests, bytes.Buffer/strings.Builder report
-// assembly, and files. Loops that merely aggregate (sum counters, build a
-// slice that is sorted afterwards) are not flagged.
+// prints via fmt (Print/Fprint family), or calls Write / WriteString /
+// WriteByte / WriteRune on any io.Writer — which covers hash.Hash digests,
+// bytes.Buffer/strings.Builder report assembly, and files. Loops that
+// merely aggregate (sum counters, build a slice that is sorted afterwards)
+// are not flagged.
 package maporder
 
 import (
@@ -42,6 +43,12 @@ var SinkPkgs = map[string]bool{
 var fmtEmitters = map[string]bool{
 	"Print": true, "Println": true, "Printf": true,
 	"Fprint": true, "Fprintln": true, "Fprintf": true,
+}
+
+// orderedWriteMethods are the method names that append to an ordered byte
+// stream when the receiver satisfies io.Writer.
+var orderedWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
 }
 
 // Analyzer is the maporder check.
@@ -119,11 +126,14 @@ func findSink(pass *analysis.Pass, body *ast.BlockStmt) (string, token.Pos) {
 				return false
 			}
 		}
-		// A Write on anything that satisfies io.Writer: digest, buffer,
-		// builder, file — all ordered byte streams.
-		if fn.Name() == "Write" {
+		// A write on anything that satisfies io.Writer: digest, buffer,
+		// builder, file — all ordered byte streams. The convenience
+		// methods count too: a strings.Builder filled via WriteString
+		// inside the range and rendered into a report afterwards leaks
+		// exactly the same iteration order as Write would.
+		if orderedWriteMethods[fn.Name()] {
 			if s, ok := pass.TypesInfo.Selections[sel]; ok && writesBytes(s.Recv()) {
-				sink, pos = recvName(s.Recv())+".Write", call.Pos()
+				sink, pos = recvName(s.Recv())+"."+fn.Name(), call.Pos()
 				return false
 			}
 		}

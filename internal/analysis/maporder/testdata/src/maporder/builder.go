@@ -1,0 +1,57 @@
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A strings.Builder filled inside a map range and rendered into a report
+// afterwards leaks iteration order through the convenience write methods,
+// not just through Write itself.
+func builderReport(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		b.WriteString(fmt.Sprintf("%s=%d\n", k, v)) // want `map iteration order reaches strings\.Builder\.WriteString`
+	}
+	return b.String()
+}
+
+func builderByteRune(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteByte(k[0]) // want `map iteration order reaches strings\.Builder\.WriteByte`
+	}
+	for k := range m {
+		b.WriteRune(rune(k[0])) // want `map iteration order reaches strings\.Builder\.WriteRune`
+	}
+	return b.String()
+}
+
+// The sorted-keys idiom stays clean with the convenience methods too.
+func builderSortedGood(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(fmt.Sprintf("%s=%d\n", k, m[k]))
+	}
+	return b.String()
+}
+
+// WriteString on something that is not an io.Writer is not an ordered
+// byte stream for this analyzer's purposes.
+type notAWriter struct{ n int }
+
+func (w *notAWriter) WriteString(s string) { w.n += len(s) }
+
+func notAWriterGood(m map[string]int) int {
+	var w notAWriter
+	for k := range m {
+		w.WriteString(k)
+	}
+	return w.n
+}

@@ -222,6 +222,8 @@ func (c *Controller) CachedSlots() int { return len(c.frames) }
 // command is complete (the DuraSSD durability point). The staging step
 // itself is atomic: admission control and the DRAM copy happen before any
 // frame is touched, so a power failure never leaves a command half-staged.
+//
+//simlint:hotpath
 func (c *Controller) Write(p *sim.Proc, req iotrace.Req, slots []ftl.SlotWrite) error {
 	if c.dead {
 		return ErrCacheDead
@@ -292,7 +294,7 @@ func (c *Controller) stage(s ftl.SlotWrite) {
 			// The in-flight program batch aliases fr.data; overwriting it in
 			// place would change the bytes mid-program. Give the new copy a
 			// fresh buffer and let the old one go with the batch.
-			fr.data = append([]byte(nil), s.Data...)
+			fr.data = append([]byte(nil), s.Data...) //simlint:allow hotalloc busy-frame aliasing copy; only taken when a flush races the same LPN
 		} else {
 			fr.data = append(fr.data[:0], s.Data...)
 		}
@@ -334,7 +336,7 @@ func (c *Controller) getFrame(lpn storage.LPN) *frame {
 		*fr = frame{lpn: lpn, data: data[:0]}
 		return fr
 	}
-	return &frame{lpn: lpn}
+	return &frame{lpn: lpn} //simlint:allow hotalloc pool miss fallback; steady state recycles pooled frames
 }
 
 // evictClean drops the oldest clean frame. Callers guarantee one exists.
@@ -359,6 +361,8 @@ func (c *Controller) evictClean() {
 
 // Read serves one slot, from the cache when resident (device cache hit) or
 // from flash otherwise.
+//
+//simlint:hotpath
 func (c *Controller) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, buf []byte) error {
 	if c.dead {
 		return ErrCacheDead

@@ -146,6 +146,11 @@ type FTL struct {
 	tagPool  [][]nand.SlotTag
 	pagePool [][]byte
 	slotPool [][]byte // slot-size relocation buffers (GC / scrub / refresh)
+
+	// byPPN is ReadSlots' grouping scratch, cleared at the top of each
+	// call instead of reallocated; FTL calls are serialized per device,
+	// so a single map suffices.
+	byPPN map[nand.PPN]int
 }
 
 func (f *FTL) getTags(n int) []nand.SlotTag {
@@ -161,7 +166,7 @@ func (f *FTL) getTags(n int) []nand.SlotTag {
 			return t
 		}
 	}
-	return make([]nand.SlotTag, n)
+	return make([]nand.SlotTag, n) //simlint:allow hotalloc pool miss fallback; steady state recycles pooled slices
 }
 
 func (f *FTL) putTags(t []nand.SlotTag) {
@@ -181,7 +186,7 @@ func (f *FTL) getPage() []byte {
 		f.pagePool = f.pagePool[:last]
 		return b
 	}
-	return make([]byte, f.a.Config().PageSize)
+	return make([]byte, f.a.Config().PageSize) //simlint:allow hotalloc pool miss fallback; steady state recycles pooled slices
 }
 
 func (f *FTL) putPage(b []byte) {
@@ -199,7 +204,7 @@ func (f *FTL) getSlotBuf() []byte {
 		f.slotPool = f.slotPool[:last]
 		return b[:0]
 	}
-	return make([]byte, 0, f.SlotSize())
+	return make([]byte, 0, f.SlotSize()) //simlint:allow hotalloc pool miss fallback; steady state recycles pooled slices
 }
 
 func (f *FTL) putSlotBuf(b []byte) {
@@ -255,6 +260,7 @@ func New(a *nand.Array, cfg Config, reg *iotrace.Registry) (*FTL, error) {
 		dumpSet:    make(map[int]bool),
 		reserve:    make([][]int, planes),
 		retired:    make(map[int]bool),
+		byPPN:      make(map[nand.PPN]int),
 		reg:        reg,
 		stats:      reg.Stats(),
 	}
@@ -346,6 +352,8 @@ func (f *FTL) Mapped(lpn storage.LPN) bool {
 // ReadSlot reads the 4 KB slot of lpn. If buf is non-nil it must be
 // SlotSize bytes; unmapped or timing-only slots read back zeroed. Reading an
 // unmapped slot costs no device time (the controller answers from the map).
+//
+//simlint:hotpath
 func (f *FTL) ReadSlot(p *sim.Proc, req iotrace.Req, lpn storage.LPN, buf []byte) error {
 	if int64(lpn) >= f.logicalSlots {
 		return storage.ErrOutOfRange
@@ -361,7 +369,8 @@ func (f *FTL) ReadSlot(p *sim.Proc, req iotrace.Req, lpn storage.LPN, buf []byte
 	sub := int(spn % SPN(f.cfg.SlotsPerPage))
 	var page []byte
 	if buf != nil {
-		page = make([]byte, f.a.Config().PageSize)
+		page = f.getPage()
+		defer f.putPage(page)
 	}
 	info, err := f.readPagePhys(p, req, ppn, page)
 	if err != nil {
@@ -381,6 +390,8 @@ func (f *FTL) ReadSlot(p *sim.Proc, req iotrace.Req, lpn storage.LPN, buf []byte
 // ReadSlots reads several logical slots, issuing one physical page read per
 // distinct physical page (consecutive DB-page slots often share a NAND
 // page). If buf is non-nil it must be len(lpns)*SlotSize bytes.
+//
+//simlint:hotpath
 func (f *FTL) ReadSlots(p *sim.Proc, req iotrace.Req, lpns []storage.LPN, buf []byte) error {
 	sp := req.Begin(p, iotrace.LayerFTL)
 	defer sp.End(p)
@@ -391,7 +402,7 @@ func (f *FTL) ReadSlots(p *sim.Proc, req iotrace.Req, lpns []storage.LPN, buf []
 		subs []int // sub-slot per position, captured before any relocation
 	}
 	var reads []pending
-	byPPN := make(map[nand.PPN]int)
+	clear(f.byPPN)
 	for i, lpn := range lpns {
 		spn, ok := f.spnOf(lpn)
 		if !ok {
@@ -404,10 +415,10 @@ func (f *FTL) ReadSlots(p *sim.Proc, req iotrace.Req, lpns []storage.LPN, buf []
 			continue
 		}
 		ppn := nand.PPN(spn / SPN(f.cfg.SlotsPerPage))
-		j, seen := byPPN[ppn]
+		j, seen := f.byPPN[ppn]
 		if !seen {
 			j = len(reads)
-			byPPN[ppn] = j
+			f.byPPN[ppn] = j
 			reads = append(reads, pending{ppn: ppn})
 		}
 		reads[j].idxs = append(reads[j].idxs, i)
@@ -417,11 +428,14 @@ func (f *FTL) ReadSlots(p *sim.Proc, req iotrace.Req, lpns []storage.LPN, buf []
 	// mappings and can trigger GC, which must not move or erase pages the
 	// remaining pending reads still reference.
 	var refresh []nand.PPN
+	var page []byte
+	if buf != nil && len(reads) > 0 {
+		// One pooled buffer serves every pending page: readPagePhys
+		// overwrites it in full before the copy loop reads it back.
+		page = f.getPage()
+		defer f.putPage(page)
+	}
 	for _, r := range reads {
-		var page []byte
-		if buf != nil {
-			page = make([]byte, f.a.Config().PageSize)
-		}
 		info, err := f.readPagePhys(p, req, r.ppn, page)
 		if err != nil {
 			if errors.Is(err, storage.ErrUncorrectable) {
@@ -450,6 +464,8 @@ func (f *FTL) ReadSlots(p *sim.Proc, req iotrace.Req, lpns []storage.LPN, buf []
 // running garbage collection first if the target plane is low on space.
 // Duplicate LPNs within one call are not allowed. A device degraded to
 // read-only (bad-block reserve exhausted) fails with storage.ErrReadOnly.
+//
+//simlint:hotpath
 func (f *FTL) Program(p *sim.Proc, req iotrace.Req, slots []SlotWrite) error {
 	if f.readOnly {
 		return storage.ErrReadOnly
@@ -465,7 +481,7 @@ func (f *FTL) program(p *sim.Proc, req iotrace.Req, slots []SlotWrite, gc bool) 
 // relocations pin to the victim's plane and skip the GC trigger.
 func (f *FTL) programAt(p *sim.Proc, req iotrace.Req, slots []SlotWrite, pl int, gc bool) error {
 	if len(slots) == 0 || len(slots) > f.cfg.SlotsPerPage {
-		return fmt.Errorf("ftl: program of %d slots (max %d)", len(slots), f.cfg.SlotsPerPage)
+		return fmt.Errorf("ftl: program of %d slots (max %d)", len(slots), f.cfg.SlotsPerPage) //simlint:allow hotalloc error construction on a rejected program; never taken at steady state
 	}
 	for _, s := range slots {
 		if int64(s.LPN) >= f.logicalSlots {
@@ -575,7 +591,7 @@ func (f *FTL) nextPage(pl int) (nand.PPN, error) {
 			}
 		}
 		f.active[pl] = free[pick]
-		f.planeFree[pl] = append(free[:pick], free[pick+1:]...)
+		f.planeFree[pl] = append(free[:pick], free[pick+1:]...) //simlint:allow hotalloc removes one element in place; capacity never grows
 		f.writePtr[pl] = 0
 	}
 	ppn := f.a.PageOfBlock(f.active[pl]) + nand.PPN(f.writePtr[pl])
@@ -683,7 +699,7 @@ func (f *FTL) ensureFree(p *sim.Proc, req iotrace.Req, pl int) error {
 
 // gcOnce relocates the live slots of the plane's emptiest closed block and
 // erases it.
-func (f *FTL) gcOnce(p *sim.Proc, req iotrace.Req, pl int) error {
+func (f *FTL) gcOnce(p *sim.Proc, req iotrace.Req, pl int) error { //simlint:allow hotalloc GC batch buffers are amortized across a whole block relocation
 	sp := req.Begin(p, iotrace.LayerGC)
 	defer sp.End(p)
 	ncfg := f.a.Config()

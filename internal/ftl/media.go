@@ -61,7 +61,7 @@ func (f *FTL) readPagePhys(p *sim.Proc, req iotrace.Req, ppn nand.PPN, page []by
 // retirement is enabled, the damaged block is migrated and retired so the
 // fault cannot spread. Best-effort — a power cut mid-migration leaves the
 // block unretired and the next failing read triggers it again.
-func (f *FTL) noteUncorrectable(p *sim.Proc, req iotrace.Req, ppn nand.PPN) {
+func (f *FTL) noteUncorrectable(p *sim.Proc, req iotrace.Req, ppn nand.PPN) { //simlint:allow hotalloc cold media-error retirement; runs at most once per damaged page
 	if f.cfg.ReserveBlocks <= 0 {
 		return
 	}
@@ -216,7 +216,7 @@ func (f *FTL) maybeRefresh(p *sim.Proc, req iotrace.Req, ppn nand.PPN, info nand
 // triggered the refresh already succeeded, and a failed rewrite (power cut,
 // read-only degradation, out of space) leaves the old page mapped and
 // readable — the refresh simply happens again on a later read.
-func (f *FTL) refreshBestEffort(p *sim.Proc, req iotrace.Req, ppn nand.PPN) {
+func (f *FTL) refreshBestEffort(p *sim.Proc, req iotrace.Req, ppn nand.PPN) { //simlint:allow hotalloc cold read-disturb refresh; rare by construction (RefreshThreshold)
 	_ = f.refreshPage(p, req, ppn)
 }
 

@@ -91,7 +91,7 @@ func ECCEncodeInto(dst, page []byte) []byte {
 	if cap(dst) >= size {
 		dst = dst[:size]
 	} else {
-		dst = make([]byte, size)
+		dst = make([]byte, size) //simlint:allow hotalloc parity buffer capacity miss; steady state reuses the caller's slice
 	}
 	out := dst
 	for c := 0; c < n; c++ {

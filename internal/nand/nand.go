@@ -296,6 +296,8 @@ func (a *Array) xferTime(bytes int) time.Duration {
 // bytes are copied into it (zero-filled when the page was timing-only).
 // Media bit errors within the ECC threshold are corrected transparently;
 // beyond it the read fails with storage.ErrUncorrectable.
+//
+//simlint:hotpath
 func (a *Array) ReadPage(p *sim.Proc, req iotrace.Req, ppn PPN, buf []byte) error {
 	_, err := a.ReadPageRetry(p, req, ppn, buf, 0)
 	return err
@@ -305,6 +307,8 @@ func (a *Array) ReadPage(p *sim.Proc, req iotrace.Req, ppn PPN, buf []byte) erro
 // k > 0 models a read-retry with a shifted reference voltage: transient
 // (retention / read-disturb) errors halve per attempt, stuck bits do not.
 // On success the ReadInfo reports how many bit errors the ECC corrected.
+//
+//simlint:hotpath
 func (a *Array) ReadPageRetry(p *sim.Proc, req iotrace.Req, ppn PPN, buf []byte, attempt int) (ReadInfo, error) {
 	var info ReadInfo
 	if !a.powered {
@@ -344,7 +348,7 @@ func (a *Array) ReadPageRetry(p *sim.Proc, req iotrace.Req, ppn PPN, buf []byte,
 			// Real-bytes path: corrupt a copy of the stored image and run
 			// the actual codec, so the returned bytes demonstrably survive
 			// the modeled damage (not just the model's verdict).
-			img := append([]byte(nil), d...)
+			img := append([]byte(nil), d...) //simlint:allow hotalloc media-damage decode path copies the page before ECC repair
 			corruptPage(img, ppn, errBits, a.eccBits)
 			n, ok := ECCDecode(img, meta.Parity)
 			if !ok {
@@ -367,6 +371,8 @@ func (a *Array) ReadPageRetry(p *sim.Proc, req iotrace.Req, ppn PPN, buf []byte,
 // The page must be free (erase-before-rewrite). The program occupies the
 // channel for the transfer, then the plane for the cell program. If power
 // fails during the cell program, the page is recorded as torn.
+//
+//simlint:hotpath
 func (a *Array) ProgramPage(p *sim.Proc, req iotrace.Req, ppn PPN, slots []SlotTag, data []byte, dump bool) error {
 	if !a.powered {
 		return storage.ErrOffline
@@ -375,7 +381,7 @@ func (a *Array) ProgramPage(p *sim.Proc, req iotrace.Req, ppn PPN, slots []SlotT
 		return storage.ErrOutOfRange
 	}
 	if a.state[ppn] != PageFree {
-		return fmt.Errorf("nand: program of non-free page %d", ppn)
+		return fmt.Errorf("nand: program of non-free page %d", ppn) //simlint:allow hotalloc error construction on an illegal program; never taken at steady state
 	}
 	sp := req.Begin(p, iotrace.LayerNAND)
 	defer sp.End(p)
@@ -385,7 +391,7 @@ func (a *Array) ProgramPage(p *sim.Proc, req iotrace.Req, ppn PPN, slots []SlotT
 	}
 
 	// The cell program is the window where a power cut tears the page.
-	a.inflight[ppn] = append(a.getTags(), slots...)
+	a.inflight[ppn] = append(a.getTags(), slots...) //simlint:allow hotalloc appends into pooled tag capacity; grows only on first use
 	a.reg.Emit(iotrace.EvProgram, a.eng.Now())
 	plane := a.planes[a.PlaneOf(ppn)]
 	plane.Acquire(p, 1)
@@ -418,7 +424,7 @@ func (a *Array) commitProgram(ppn PPN, slots []SlotTag, data []byte, dump bool) 
 	a.state[ppn] = PageValid
 	a.oob[ppn] = meta
 	if data != nil {
-		a.data[ppn] = append(a.getBuf(), data...)
+		a.data[ppn] = append(a.getBuf(), data...) //simlint:allow hotalloc appends into pooled buffer capacity; grows only on first use
 		meta.Parity = ECCEncodeInto(meta.Parity, data)
 	} else {
 		meta.Parity = nil // timing-only pages carry no parity
@@ -439,7 +445,7 @@ func (a *Array) getOOB() *OOB {
 		m.Dump = false
 		return m
 	}
-	return &OOB{}
+	return &OOB{} //simlint:allow hotalloc pool miss fallback; steady state recycles pooled OOB records
 }
 
 // getBuf returns a recycled or fresh zero-length page data buffer.
@@ -450,7 +456,7 @@ func (a *Array) getBuf() []byte {
 		a.bufPool = a.bufPool[:last]
 		return b[:0]
 	}
-	return make([]byte, 0, a.cfg.PageSize)
+	return make([]byte, 0, a.cfg.PageSize) //simlint:allow hotalloc pool miss fallback; steady state recycles pooled buffers
 }
 
 // getTags returns a recycled or fresh zero-length in-flight tag slice.

@@ -417,6 +417,8 @@ func (d *Domain) Go(name string, fn func(p *Proc)) *Proc { return d.eng.Go(name,
 // delivered in send order. Send must be called from within this domain's
 // own execution (a process or callback running on its engine) or while the
 // cluster is idle between runs.
+//
+//simlint:hotpath
 func (d *Domain) Send(dst *Domain, fn func()) {
 	if dst.c != d.c {
 		panic("sim: Send across clusters")
@@ -450,6 +452,7 @@ func (d *Domain) Call(p *Proc, dst *Domain, name string, fn func(q *Proc)) {
 		return
 	}
 	sig := NewSignal(d.eng)
+	//simlint:allow crossdomain sig is the rendezvous: Fire ships back on the completion hop before Wait resumes, so the two domains never touch it concurrently
 	d.Send(dst, func() {
 		dst.eng.Go(name, func(q *Proc) {
 			fn(q)

@@ -94,6 +94,8 @@ func (e *Engine) Events() uint64 { return e.processed }
 
 // Schedule registers fn to run after delay d of virtual time.
 // A negative delay is treated as zero.
+//
+//simlint:hotpath
 func (e *Engine) Schedule(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
@@ -190,6 +192,8 @@ func (e *Engine) runEpochBefore(limit time.Duration) {
 // loop is the dispatch loop: it pops events in (timestamp, seq) order,
 // running callbacks inline and switching into process coroutines. A panic in
 // a process or callback aborts the run; RunUntil re-raises it.
+//
+//simlint:hotpath
 func (e *Engine) loop() {
 	defer func() {
 		if r := recover(); r != nil {
@@ -233,7 +237,7 @@ func (e *Engine) loop() {
 func (e *Engine) resume(p *Proc) {
 	if !p.started {
 		p.started = true
-		p.next, _ = iter.Pull(iter.Seq[struct{}](p.coro))
+		p.next, _ = iter.Pull(iter.Seq[struct{}](p.coro)) //simlint:allow hotalloc one-time coroutine start; steady-state resumes reuse p.next
 	}
 	if _, more := p.next(); !more {
 		// Body returned: the process is finished.
@@ -309,6 +313,8 @@ func (p *Proc) coro(yield func(struct{}) bool) {
 }
 
 // Sleep suspends the process for d of virtual time.
+//
+//simlint:hotpath
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0

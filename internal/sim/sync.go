@@ -65,6 +65,8 @@ func (q *Queue) Len() int { return q.waiters.n }
 
 // Wait parks p until a wakeup. The caller must re-check its condition after
 // returning (Mesa semantics).
+//
+//simlint:hotpath
 func (q *Queue) Wait(p *Proc) {
 	q.waiters.push(p)
 	p.park()
@@ -72,6 +74,8 @@ func (q *Queue) Wait(p *Proc) {
 
 // WakeOne resumes the longest-waiting process, if any, and reports whether
 // a process was woken.
+//
+//simlint:hotpath
 func (q *Queue) WakeOne() bool {
 	if q.waiters.n == 0 {
 		return false

@@ -31,6 +31,8 @@ func (e *Engine) NewTimer(fn func()) *Timer {
 
 // Reset (re)schedules the timer to fire after d of virtual time, cancelling
 // any pending firing. A negative delay is treated as zero.
+//
+//simlint:hotpath
 func (t *Timer) Reset(d time.Duration) {
 	if d < 0 {
 		d = 0

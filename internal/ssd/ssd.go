@@ -136,6 +136,8 @@ type Device struct {
 	// copies slot data during staging), so concurrent commands simply draw
 	// distinct slices.
 	slotsPool [][]ftl.SlotWrite
+	// lpnPool recycles the per-read LPN scratch the same way.
+	lpnPool [][]storage.LPN
 }
 
 func (d *Device) getSlots(n int) []ftl.SlotWrite {
@@ -151,7 +153,7 @@ func (d *Device) getSlots(n int) []ftl.SlotWrite {
 			return s
 		}
 	}
-	return make([]ftl.SlotWrite, n)
+	return make([]ftl.SlotWrite, n) //simlint:allow hotalloc pool miss fallback; steady state recycles pooled slices
 }
 
 func (d *Device) putSlots(s []ftl.SlotWrite) {
@@ -159,6 +161,25 @@ func (d *Device) putSlots(s []ftl.SlotWrite) {
 		return
 	}
 	d.slotsPool = append(d.slotsPool, s[:0])
+}
+
+func (d *Device) getLPNs(n int) []storage.LPN {
+	if last := len(d.lpnPool) - 1; last >= 0 {
+		s := d.lpnPool[last]
+		d.lpnPool[last] = nil
+		d.lpnPool = d.lpnPool[:last]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]storage.LPN, n) //simlint:allow hotalloc pool miss fallback; steady state recycles pooled slices
+}
+
+func (d *Device) putLPNs(s []storage.LPN) {
+	if cap(s) == 0 || len(d.lpnPool) >= 8 {
+		return
+	}
+	d.lpnPool = append(d.lpnPool, s[:0])
 }
 
 // New builds a powered-on, empty device from the profile.
@@ -229,6 +250,8 @@ func (d *Device) Stats() *storage.Stats { return d.stats }
 func (d *Device) Registry() *iotrace.Registry { return d.reg }
 
 // Write submits one write command covering n mapping units from lpn.
+//
+//simlint:hotpath
 func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, data []byte) error {
 	if err := d.front.AdmitRange(lpn, n, d.f.LogicalSlots()); err != nil {
 		return err
@@ -284,6 +307,8 @@ func (d *Device) Write(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, dat
 }
 
 // Read submits one read command covering n mapping units from lpn.
+//
+//simlint:hotpath
 func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf []byte) error {
 	if err := d.front.AdmitRange(lpn, n, d.f.LogicalSlots()); err != nil {
 		return err
@@ -312,11 +337,12 @@ func (d *Device) Read(p *sim.Proc, req iotrace.Req, lpn storage.LPN, n int, buf 
 			err = d.ctrl.Read(p, req, lpn+storage.LPN(i), sb)
 		}
 	} else {
-		lpns := make([]storage.LPN, n)
+		lpns := d.getLPNs(n)
 		for i := range lpns {
 			lpns[i] = lpn + storage.LPN(i)
 		}
 		err = d.f.ReadSlots(p, req, lpns, buf)
+		d.putLPNs(lpns)
 	}
 	if err != nil {
 		return err
