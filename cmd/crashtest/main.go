@@ -22,6 +22,10 @@
 // DuraSSD volumes stay safe in the fast configuration, while a mirror of
 // volatile-cache drives is NOT safe — the power cut hits both copies at
 // the same instant, so redundancy cannot stand in for a durable cache.
+// The ReplicaLoss exploration rows extend it to replicated shard groups:
+// quorum-acked writes over R=3 DuraSSD replicas survive cutting any single
+// replica at every derived instant (plus a second cut mid catch-up), while
+// the R=1 volatile control loses acked writes, reported under VolLost.
 //
 // Failing trials are collected and reported together at the end; any
 // failure (or any lost commit / torn page in a configuration expected to
@@ -133,7 +137,7 @@ func randomCampaign(trials int, seed int64) []string {
 func exploreCampaign(points, updates int, seed int64) []string {
 	var failures []string
 	tbl := stats.NewTable("Systematic crash-point exploration (engine × device × config)",
-		"Config", "Points", "AfterAck", "MidProg", "MidDump", "MidMigr", "Lost", "Torn", "VolLost", "Unsafe", "Digest")
+		"Config", "Points", "AfterAck", "MidProg", "MidDump", "MidMigr", "MidCatch", "Lost", "Torn", "VolLost", "Unsafe", "Digest")
 	for _, c := range crashpoint.Matrix(points, updates, seed) {
 		res, err := crashpoint.Explore(c)
 		if err != nil {
@@ -143,7 +147,7 @@ func exploreCampaign(points, updates int, seed int64) []string {
 		counts := res.KindCounts()
 		tbl.AddRow(c.Name(), len(res.Points),
 			counts[crashpoint.AfterAck], counts[crashpoint.MidProgram], counts[crashpoint.MidDump],
-			counts[crashpoint.MidMigration],
+			counts[crashpoint.MidMigration], counts[crashpoint.MidCatchup],
 			res.Lost, res.Torn, res.VolatileLost, res.Unsafe, res.Digest[:12])
 		for _, o := range res.Outcomes {
 			if o.Verdict.Err != nil {
@@ -154,7 +158,8 @@ func exploreCampaign(points, updates int, seed int64) []string {
 	}
 	tbl.AddComment("Each point is one deterministic replay with the cut pinned to that instant")
 	tbl.AddComment("Digest: SHA-256 prefix of the canonical schedule (same seed => same digest)")
-	tbl.AddComment("VolLost: expected losses on the MidBurst campaign's volatile-cache shards")
+	tbl.AddComment("VolLost: expected losses on volatile-cache members (MidBurst shards, ReplicaLoss R=1 control)")
+	tbl.AddComment("ReplicaLoss rows cut one replica per point (victim rotating), MidCatch adds a second cut mid catch-up")
 	fmt.Println(tbl)
 	return failures
 }

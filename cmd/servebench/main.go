@@ -9,9 +9,17 @@
 //	go run ./cmd/servebench -shards 8 -workers 4  # scale the box
 //	go run ./cmd/servebench -json report.json     # also write the JSON report
 //	go run ./cmd/servebench -verify               # re-run at 1 vs N workers, require identical digests
+//	go run ./cmd/servebench -chaos                # replicated R=3 groups under the seeded fault schedule
+//
+// With -chaos the box becomes two R=3 W=2 replica groups and the canonical
+// fault schedule is injected: a replica brownout (hedged reads), a replica
+// power failure with a mid-traffic reboot and delta catch-up (breaker,
+// quorum degradation), and an overload burst (shedding, client retries).
+// The report gains the robustness counter line; -shards is ignored.
 //
 // The run is deterministic: the same seed produces a byte-identical report
-// and iotrace digest at any worker count, which -verify checks end to end.
+// and iotrace digest at any worker count, which -verify checks end to end —
+// fault injection included.
 package main
 
 import (
@@ -31,9 +39,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "scenario seed")
 	jsonPath := flag.String("json", "", "write results as a JSON report to this path (\"-\" = stdout)")
 	verify := flag.Bool("verify", false, "run at 1 worker and again at -workers; fail unless reports and digests are byte-identical")
+	chaos := flag.Bool("chaos", false, "replicated R=3 W=2 groups under the seeded brownout/crash/overload schedule (-shards ignored)")
 	flag.Parse()
 
 	cfg := serve.ScenarioConfig{Shards: *shards, Workers: *workers, Seed: *seed}
+	if *chaos {
+		cfg = serve.ChaosScenario(*workers, *seed)
+	}
 	res, err := serve.RunScenario(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -60,9 +72,13 @@ func main() {
 
 	if *jsonPath != "" {
 		rep := repro.NewJSONReport("servebench")
-		rep.SetConfig("shards", *shards)
+		rep.SetConfig("shards", cfg.Shards)
 		rep.SetConfig("workers", *workers)
 		rep.SetConfig("seed", *seed)
+		if *chaos {
+			rep.SetConfig("chaos", true)
+			rep.SetConfig("replicas", cfg.Replicas)
+		}
 		addToJSON(rep, res)
 		if err := rep.WriteFile(*jsonPath); err != nil {
 			log.Fatal(err)
@@ -88,6 +104,14 @@ func addToJSON(rep *repro.JSONReport, r *serve.ScenarioResult) {
 	for i, n := range r.ShedByShard {
 		rep.AddMetric(fmt.Sprintf("shard/%d/shed", i), float64(n))
 	}
+	rb := r.Robust
+	rep.AddMetric("robust/hedges", float64(rb.Hedges))
+	rep.AddMetric("robust/deadlines", float64(rb.Deadlines))
+	rep.AddMetric("robust/retries", float64(rb.Retries))
+	rep.AddMetric("robust/breaker_opens", float64(rb.BreakerOpens))
+	rep.AddMetric("robust/unavailable", float64(rb.Unavailable))
+	rep.AddMetric("robust/catchup_keys", float64(rb.CatchupKeys))
+	rep.AddMetric("robust/stale_reads", float64(rb.StaleReads))
 	rep.AddMetric("cache/hit_ratio", r.CacheRatio)
 	rep.AddMetric("cluster/events", float64(r.Events))
 	rep.AddMetric("cluster/virtual_ms", float64(r.Elapsed)/float64(time.Millisecond))

@@ -53,6 +53,10 @@ const (
 	// live-data migration (WearOut scenarios): the block is half-evacuated
 	// and not yet retired when the supply dies.
 	MidMigration
+	// MidCatchup (ReplicaLoss campaigns) cuts the victim replica early, then
+	// power-fails a second replica while the rebooted victim is mid
+	// catch-up transfer — recovery under failure.
+	MidCatchup
 	numKinds
 )
 
@@ -71,6 +75,8 @@ func (k Kind) String() string {
 		return "mid-dump"
 	case MidMigration:
 		return "mid-migration"
+	case MidCatchup:
+		return "mid-catchup"
 	}
 	return "unknown"
 }
@@ -97,6 +103,12 @@ type Campaign struct {
 	// with the cut hitting every shard at the derived instant. Its
 	// CutAfter is ignored, like Scenario's.
 	Burst *serve.BurstSpec
+	// Replica, when non-nil, explores the replica-loss scenario: a write
+	// burst through R-way replicated shard groups with one replica cut at
+	// the derived instant (the victim index rotating across points), plus a
+	// mid-catch-up double-fault point. Its CutAfter, CutReplica and
+	// CutPeerDuringCatchup are ignored: the exploration chooses them.
+	Replica *serve.ReplicaSpec
 	// MaxPoints caps the number of replayed crash points (default 24). The
 	// cap is split evenly across the kinds present in the schedule, and
 	// each kind's points are sampled evenly across its timeline, so the
@@ -113,16 +125,22 @@ func (c Campaign) Name() string {
 	if c.Burst != nil {
 		return c.Burst.Name()
 	}
+	if c.Replica != nil {
+		return c.Replica.Name()
+	}
 	return c.Scenario.Name()
 }
 
 // Outcome pairs a crash point with its audited verdict. For burst
 // campaigns, Verdict carries the DuraSSD-side tallies (the claim under
-// test) and Burst the full split-by-device-class verdict.
+// test) and Burst the full split-by-device-class verdict; for replica-loss
+// campaigns, Verdict mirrors the claim-under-test tallies and Replica
+// carries the full replication verdict.
 type Outcome struct {
 	Point   Point
 	Verdict *faults.Verdict
 	Burst   *serve.BurstVerdict
+	Replica *serve.ReplicaVerdict
 }
 
 // Result is the outcome of one exploration.
@@ -146,7 +164,8 @@ type Result struct {
 	// only for burst campaigns).
 	Lost, Torn int
 	// VolatileLost and VolatileTorn total the expected losses on the
-	// volatile-cache shards of burst campaigns (0 for engine campaigns).
+	// volatile-cache shards of burst campaigns and on the volatile R=1
+	// control of replica-loss campaigns (0 for engine campaigns).
 	VolatileLost, VolatileTorn int
 }
 
@@ -177,6 +196,9 @@ func Explore(c Campaign) (*Result, error) {
 	}
 	if c.Burst != nil {
 		return exploreBurst(c)
+	}
+	if c.Replica != nil {
+		return exploreReplica(c)
 	}
 	s := c.Scenario
 	s.CutAfter = 0

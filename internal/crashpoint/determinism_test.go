@@ -39,7 +39,7 @@ func TestMatrixDigestSetDeterminism(t *testing.T) {
 	if first != second {
 		t.Fatalf("explore matrix diverged between identical-seed runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
 	}
-	if !strings.Contains(first, " ") || strings.Count(first, "\n") != 9 {
+	if !strings.Contains(first, " ") || strings.Count(first, "\n") != 11 {
 		t.Fatalf("unexpected digest-set shape:\n%s", first)
 	}
 }

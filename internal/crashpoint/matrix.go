@@ -58,5 +58,26 @@ func Matrix(points, updates int, seed int64) []Campaign {
 		},
 		MaxPoints: points,
 	})
+	// The tenth and eleventh campaigns are ReplicaLoss: the same write burst
+	// through R=3 W=2 replicated DuraSSD shard groups, with a single replica
+	// of every group cut at the derived instant (the victim rotating across
+	// points) plus a mid-catch-up double fault. Quorum-acked writes must
+	// survive every point. The R=1 volatile control demonstrates the
+	// opposite: no quorum, no durable cache, acked writes vanish — tallied
+	// as VolLost, the expected control outcome.
+	out = append(out, Campaign{
+		Replica: &serve.ReplicaSpec{
+			Groups: 2, Replicas: 3, Quorum: 2,
+			Updates: updates, Seed: seed,
+		},
+		MaxPoints: points,
+	})
+	out = append(out, Campaign{
+		Replica: &serve.ReplicaSpec{
+			Groups: 2, Replicas: 1, Quorum: 1, Volatile: true,
+			Updates: updates, Seed: seed,
+		},
+		MaxPoints: points,
+	})
 	return out
 }

@@ -1,0 +1,142 @@
+package crashpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"durassd/internal/faults"
+	"durassd/internal/iotrace"
+	"durassd/internal/serve"
+)
+
+// exploreReplica is Explore's runner for the ReplicaLoss campaign: a write
+// burst through replicated shard groups with one replica of every group
+// power-failed at the derived adversarial instant — right after a quorum
+// ack, mid cell-program, mid flush drain, mid erase. The probe records the
+// merged device schedule across every replica of every group; the replays
+// rotate the victim index across points, so over the campaign every replica
+// position gets cut at adversarial instants.
+//
+// On top of the schedule-derived points, one MidCatchup point replays the
+// recovery-under-failure arm: the victim is cut at the earliest ack
+// (maximal missed-write delta), and a second replica power-fails shortly
+// after the victim's catch-up transfer begins.
+//
+// The claim under test is the replication layer's contract: a write
+// acknowledged at quorum W over DuraSSD replicas survives the loss of any
+// single replica at any instant, stays readable from the survivors, and
+// converges everywhere after reboot plus delta catch-up. For the Volatile
+// control (R=1 over volatile-cache SSD-A) loss is the expected outcome and
+// is tallied in Result.VolatileLost/VolatileTorn, mirroring how the
+// MidBurst campaign accounts for its volatile shards.
+func exploreReplica(c Campaign) (*Result, error) {
+	sp := *c.Replica
+	sp.CutAfter = 0
+	sp.CutPeerDuringCatchup = false
+	replicas := sp.Replicas
+	if replicas <= 0 {
+		replicas = 3
+	}
+
+	// Probe: run the burst with no fault, recording the schedule.
+	var events []event
+	probe, err := serve.RunReplicaLoss(sp, serve.ReplicaOptions{
+		NoCut: true,
+		EventFn: func(member int, kind iotrace.EventKind, at time.Duration) {
+			events = append(events, event{member, kind, at})
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crashpoint: replica probe run: %w", err)
+	}
+	if probe.Err != nil {
+		return nil, fmt.Errorf("crashpoint: replica probe audit: %w", probe.Err)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("crashpoint: replica probe recorded no device events")
+	}
+
+	dev := faults.DuraSSD
+	if sp.Volatile {
+		dev = faults.SSDA
+	}
+	prof, err := faults.Profile(dev)
+	if err != nil {
+		return nil, err
+	}
+	points, _ := derivePoints(events, prof.NAND.ProgramLatency, prof.NAND.EraseLatency)
+	points = samplePoints(points, c.MaxPoints)
+
+	// The mid-catch-up arm needs a live donor, so it only exists for R > 1.
+	// Cutting at the earliest ack maximizes what the victim misses and
+	// therefore what the interrupted catch-up has to transfer.
+	if replicas > 1 {
+		var minAck time.Duration
+		for _, ev := range events {
+			if ev.kind != iotrace.EvWriteAck {
+				continue
+			}
+			if minAck == 0 || ev.at < minAck {
+				minAck = ev.at
+			}
+		}
+		if minAck > 0 {
+			points = append(points, Point{Kind: MidCatchup, At: minAck + time.Nanosecond})
+		}
+	}
+	sortPoints(points)
+	points = dedupePoints(points)
+
+	res := &Result{
+		Name:   c.Name(),
+		Points: points,
+		Digest: digestReplica(sp, len(events), points),
+	}
+	for i, pt := range points {
+		sp2 := sp
+		sp2.CutAfter = pt.At
+		sp2.CutReplica = i % replicas
+		sp2.CutPeerDuringCatchup = pt.Kind == MidCatchup
+		rv, err := serve.RunReplicaLoss(sp2, serve.ReplicaOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("crashpoint: replica %s at %v: %w", pt.Kind, pt.At, err)
+		}
+		// The faults.Verdict mirror carries the claim-under-test tallies so
+		// the shared reporting reads them uniformly; the full replica verdict
+		// rides along. Volatile-control losses are the expected outcome and
+		// go in the volatile tallies instead.
+		v := &faults.Verdict{AckedCommits: rv.AckedCommits, Err: rv.Err}
+		if sp.Volatile {
+			res.VolatileLost += rv.GroupLost + rv.Lost
+			res.VolatileTorn += rv.Torn
+			if rv.Err != nil {
+				res.Unsafe++
+			}
+		} else {
+			v.LostCommits = rv.GroupLost + rv.Lost
+			v.TornPages = rv.Torn
+			if !rv.Safe() {
+				res.Unsafe++
+			}
+			res.Lost += rv.GroupLost + rv.Lost
+			res.Torn += rv.Torn
+		}
+		res.Outcomes = append(res.Outcomes, Outcome{Point: pt, Verdict: v, Replica: rv})
+	}
+	return res, nil
+}
+
+// digestReplica serializes the replica-loss schedule canonically and hashes
+// it.
+func digestReplica(sp serve.ReplicaSpec, eventCount int, pts []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario=%s seed=%d events=%d\n", sp.Name(), sp.Seed, eventCount)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s@%d tear=%d\n", p.Kind, int64(p.At), p.DumpTear)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

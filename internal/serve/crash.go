@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -188,7 +189,7 @@ func RunBurst(sp BurstSpec, o BurstOptions) (*BurstVerdict, error) {
 				for i := 0; i < perClient; i++ {
 					key := tenantKey(tn, rng.Intn(sp.Keys))
 					ver, err := srv.Put(p, acct, key)
-					if err == ErrOverloaded {
+					if errors.Is(err, ErrOverloaded) {
 						v.Shed++
 						continue
 					}

@@ -1,0 +1,26 @@
+package serve
+
+import "errors"
+
+// The serving layer's typed error taxonomy. Every failure a caller can act
+// on is one of these sentinels, and every layer that adds context wraps
+// with %w, so errors.Is works end to end — from a replica RPC deep inside a
+// group, through the gateway, to a tenant client deciding whether to retry.
+//
+// The retry contract:
+//
+//   - ErrOverloaded: admission backpressure. Transient by design; retry
+//     after a backoff (the scenario clients do, with seeded jitter).
+//   - ErrDeadlineExceeded: a replica RPC blew its deadline. The group's own
+//     bounded retry/hedging machinery consumes this internally; when it
+//     escapes to a caller the whole operation timed out.
+//   - ErrShardUnavailable: the shard's replica group cannot currently reach
+//     its write quorum (or no replica can serve a read). Writes are shed;
+//     reads may fall back to the gateway cache, flagged as stale-risk.
+//   - ErrNotFound: a definitive negative answer, never worth a retry.
+var (
+	ErrOverloaded       = errors.New("serve: shard overloaded, request shed")
+	ErrNotFound         = errors.New("serve: key not found")
+	ErrDeadlineExceeded = errors.New("serve: replica call deadline exceeded")
+	ErrShardUnavailable = errors.New("serve: shard replica group below quorum")
+)

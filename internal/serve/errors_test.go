@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// The taxonomy contract: every layer wraps with %w, so errors.Is resolves
+// the sentinel through any depth of context — from a replica RPC, through
+// the group's quorum wrapper, to the gateway and the client.
+func TestErrorTaxonomyUnwraps(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		sentinel error
+	}{
+		{"bare overloaded", ErrOverloaded, ErrOverloaded},
+		{"bare not found", ErrNotFound, ErrNotFound},
+		{"bare deadline", ErrDeadlineExceeded, ErrDeadlineExceeded},
+		{"bare unavailable", ErrShardUnavailable, ErrShardUnavailable},
+		{
+			"wrapped deadline",
+			fmt.Errorf("serve: group 3 put key 9: %w", ErrDeadlineExceeded),
+			ErrDeadlineExceeded,
+		},
+		{
+			"quorum failure carrying its cause",
+			fmt.Errorf("serve: group 1 put key 4: %w",
+				fmt.Errorf("%w: 1/2 acks: %w", ErrShardUnavailable, ErrDeadlineExceeded)),
+			ErrShardUnavailable,
+		},
+		{
+			"cause visible through the quorum wrapper",
+			fmt.Errorf("serve: group 1 put key 4: %w",
+				fmt.Errorf("%w: 1/2 acks: %w", ErrShardUnavailable, ErrDeadlineExceeded)),
+			ErrDeadlineExceeded,
+		},
+		{
+			"tenant-level wrap of a shed",
+			fmt.Errorf("serve: tenant ycsb thread 2: %w", ErrOverloaded),
+			ErrOverloaded,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !errors.Is(tc.err, tc.sentinel) {
+				t.Errorf("errors.Is(%v, %v) = false, want true", tc.err, tc.sentinel)
+			}
+		})
+	}
+
+	// Sentinels must stay distinct: no Is relation between any pair.
+	sentinels := []error{ErrOverloaded, ErrNotFound, ErrDeadlineExceeded, ErrShardUnavailable}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinel %v unexpectedly matches %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"durassd/internal/sim"
+	"durassd/internal/ssd"
+	"durassd/internal/storage"
+)
+
+// groupHarness is a front domain plus one R-way replica group over
+// timing-mode DuraSSD stores, keys 0..63.
+type groupHarness struct {
+	cluster *sim.Cluster
+	front   *sim.Domain
+	g       *Group
+	stores  []*Store
+	devs    []storage.Device
+}
+
+func buildGroupHarness(t *testing.T, replicas int, cfg GroupConfig) *groupHarness {
+	t.Helper()
+	cluster := sim.NewCluster(1+replicas, 100*time.Microsecond, 1)
+	t.Cleanup(cluster.Close)
+	front := cluster.Domain(0)
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	h := &groupHarness{cluster: cluster, front: front}
+	for r := 0; r < replicas; r++ {
+		dom := cluster.Domain(1 + r)
+		dev, err := ssd.New(dom.Engine(), ssd.DuraSSD(16))
+		if err != nil {
+			t.Fatalf("ssd.New: %v", err)
+		}
+		st, err := OpenStore(dom, dev, keys, StoreConfig{})
+		if err != nil {
+			t.Fatalf("OpenStore: %v", err)
+		}
+		h.devs = append(h.devs, dev)
+		h.stores = append(h.stores, st)
+	}
+	g, err := NewGroup(0, front, h.stores, cfg)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	h.g = g
+	return h
+}
+
+// A quorum Put converges on every replica once the cluster drains, and a
+// subsequent Get observes it.
+func TestGroupQuorumPutConverges(t *testing.T) {
+	h := buildGroupHarness(t, 3, GroupConfig{Quorum: 2})
+	var (
+		ver    uint64
+		got    uint64
+		found  bool
+		putErr error
+		getErr error
+	)
+	h.front.Go("writer", func(p *sim.Proc) {
+		ver, putErr = h.g.Put(p, 7)
+		got, found, getErr = h.g.Get(p, 7)
+	})
+	h.cluster.Run()
+	if putErr != nil || getErr != nil {
+		t.Fatalf("put err %v, get err %v", putErr, getErr)
+	}
+	if ver != 1 || got != 1 || !found {
+		t.Fatalf("ver=%d got=%d found=%v, want 1/1/true", ver, got, found)
+	}
+	for r, st := range h.stores {
+		if v := st.Version(7); v != 1 {
+			t.Errorf("replica %d version = %d, want 1 (all replicas converge after drain)", r, v)
+		}
+	}
+}
+
+// With one replica of three power-failed, writes still ack at W=2; with two
+// down, the group sheds writes with ErrShardUnavailable, and the dead
+// replicas accumulate behind-markers for the writes they missed.
+func TestGroupMinorityLossAndQuorumLoss(t *testing.T) {
+	h := buildGroupHarness(t, 3, GroupConfig{Quorum: 2, Retries: 1, RetryBase: 50 * time.Microsecond})
+	h.devs[2].(storage.PowerCycler).PowerFail()
+	var (
+		ver1, ver2 uint64
+		err1, err2 error
+	)
+	h.front.Go("writer", func(p *sim.Proc) {
+		ver1, err1 = h.g.Put(p, 3)
+		h.devs[1].(storage.PowerCycler).PowerFail()
+		_, err2 = h.g.Put(p, 3)
+		ver2 = h.g.vers[3]
+	})
+	h.cluster.Run()
+	if err1 != nil || ver1 != 1 {
+		t.Fatalf("minority loss: Put = (%d, %v), want (1, nil)", ver1, err1)
+	}
+	if !errors.Is(err2, ErrShardUnavailable) {
+		t.Fatalf("quorum loss: Put err = %v, want ErrShardUnavailable", err2)
+	}
+	if ver2 != 2 {
+		t.Errorf("version authority advanced to %d, want 2 (failed attempts burn a version)", ver2)
+	}
+	if h.g.Behind(2) == 0 {
+		t.Errorf("dead replica 2 has no behind-markers; the write it missed must be tracked")
+	}
+	if _, _, _, unavail, _ := h.g.Counters(); unavail == 0 {
+		t.Errorf("unavailable counter = 0, want > 0")
+	}
+}
+
+// A rebooted replica catches up exactly the writes it missed from a live
+// peer — a delta transfer — and then holds the latest version.
+func TestGroupCatchUpAfterReboot(t *testing.T) {
+	h := buildGroupHarness(t, 3, GroupConfig{Quorum: 2})
+	var putErr error
+	h.front.Go("writer", func(p *sim.Proc) {
+		for k := uint64(0); k < 8; k++ { // baseline: all replicas have v1
+			if _, err := h.g.Put(p, k); err != nil && putErr == nil {
+				putErr = err
+			}
+		}
+	})
+	h.cluster.Run()
+	if putErr != nil {
+		t.Fatalf("baseline puts: %v", putErr)
+	}
+
+	h.devs[2].(storage.PowerCycler).PowerFail()
+	h.front.Go("writer2", func(p *sim.Proc) {
+		for k := uint64(0); k < 4; k++ { // missed by replica 2
+			if _, err := h.g.Put(p, k); err != nil && putErr == nil {
+				putErr = err
+			}
+		}
+	})
+	h.cluster.Run()
+	if putErr != nil {
+		t.Fatalf("degraded puts: %v", putErr)
+	}
+	missed := h.g.Behind(2)
+	if missed != 4 {
+		t.Fatalf("replica 2 behind on %d keys, want 4", missed)
+	}
+
+	var rebootErr error
+	h.stores[2].Domain().Go("reboot", func(p *sim.Proc) {
+		rebootErr = h.devs[2].(storage.PowerCycler).Reboot(p)
+	})
+	h.cluster.Run()
+	if rebootErr != nil {
+		t.Fatalf("reboot: %v", rebootErr)
+	}
+	var transferred int
+	h.front.Go("catchup", func(p *sim.Proc) {
+		transferred = h.g.CatchUp(p, 2)
+	})
+	h.cluster.Run()
+	if transferred != missed {
+		t.Errorf("catch-up transferred %d keys, want %d (the delta, not the %d-key space)",
+			transferred, missed, h.stores[2].Keys())
+	}
+	if h.g.Behind(2) != 0 {
+		t.Errorf("replica 2 still behind on %d keys after catch-up", h.g.Behind(2))
+	}
+	for k := uint64(0); k < 4; k++ {
+		if v := h.stores[2].Version(k); v != 2 {
+			t.Errorf("replica 2 key %d version = %d, want 2 after catch-up", k, v)
+		}
+	}
+	if h.g.Breaker(2).Open() {
+		t.Errorf("breaker still open after successful catch-up")
+	}
+}
+
+// A browned-out preferred replica triggers the hedged second read, and the
+// hedge answers; a replica slower than the deadline trips the deadline
+// counter and the read fails over.
+func TestGroupHedgedReadAndDeadline(t *testing.T) {
+	const key = 11
+	h := buildGroupHarness(t, 3, GroupConfig{
+		Quorum:      2,
+		HedgeAfter:  500 * time.Microsecond,
+		CallTimeout: 4 * time.Millisecond,
+	})
+	preferred := RendezvousOrder(key, 3, nil)[0]
+	var (
+		got   uint64
+		found bool
+		err   error
+	)
+	h.front.Go("driver", func(p *sim.Proc) {
+		if _, perr := h.g.Put(p, key); perr != nil {
+			err = perr
+			return
+		}
+		h.stores[preferred].SetSlowdown(2 * time.Millisecond) // > HedgeAfter, < deadline
+		got, found, err = h.g.Get(p, key)
+	})
+	h.cluster.Run()
+	if err != nil || !found || got != 1 {
+		t.Fatalf("hedged read = (%d, %v, %v), want (1, true, nil)", got, found, err)
+	}
+	hedges, _, _, _, _ := h.g.Counters()
+	if hedges == 0 {
+		t.Errorf("hedges = 0, want > 0 (preferred replica slower than HedgeAfter)")
+	}
+
+	// Now slower than the deadline on every replica the read tries first:
+	// the deadline fires and the read still answers via failover/retry.
+	h.front.Go("driver2", func(p *sim.Proc) {
+		h.stores[preferred].SetSlowdown(20 * time.Millisecond) // > deadline
+		got, found, err = h.g.Get(p, key)
+	})
+	h.cluster.Run()
+	if err != nil || !found || got != 1 {
+		t.Fatalf("deadline read = (%d, %v, %v), want (1, true, nil)", got, found, err)
+	}
+	_, deadlines, _, _, _ := h.g.Counters()
+	if deadlines == 0 {
+		t.Errorf("deadlines = 0, want > 0 (replica slower than CallTimeout)")
+	}
+}
+
+// The breaker state machine: opens on the configured consecutive-failure
+// threshold, refuses while cooling down, half-opens exactly one probe, and
+// closes on probe success / re-opens on probe failure.
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(3, 10*time.Millisecond)
+	now := time.Duration(0)
+	for i := 0; i < 2; i++ {
+		b.Failure(now)
+		if b.Open() {
+			t.Fatalf("open after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Success() // resets the consecutive count
+	for i := 0; i < 3; i++ {
+		b.Failure(now)
+	}
+	if !b.Open() || b.Opens() != 1 {
+		t.Fatalf("want open with 1 transition, got open=%v opens=%d", b.Open(), b.Opens())
+	}
+	if b.Allow(now + 5*time.Millisecond) {
+		t.Fatalf("allowed during cooldown")
+	}
+	probeAt := now + 11*time.Millisecond
+	if !b.Allow(probeAt) {
+		t.Fatalf("half-open probe refused after cooldown")
+	}
+	if b.Allow(probeAt) {
+		t.Fatalf("second concurrent probe allowed; half-open admits exactly one")
+	}
+	b.Failure(probeAt + time.Millisecond) // probe failed: cooldown restarts
+	if b.Allow(probeAt + 2*time.Millisecond) {
+		t.Fatalf("allowed right after failed probe")
+	}
+	if !b.Allow(probeAt + 13*time.Millisecond) {
+		t.Fatalf("probe refused after restarted cooldown")
+	}
+	b.Success()
+	if b.Open() {
+		t.Fatalf("still open after successful probe")
+	}
+	if !b.Allow(probeAt + 14*time.Millisecond) {
+		t.Fatalf("closed breaker refused traffic")
+	}
+}
+
+// Rendezvous minimal movement: excluding one replica changes the preferred
+// replica only for keys that preferred the excluded one — every other key
+// keeps its assignment, so a replica death never reshuffles healthy routes.
+func TestRendezvousMinimalMovement(t *testing.T) {
+	const n, dead = 5, 2
+	moved, kept := 0, 0
+	for key := uint64(0); key < 2000; key++ {
+		full := RendezvousOrder(key, n, nil)
+		pruned := RendezvousOrder(key, n, func(ri int) bool { return ri != dead })
+		if len(full) != n || len(pruned) != n-1 {
+			t.Fatalf("key %d: lengths %d/%d, want %d/%d", key, len(full), len(pruned), n, n-1)
+		}
+		if full[0] == dead {
+			moved++
+			// The new preference must be the old runner-up.
+			if pruned[0] != full[1] {
+				t.Fatalf("key %d: after losing its preferred replica, top = %d, want old runner-up %d",
+					key, pruned[0], full[1])
+			}
+			continue
+		}
+		kept++
+		if pruned[0] != full[0] {
+			t.Fatalf("key %d: preferred replica moved %d -> %d though replica %d was not its choice",
+				key, full[0], pruned[0], dead)
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+	// Roughly 1/n of the keys should have preferred the dead replica.
+	if moved < 200 || moved > 700 {
+		t.Errorf("moved=%d of 2000, want roughly 1/%d", moved, n)
+	}
+}

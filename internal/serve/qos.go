@@ -74,6 +74,10 @@ type TenantAccount struct {
 	ThrottleT time.Duration
 	CacheHits int64 // reads answered from the gateway cache
 	BloomSkip int64 // reads answered "absent" by the negative-lookup filter
+
+	Retried     int64 // client-side retries after ErrOverloaded (backoff slept)
+	StaleReads  int64 // cache hits served while the owning group was below quorum
+	Unavailable int64 // operations refused with ErrShardUnavailable
 }
 
 // NewTenantAccount creates the ledger for one tenant with the given rate

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// The replication claim as a property: a write acked at quorum W=2 over R=3
+// DuraSSD replicas survives a crash of any W-1=1 replicas at any cut
+// instant — readable from the survivors before the victim returns, and
+// converged on every replica after reboot plus delta catch-up.
+func TestReplicaLossQuorumAckedSurvivesAnyVictim(t *testing.T) {
+	cuts := []time.Duration{
+		1 * time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+	}
+	for victim := 0; victim < 3; victim++ {
+		for _, cut := range cuts {
+			v, err := RunReplicaLoss(ReplicaSpec{
+				Groups: 2, Replicas: 3, Quorum: 2,
+				Updates: 120, Keys: 64, Seed: 7,
+				CutAfter: cut, CutReplica: victim,
+			}, ReplicaOptions{})
+			if err != nil {
+				t.Fatalf("victim %d cut %v: %v", victim, cut, err)
+			}
+			if v.AckedCommits == 0 {
+				t.Fatalf("victim %d cut %v: no acked commits, nothing audited", victim, cut)
+			}
+			if !v.Safe() {
+				t.Errorf("victim %d cut %v: groupLost=%d lost=%d torn=%d err=%v — quorum-acked writes must survive any single replica loss",
+					victim, cut, v.GroupLost, v.Lost, v.Torn, v.Err)
+			}
+			if v.BehindAfter != 0 {
+				t.Errorf("victim %d cut %v: %d keys still behind after catch-up", victim, cut, v.BehindAfter)
+			}
+		}
+	}
+}
+
+// The rebooted replica's rejoin is a delta transfer, not a full rebuild:
+// strictly fewer keys move than the replica's resident key count, and the
+// group serves throughout.
+func TestReplicaLossCatchupIsDelta(t *testing.T) {
+	v, err := RunReplicaLoss(ReplicaSpec{
+		Groups: 2, Replicas: 3, Quorum: 2,
+		Updates: 160, Keys: 96, Seed: 11,
+		CutAfter: 2 * time.Millisecond, CutReplica: 1,
+	}, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Safe() {
+		t.Fatalf("unsafe: %+v", v)
+	}
+	if v.CatchupKeys == 0 {
+		t.Fatalf("catch-up transferred nothing; the victim missed writes during its outage")
+	}
+	if v.CatchupKeys >= v.TotalKeys {
+		t.Errorf("catch-up moved %d keys of a %d-key space — that is a rebuild, not a delta",
+			v.CatchupKeys, v.TotalKeys)
+	}
+}
+
+// Losing a second replica mid-catch-up still loses nothing: acked writes
+// live on at least W=2 durable replicas, so even with the rejoining victim
+// and one donor down, the data survives and converges once both return.
+func TestReplicaLossSecondCutDuringCatchup(t *testing.T) {
+	v, err := RunReplicaLoss(ReplicaSpec{
+		Groups: 2, Replicas: 3, Quorum: 2,
+		Updates: 160, Keys: 96, Seed: 13,
+		CutAfter: 2 * time.Millisecond, CutReplica: 0,
+		CutPeerDuringCatchup: true, PeerCut: 1,
+	}, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AckedCommits == 0 {
+		t.Fatal("no acked commits")
+	}
+	if !v.Safe() {
+		t.Errorf("unsafe under double fault: groupLost=%d lost=%d torn=%d err=%v",
+			v.GroupLost, v.Lost, v.Torn, v.Err)
+	}
+	if v.BehindAfter != 0 {
+		t.Errorf("%d keys still behind after both replicas recovered", v.BehindAfter)
+	}
+}
+
+// The control: R=1 over a volatile-cache SSD-A. No quorum to hide behind,
+// no durable cache — acked writes that had not drained are gone after the
+// crash, which is exactly the contrast the replication layer (and the
+// paper's durable cache) exists to close.
+func TestReplicaLossVolatileControlLosesAckedWrites(t *testing.T) {
+	v, err := RunReplicaLoss(ReplicaSpec{
+		Groups: 2, Replicas: 1, Quorum: 1, Volatile: true,
+		Updates: 160, Keys: 96, Seed: 7,
+		CutAfter: 2 * time.Millisecond,
+	}, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AckedCommits == 0 {
+		t.Fatal("no acked commits before the cut")
+	}
+	if v.Lost == 0 {
+		t.Errorf("volatile R=1 control lost nothing (%d acked keys) — the control must demonstrate loss",
+			v.AckedKeys)
+	}
+}
+
+// The probe configuration (no fault at all) is trivially safe — the rig
+// itself must not manufacture loss.
+func TestReplicaLossProbeIsClean(t *testing.T) {
+	v, err := RunReplicaLoss(ReplicaSpec{
+		Groups: 2, Replicas: 3, Quorum: 2, Updates: 120, Keys: 64, Seed: 3,
+	}, ReplicaOptions{NoCut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Safe() || v.GroupLost != 0 || v.Lost != 0 {
+		t.Fatalf("probe run unsafe: %+v", v)
+	}
+	if v.Unavailable != 0 {
+		t.Errorf("probe run shed %d writes as unavailable with all replicas healthy", v.Unavailable)
+	}
+}

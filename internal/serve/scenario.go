@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -19,6 +20,14 @@ import (
 // analogue of the paper's Tables 4/5: concurrent clients, one storage
 // stack, throughput and tail latency per tenant.
 
+// Client-side overload retry policy: a shed request is retried up to
+// clientRetries times, sleeping clientRetryBase<<attempt plus uniform
+// seeded jitter in [0, base<<attempt) between attempts.
+const (
+	clientRetries   = 3
+	clientRetryBase = 100 * time.Microsecond
+)
+
 // TenantSpec shapes one tenant's traffic.
 type TenantSpec struct {
 	Name     string
@@ -35,17 +44,22 @@ type TenantSpec struct {
 
 // ScenarioConfig configures one mixed-tenant run.
 type ScenarioConfig struct {
-	Shards  int           // engine shards (default 4)
-	Workers int           // cluster worker threads (default 1)
-	Latency time.Duration // gateway<->shard link latency (default 100µs)
-	Seed    int64
-	Serve   Config       // gateway tuning
-	Tenants []TenantSpec // default: DefaultTenants()
+	Shards   int           // engine shard groups (default 4)
+	Replicas int           // replicas per shard group (default 1; quorum via Serve.Group)
+	Workers  int           // cluster worker threads (default 1)
+	Latency  time.Duration // gateway<->shard link latency (default 100µs)
+	Seed     int64
+	Serve    Config       // gateway tuning
+	Tenants  []TenantSpec // default: DefaultTenants()
+	Chaos    *ChaosSpec   // optional deterministic fault injection
 }
 
 func (c *ScenarioConfig) defaults() {
 	if c.Shards <= 0 {
 		c.Shards = 4
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
 	}
 	if c.Workers <= 0 {
 		c.Workers = 1
@@ -84,17 +98,20 @@ func DefaultTenants() []TenantSpec {
 
 // TenantResult is one tenant's slice of the report.
 type TenantResult struct {
-	Name       string
-	Ops        int64 // operations answered (including definitive not-founds)
-	Shed       int64 // rejected with ErrOverloaded
-	Throttled  int64 // operations delayed by the token bucket
-	ThrottleT  time.Duration
-	CacheHits  int64
-	BloomSkips int64
-	ReadP50    time.Duration
-	ReadP99    time.Duration
-	WriteP50   time.Duration
-	WriteP99   time.Duration
+	Name        string
+	Ops         int64 // operations answered (including definitive not-founds)
+	Shed        int64 // rejected with ErrOverloaded
+	Retried     int64 // client retries after ErrOverloaded (backoff slept)
+	Throttled   int64 // operations delayed by the token bucket
+	ThrottleT   time.Duration
+	CacheHits   int64
+	BloomSkips  int64
+	StaleReads  int64 // cache hits served while the owning group was degraded
+	Unavailable int64 // operations refused with ErrShardUnavailable
+	ReadP50     time.Duration
+	ReadP99     time.Duration
+	WriteP50    time.Duration
+	WriteP99    time.Duration
 }
 
 // ScenarioResult is the deterministic outcome of one run: everything in it
@@ -102,12 +119,13 @@ type TenantResult struct {
 // render byte-identical reports at any worker count.
 type ScenarioResult struct {
 	Config      ScenarioConfig
-	Tenants     []TenantResult // in spec order
+	Tenants     []TenantResult // in spec order, then any chaos noise accounts
 	ShedByShard []int64
 	CacheHits   int64
 	CacheRatio  float64
-	Digest      string // merged iotrace event digest across all shards
-	Events      uint64 // engine events processed across the cluster
+	Robust      RobustnessCounters // replication/failure-handling tallies
+	Digest      string             // merged iotrace event digest across all shards
+	Events      uint64             // engine events processed across the cluster
 	Elapsed     time.Duration
 }
 
@@ -115,7 +133,8 @@ type ScenarioResult struct {
 // tenant mix to completion.
 func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	cfg.defaults()
-	cluster := sim.NewCluster(cfg.Shards+1, cfg.Latency, cfg.Workers)
+	domains := 1 + cfg.Shards*cfg.Replicas
+	cluster := sim.NewCluster(domains, cfg.Latency, cfg.Workers)
 	defer cluster.Close()
 	front := cluster.Domain(0)
 
@@ -129,29 +148,39 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	parts := PartitionKeys(ring, keys)
 
-	rec := iotrace.NewShardRecorder(cfg.Shards + 1)
-	stores := make([]*Store, cfg.Shards)
+	// Shard group i's replica r lives in domain 1 + i*Replicas + r, each on
+	// its own DuraSSD. Every replica of a group holds the group's full key
+	// space.
+	rec := iotrace.NewShardRecorder(domains)
+	storesByShard := make([][]*Store, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		dom := cluster.Domain(i + 1)
-		dev, err := ssd.New(dom.Engine(), ssd.DuraSSD(16))
-		if err != nil {
-			return nil, err
+		for r := 0; r < cfg.Replicas; r++ {
+			dom := cluster.Domain(1 + i*cfg.Replicas + r)
+			dev, err := ssd.New(dom.Engine(), ssd.DuraSSD(16))
+			if err != nil {
+				return nil, err
+			}
+			// The paper's fast configuration: no barriers, the durable device
+			// cache carries the ack. Timing mode — the crash campaigns cover
+			// the real-bytes audit.
+			st, err := OpenStore(dom, dev, parts[i], StoreConfig{Barrier: false})
+			if err != nil {
+				return nil, err
+			}
+			storesByShard[i] = append(storesByShard[i], st)
+			rec.Attach(1+i*cfg.Replicas+r, dev.Registry())
 		}
-		// The paper's fast configuration: no barriers, the durable device
-		// cache carries the ack. Timing mode — the crash campaigns cover
-		// the real-bytes audit.
-		st, err := OpenStore(dom, dev, parts[i], StoreConfig{Barrier: false})
-		if err != nil {
-			return nil, err
-		}
-		stores[i] = st
-		rec.Attach(i+1, dev.Registry())
 	}
-	srv, err := New(front, stores, cfg.Serve)
+	srv, err := NewReplicated(front, storesByShard, cfg.Serve)
 	if err != nil {
 		return nil, err
 	}
 	srv.BuildFilters(parts)
+
+	// Fault injection: every schedule entry lands on a specific domain's
+	// engine at a fixed virtual instant, so chaos is as deterministic as the
+	// traffic it disrupts.
+	noise := installChaos(cfg.Chaos, &cfg, front, srv, storesByShard)
 
 	// Tenant clients. Each thread owns a seeded generator, so the issued
 	// op stream is a pure function of (scenario seed, tenant, thread).
@@ -177,20 +206,35 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 						idx = rng.Intn(spec.Keys)
 					}
 					write := rng.Intn(100) < spec.WritePct
-					var err error
-					if write {
-						_, err = srv.Put(p, acct, tenantKey(tn, idx))
-					} else {
-						key := tenantKey(tn, idx)
-						if spec.MissPct > 0 && rng.Intn(100) < spec.MissPct {
-							key = tenantKey(tn, spec.Keys+idx) // absent key
-						}
-						_, err = srv.Get(p, acct, key)
+					key := tenantKey(tn, idx)
+					if !write && spec.MissPct > 0 && rng.Intn(100) < spec.MissPct {
+						key = tenantKey(tn, spec.Keys+idx) // absent key
 					}
-					switch err {
-					case nil, ErrNotFound, ErrOverloaded:
-						// Answered, definitively absent, or shed: all are
-						// legitimate serving outcomes, already accounted.
+					// Overload is transient by contract (ErrOverloaded means
+					// "the queue was full at that instant"), so a shed request
+					// is retried a bounded number of times with seeded-jitter
+					// exponential backoff before the client gives up on it.
+					var err error
+					for a := 0; ; a++ {
+						if write {
+							_, err = srv.Put(p, acct, key)
+						} else {
+							_, err = srv.Get(p, acct, key)
+						}
+						if a >= clientRetries || !errors.Is(err, ErrOverloaded) {
+							break
+						}
+						acct.Retried++
+						back := clientRetryBase << uint(a)
+						back += time.Duration(rng.Int63n(int64(back)))
+						p.Sleep(back)
+					}
+					switch {
+					case err == nil, errors.Is(err, ErrNotFound),
+						errors.Is(err, ErrOverloaded), errors.Is(err, ErrShardUnavailable):
+						// Answered, definitively absent, shed after retries, or
+						// refused by a degraded group: all are legitimate
+						// serving outcomes, already accounted.
 					default:
 						if tenantErr[tn] == nil {
 							tenantErr[tn] = fmt.Errorf("serve: tenant %s thread %d: %w", spec.Name, thn, err)
@@ -202,8 +246,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		}
 	}
 	cluster.Run()
-	for _, st := range stores {
-		st.Device().Registry().SetEventFn(nil)
+	for _, reps := range storesByShard {
+		for _, st := range reps {
+			st.Device().Registry().SetEventFn(nil)
+		}
 	}
 	for _, err := range tenantErr {
 		if err != nil {
@@ -220,26 +266,30 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if hits+misses > 0 {
 		res.CacheRatio = float64(hits) / float64(hits+misses)
 	}
+	res.Robust = srv.Robustness()
 	var last time.Duration
-	for i := 0; i <= cfg.Shards; i++ {
+	for i := 0; i < domains; i++ {
 		if now := cluster.Domain(i).Now(); now > last {
 			last = now
 		}
 	}
 	res.Elapsed = last
-	for _, acct := range accounts {
+	for _, acct := range append(accounts, noise...) {
 		res.Tenants = append(res.Tenants, TenantResult{
-			Name:       acct.Name,
-			Ops:        acct.Ops,
-			Shed:       acct.Shed,
-			Throttled:  acct.Throttled,
-			ThrottleT:  acct.ThrottleT,
-			CacheHits:  acct.CacheHits,
-			BloomSkips: acct.BloomSkip,
-			ReadP50:    acct.Reads.Percentile(50),
-			ReadP99:    acct.Reads.Percentile(99),
-			WriteP50:   acct.Writes.Percentile(50),
-			WriteP99:   acct.Writes.Percentile(99),
+			Name:        acct.Name,
+			Ops:         acct.Ops,
+			Shed:        acct.Shed,
+			Retried:     acct.Retried,
+			Throttled:   acct.Throttled,
+			ThrottleT:   acct.ThrottleT,
+			CacheHits:   acct.CacheHits,
+			BloomSkips:  acct.BloomSkip,
+			StaleReads:  acct.StaleReads,
+			Unavailable: acct.Unavailable,
+			ReadP50:     acct.Reads.Percentile(50),
+			ReadP99:     acct.Reads.Percentile(99),
+			WriteP50:    acct.Writes.Percentile(50),
+			WriteP99:    acct.Writes.Percentile(99),
 		})
 	}
 	return res, nil
@@ -252,14 +302,20 @@ func (r *ScenarioResult) Table() *stats.Table {
 	tbl := stats.NewTable(
 		fmt.Sprintf("Mixed-tenant serving: %d shards, seed %d",
 			r.Config.Shards, r.Config.Seed),
-		"Tenant", "Ops", "Shed", "Throttled", "CacheHit", "BloomSkip",
+		"Tenant", "Ops", "Shed", "Retried", "Throttled", "CacheHit", "BloomSkip",
 		"ReadP50", "ReadP99", "WriteP50", "WriteP99")
 	for _, t := range r.Tenants {
-		tbl.AddRow(t.Name, t.Ops, t.Shed, t.Throttled, t.CacheHits, t.BloomSkips,
+		tbl.AddRow(t.Name, t.Ops, t.Shed, t.Retried, t.Throttled, t.CacheHits, t.BloomSkips,
 			t.ReadP50, t.ReadP99, t.WriteP50, t.WriteP99)
 	}
 	tbl.AddComment("shed by shard: %v; cache hit ratio %.3f; virtual elapsed %v",
 		r.ShedByShard, r.CacheRatio, r.Elapsed)
+	if r.Config.Replicas > 1 || r.Config.Chaos != nil {
+		rb := r.Robust
+		tbl.AddComment("replication R=%d: hedges %d, deadlines %d, retries %d, breaker opens %d, unavailable %d, catchup keys %d, stale reads %d",
+			r.Config.Replicas, rb.Hedges, rb.Deadlines, rb.Retries, rb.BreakerOpens,
+			rb.Unavailable, rb.CatchupKeys, rb.StaleReads)
+	}
 	tbl.AddComment("iotrace digest %s (identical at any worker count for this seed)", r.Digest[:16])
 	return tbl
 }

@@ -1,13 +1,16 @@
 // Package serve is the sharded multi-tenant serving layer above the
 // simulated storage stack: the front end ROADMAP item 1 asks for. One
 // gateway domain routes tenant requests over a consistent-hash ring to N
-// engine shards, each a durable document store on its own device in its
-// own sim.Domain. The gateway adds the three things a real serving box
+// shard replica groups — each group R durable document stores on their own
+// devices in their own sim.Domains, written at quorum W and read with
+// hedging (see Group). The gateway adds the things a real serving box
 // adds — admission control (bounded queues, typed shedding), a host-side
-// read cache (TinyLFU admission, negative-lookup bloom filters), and
-// per-tenant QoS (token buckets, tail-latency accounting) — while the
-// whole tower stays deterministic: identical seeds produce byte-identical
-// per-tenant reports and iotrace digests at any cluster worker count.
+// read cache (TinyLFU admission, negative-lookup bloom filters),
+// per-tenant QoS (token buckets, tail-latency accounting), and a failure-
+// handling plane (deadlines, bounded retries, circuit breakers, graceful
+// degradation below quorum) — while the whole tower stays deterministic:
+// identical seeds produce byte-identical per-tenant reports and iotrace
+// digests at any cluster worker count, including under fault injection.
 //
 // Crash semantics survive the layer. An acknowledged Put means the shard's
 // group-commit fdatasync completed; whether that ack survives a power cut
@@ -26,14 +29,6 @@ import (
 	"durassd/internal/sim"
 )
 
-// Typed serving errors. Callers branch on these: ErrOverloaded is the
-// backpressure signal (retry later, or count as shed), ErrNotFound is a
-// definitive negative answer.
-var (
-	ErrOverloaded = errors.New("serve: shard overloaded, request shed")
-	ErrNotFound   = errors.New("serve: key not found")
-)
-
 // Config tunes the gateway.
 type Config struct {
 	// Concurrency is the per-shard in-flight operation limit (the size of
@@ -45,6 +40,9 @@ type Config struct {
 	QueueDepth int
 	// CacheSize is the gateway read cache capacity in entries. Default 1024.
 	CacheSize int
+	// Group tunes the replication layer (quorum, deadlines, hedging,
+	// breakers); the zero value picks the documented defaults.
+	Group GroupConfig
 }
 
 func (c *Config) defaults() {
@@ -75,7 +73,7 @@ const (
 type Server struct {
 	front  *sim.Domain
 	ring   *Ring
-	shards []*Store
+	groups []*Group
 	neg    []*Bloom        // per-shard negative-lookup filter
 	admit  []*sim.Resource // per-shard dispatch windows (front domain)
 	cache  *Cache
@@ -87,33 +85,49 @@ type Server struct {
 	throttles   *int64
 	cacheHits   *int64
 	bloomSkips  *int64
+	staleReads  *int64
+	unavailable *int64
 }
 
-// New builds a gateway in domain front over the given shard stores. Shard
-// i of the ring is stores[i]; the caller built each store in its own
-// domain. The per-shard bloom filters are built here, over each shard's
-// full key space — the only property the read path relies on is that a
-// present key is never reported absent.
+// New builds a gateway in domain front over the given shard stores, each an
+// unreplicated (R=1) group — the original single-copy layout. Shard i of
+// the ring is stores[i]; the caller built each store in its own domain. The
+// per-shard bloom filters are built here, over each shard's full key space
+// — the only property the read path relies on is that a present key is
+// never reported absent.
 func New(front *sim.Domain, stores []*Store, cfg Config) (*Server, error) {
-	if len(stores) == 0 {
+	groups := make([][]*Store, len(stores))
+	for i, st := range stores {
+		groups[i] = []*Store{st}
+	}
+	return NewReplicated(front, groups, cfg)
+}
+
+// NewReplicated builds a gateway whose shard i is a replica group over
+// storesByShard[i] (every group the same size R; cfg.Group.Quorum is W).
+// Replica 0 of each group holds the shard's key space; its peers must be
+// built over the identical keys.
+func NewReplicated(front *sim.Domain, storesByShard [][]*Store, cfg Config) (*Server, error) {
+	if len(storesByShard) == 0 {
 		return nil, errors.New("serve: need at least one shard store")
 	}
 	cfg.defaults()
 	s := &Server{
-		front:  front,
-		ring:   NewRing(len(stores)),
-		shards: stores,
-		neg:    make([]*Bloom, len(stores)),
-		admit:  make([]*sim.Resource, len(stores)),
-		cache:  NewCache(cfg.CacheSize),
-		cfg:    cfg,
-		reg:    iotrace.NewRegistry(),
+		front: front,
+		ring:  NewRing(len(storesByShard)),
+		neg:   make([]*Bloom, len(storesByShard)),
+		admit: make([]*sim.Resource, len(storesByShard)),
+		cache: NewCache(cfg.CacheSize),
+		cfg:   cfg,
+		reg:   iotrace.NewRegistry(),
 	}
-	s.shedByShard = make([]*int64, len(stores))
-	for i, st := range stores {
-		if st.Domain().Cluster() != front.Cluster() {
-			return nil, fmt.Errorf("serve: shard %d lives in a different cluster", i)
+	s.shedByShard = make([]*int64, len(storesByShard))
+	for i, reps := range storesByShard {
+		g, err := NewGroup(i, front, reps, cfg.Group)
+		if err != nil {
+			return nil, err
 		}
+		s.groups = append(s.groups, g)
 		s.admit[i] = sim.NewResource(front.Engine(), cfg.Concurrency)
 		s.shedByShard[i] = s.reg.RegisterCounter(fmt.Sprintf("serve_shed_shard%d", i))
 	}
@@ -121,6 +135,8 @@ func New(front *sim.Domain, stores []*Store, cfg Config) (*Server, error) {
 	s.throttles = s.reg.RegisterCounter("serve_throttled")
 	s.cacheHits = s.reg.RegisterCounter("serve_cache_hits")
 	s.bloomSkips = s.reg.RegisterCounter("serve_bloom_skips")
+	s.staleReads = s.reg.RegisterCounter("serve_stale_reads")
+	s.unavailable = s.reg.RegisterCounter("serve_unavailable")
 	return s, nil
 }
 
@@ -162,10 +178,41 @@ func (s *Server) Cache() *Cache { return s.cache }
 func (s *Server) Registry() *iotrace.Registry { return s.reg }
 
 // Shards returns the shard count.
-func (s *Server) Shards() int { return len(s.shards) }
+func (s *Server) Shards() int { return len(s.groups) }
 
-// Shard returns shard i's store.
-func (s *Server) Shard(i int) *Store { return s.shards[i] }
+// Shard returns shard i's primary store (replica 0 of its group).
+func (s *Server) Shard(i int) *Store { return s.groups[i].Replica(0) }
+
+// Group returns shard i's replica group.
+func (s *Server) Group(i int) *Group { return s.groups[i] }
+
+// RobustnessCounters aggregates the replication layer's tallies across all
+// shard groups — the failure-handling story in numbers.
+type RobustnessCounters struct {
+	Hedges       int64 // hedged second reads launched
+	Deadlines    int64 // replica RPCs that blew their deadline
+	Retries      int64 // group-level retried attempts (with backoff)
+	BreakerOpens int64 // closed->open breaker transitions
+	Unavailable  int64 // operations shed below quorum / with no readable replica
+	CatchupKeys  int64 // keys delta-transferred to rejoining replicas
+	StaleReads   int64 // cache hits served while the owning group was degraded
+}
+
+// Robustness sums the replication-layer counters over the server's groups.
+func (s *Server) Robustness() RobustnessCounters {
+	var rc RobustnessCounters
+	for _, g := range s.groups {
+		h, d, r, u, c := g.Counters()
+		rc.Hedges += h
+		rc.Deadlines += d
+		rc.Retries += r
+		rc.Unavailable += u
+		rc.CatchupKeys += c
+		rc.BreakerOpens += g.BreakerOpens()
+	}
+	rc.StaleReads = *s.staleReads
+	return rc
+}
 
 // ShardFor returns the shard index owning key.
 func (s *Server) ShardFor(key uint64) int { return s.ring.Lookup(key) }
@@ -207,15 +254,24 @@ func (s *Server) admitShard(p *sim.Proc, sh int, t *TenantAccount) bool {
 func (s *Server) Get(p *sim.Proc, t *TenantAccount, key uint64) (uint64, error) {
 	start := p.Now()
 	s.throttle(p, t)
+	sh := s.ring.Lookup(key)
+	g := s.groups[sh]
 	if v, ok := s.cache.Get(key); ok {
 		p.Sleep(cacheHitCPU)
 		t.CacheHits++
 		*s.cacheHits++
+		if g.BelowQuorum() {
+			// Degraded-mode fallback: the cache may be the only copy we can
+			// still answer from, but with the group below quorum a fresher
+			// version could exist that we cannot see. Serve it — availability
+			// over consistency for reads — and flag it in the accounting.
+			t.StaleReads++
+			*s.staleReads++
+		}
 		t.Ops++
 		t.Reads.Record(p.Now() - start)
 		return v, nil
 	}
-	sh := s.ring.Lookup(key)
 	if !s.neg[sh].Contains(key) {
 		p.Sleep(cacheHitCPU)
 		t.BloomSkip++
@@ -228,17 +284,13 @@ func (s *Server) Get(p *sim.Proc, t *TenantAccount, key uint64) (uint64, error) 
 		return 0, ErrOverloaded
 	}
 	p.Sleep(dispatchCPU)
-	st := s.shards[sh]
-	var (
-		v     uint64
-		found bool
-		err   error
-	)
-	s.front.Call(p, st.Domain(), "serve/get", func(q *sim.Proc) {
-		v, found, err = st.Get(q, key)
-	})
+	v, found, err := g.Get(p, key)
 	s.admit[sh].Release(1)
 	if err != nil {
+		if errors.Is(err, ErrShardUnavailable) {
+			t.Unavailable++
+			*s.unavailable++
+		}
 		return 0, err
 	}
 	if !found {
@@ -264,16 +316,13 @@ func (s *Server) Put(p *sim.Proc, t *TenantAccount, key uint64) (uint64, error) 
 		return 0, ErrOverloaded
 	}
 	p.Sleep(dispatchCPU)
-	st := s.shards[sh]
-	var (
-		v   uint64
-		err error
-	)
-	s.front.Call(p, st.Domain(), "serve/put", func(q *sim.Proc) {
-		v, err = st.Put(q, key)
-	})
+	v, err := s.groups[sh].Put(p, key)
 	s.admit[sh].Release(1)
 	if err != nil {
+		if errors.Is(err, ErrShardUnavailable) {
+			t.Unavailable++
+			*s.unavailable++
+		}
 		return 0, err
 	}
 	s.cache.Update(key, v)

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"durassd/internal/host"
 	"durassd/internal/sim"
@@ -30,6 +31,10 @@ type Store struct {
 	slots map[uint64]int64  // key -> page offset in the file
 	vers  map[uint64]uint64 // key -> last durably acked version
 	real  bool              // write real page images (crash campaigns) vs timing-only
+
+	// slowdown is extra service latency injected before every operation —
+	// the chaos plane's replica brownout. Zero in normal operation.
+	slowdown time.Duration
 
 	// Striped write locks: Puts to the same key serialize, so a later ack
 	// always means a later (or equal) on-media version — the property the
@@ -144,6 +149,16 @@ func (st *Store) Keys() int { return len(st.slots) }
 // Counters returns cumulative put/get/fdatasync tallies.
 func (st *Store) Counters() (puts, gets, syncs int64) { return st.puts, st.gets, st.syncs }
 
+// SetSlowdown injects extra service latency before every subsequent store
+// operation — the chaos plane's replica brownout knob. Call it from the
+// store's own domain (schedule an event there); zero restores normal speed.
+func (st *Store) SetSlowdown(d time.Duration) { st.slowdown = d }
+
+// Version returns the store's last durably acked version of key (0 for a
+// never-written resident key). It is a pure memory read for catch-up
+// planning; serving reads go through Get.
+func (st *Store) Version(key uint64) uint64 { return st.vers[key] }
+
 // Put durably writes the next version of key and returns it. The version
 // is assigned under the key's stripe lock, so concurrent Puts to one key
 // serialize and versions land on media in ascending order. The returned
@@ -156,23 +171,60 @@ func (st *Store) Put(p *sim.Proc, key uint64) (uint64, error) {
 	lock := st.stripes[mix64(key)%storeStripes]
 	lock.Acquire(p, 1)
 	defer lock.Release(1)
-
+	if st.slowdown > 0 {
+		p.Sleep(st.slowdown)
+	}
 	version := st.vers[key] + 1
+	if err := st.writeLocked(p, key, slot, version); err != nil {
+		return 0, err
+	}
+	return version, nil
+}
+
+// PutVersion durably writes key at a caller-assigned version — the replica
+// half of a quorum write, where the group (not the replica) is the version
+// authority. It is idempotent: a version at or below the replica's durable
+// state is acknowledged without device traffic, so a retried quorum attempt
+// or a catch-up replay of an already-applied write costs nothing and never
+// regresses the media. The applied version is whatever is durable afterwards
+// (max of the replica's state and ver).
+func (st *Store) PutVersion(p *sim.Proc, key uint64, ver uint64) error {
+	slot, ok := st.slots[key]
+	if !ok {
+		return fmt.Errorf("serve: put of unknown key %d", key)
+	}
+	lock := st.stripes[mix64(key)%storeStripes]
+	lock.Acquire(p, 1)
+	defer lock.Release(1)
+	if st.slowdown > 0 {
+		p.Sleep(st.slowdown)
+	}
+	if st.vers[key] >= ver {
+		return nil // already durable at this version or newer
+	}
+	return st.writeLocked(p, key, slot, ver)
+}
+
+// writeLocked performs the write + group-commit under the caller-held
+// stripe lock and records the new durable version.
+func (st *Store) writeLocked(p *sim.Proc, key uint64, slot int64, version uint64) error {
 	var data []byte
 	if st.real {
 		data = make([]byte, st.file.PageSize())
 		storage.BuildPageImage(data, key, version)
 	}
 	if err := st.file.WritePages(p, slot, 1, data); err != nil {
-		return 0, err
+		return err
 	}
 	st.writeGen++
 	if err := st.syncThrough(p, st.writeGen); err != nil {
-		return 0, err
+		return err
 	}
-	st.vers[key] = version
+	if version > st.vers[key] {
+		st.vers[key] = version
+	}
 	st.puts++
-	return version, nil
+	return nil
 }
 
 // Get reads the key's page and returns its current version. A key outside
@@ -186,6 +238,9 @@ func (st *Store) Get(p *sim.Proc, key uint64) (version uint64, found bool, err e
 	slot, ok := st.slots[key]
 	if !ok {
 		return 0, false, nil
+	}
+	if st.slowdown > 0 {
+		p.Sleep(st.slowdown)
 	}
 	var buf []byte
 	if st.real {

@@ -63,3 +63,24 @@ func TestServeMixedScenarioRegistered(t *testing.T) {
 		t.Fatalf("serve-mixed event count unstable: %d vs %d", a, b)
 	}
 }
+
+// TestServeChaosScenarioRegistered: the replicated chaos scenario is part
+// of the suite and runs clean with a stable nonzero event count — fault
+// injection included, the schedule is fully seeded.
+func TestServeChaosScenarioRegistered(t *testing.T) {
+	s, err := Find("serve-chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == 0 || a != b {
+		t.Fatalf("serve-chaos event count unstable: %d vs %d", a, b)
+	}
+}

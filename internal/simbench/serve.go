@@ -16,3 +16,17 @@ func runServeMixed() (uint64, error) {
 	}
 	return res.Events, nil
 }
+
+// runServeChaos drives the replicated chaos scenario at one worker: R=3 W=2
+// shard groups under a seeded fault schedule (replica brownout, replica
+// power-fail with mid-traffic reboot and catch-up, overload burst). The
+// simbench entry tracks the cost of the failure-handling hot paths —
+// quorum fan-out, hedged reads, deadline timers, breaker bookkeeping —
+// which a healthy-path scenario never exercises.
+func runServeChaos() (uint64, error) {
+	res, err := serve.RunScenario(serve.ChaosScenario(1, 42))
+	if err != nil {
+		return 0, err
+	}
+	return res.Events, nil
+}

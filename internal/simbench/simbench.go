@@ -104,6 +104,11 @@ func Scenarios() []Scenario {
 			Desc: "mixed-tenant serving (YCSB-A + LinkBench + TPC-C) over a 4-shard DuraSSD box",
 			run:  runServeMixed,
 		},
+		{
+			Name: "serve-chaos",
+			Desc: "replicated serving (R=3 W=2 groups) under seeded brownout, crash+catch-up and overload faults",
+			run:  runServeChaos,
+		},
 	}
 }
 
